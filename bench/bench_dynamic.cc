@@ -1,0 +1,74 @@
+// Dynamic-scenario ablation (future work, Section 11): continuous
+// queries receive each round's new objects; subscriptions churn. How
+// should the merge plan be maintained — greedy incremental placement,
+// incremental + periodic repair, or a full re-plan each round? Reports
+// traffic and maintenance work per policy on identical object/query
+// streams.
+
+#include <cstdio>
+#include <string>
+
+#include "sim/continuous.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+void Run() {
+  std::printf(
+      "=== Dynamic scenario — plan maintenance under churn (Section 11) "
+      "===\n30 rounds, 500 new objects/round, 24 initial subscriptions, "
+      "+3/-2 churn per round.\n\n");
+
+  ContinuousConfig base;
+  base.rounds = 30;
+  base.inserts_per_round = 500;
+  base.initial_queries = 24;
+  base.arrivals_per_round = 3;
+  base.departures_per_round = 2;
+  base.seed = 4242;
+
+  TablePrinter table({"maintenance policy", "messages", "delta rows",
+                      "irrelevant rows", "maintenance evals",
+                      "final plan cost"});
+
+  struct Policy {
+    const char* name;
+    PlanMaintenance policy;
+  };
+  const Policy policies[] = {
+      {"incremental (greedy only)", PlanMaintenance::kIncremental},
+      {"incremental + repair", PlanMaintenance::kIncrementalRepair},
+      {"re-plan every round", PlanMaintenance::kReplanEachRound},
+  };
+  for (const Policy& p : policies) {
+    ContinuousConfig config = base;
+    config.maintenance = p.policy;
+    auto outcome = RunContinuous(config);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return;
+    }
+    if (!outcome->all_deltas_correct) {
+      std::fprintf(stderr, "DELTA VERIFICATION FAILED (%s)\n", p.name);
+    }
+    table.AddRow({p.name, std::to_string(outcome->total_messages),
+                  std::to_string(outcome->total_delta_rows),
+                  std::to_string(outcome->total_irrelevant_rows),
+                  std::to_string(outcome->total_maintenance_evals),
+                  std::to_string(outcome->rounds.back().plan_cost)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "All policies deliver exact deltas; they differ in traffic quality\n"
+      "(messages / irrelevant rows) versus plan-maintenance work.\n");
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation for the extractor-implementation choice of Section 3.1:
+// clients re-applying their original query vs server-tagged answer
+// objects. Measured end to end: wire bytes (tags add 4 B/row) against
+// client-side geometric tests eliminated (tag reads replace them). The
+// break-even depends on how much merging happened — more members per
+// message means more extractor applications per payload row.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "merge/pair_merger.h"
+#include "net/simulator.h"
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "stats/exact_estimator.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+#include "workload/client_gen.h"
+
+namespace qsp {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Extractor implementations — self-extraction vs server tags",
+      "20 queries, 6 clients, pair merging with K_M swept (more merging "
+      "as K_M grows). 20 trials per row; exact answers verified in every "
+      "run.");
+
+  TablePrinter table({"K_M", "groups", "self bytes", "tag bytes",
+                      "byte overhead %", "rows examined (either)"});
+
+  for (double k_m : {2.0, 20.0, 100.0, 400.0}) {
+    Summary groups, self_bytes, tag_bytes, examined;
+    for (uint64_t t = 0; t < 20; ++t) {
+      Rng rng(26000 + t);
+      const Rect domain(0, 0, 1000, 1000);
+      TableGeneratorConfig tconfig;
+      tconfig.domain = domain;
+      tconfig.num_objects = 6000;
+      tconfig.payload_fields = 1;
+      tconfig.payload_bytes = 48;
+      Table table_data = GenerateTable(tconfig, &rng);
+      GridIndex index(table_data, domain);
+
+      QuerySet queries(
+          GenerateQueries(bench::Fig16WorkloadConfig(20), &rng));
+      ClientSet clients =
+          AssignClients(queries, 6, ClientAssignment::kLocality, &rng);
+      ExactEstimator estimator(&index);
+      BoundingRectProcedure procedure;
+      MergeContext ctx(&queries, &estimator, &procedure);
+      const CostModel model{k_m, 1.0, 0.3, 0.0};
+
+      PairMerger merger;
+      auto outcome = merger.Merge(ctx, model);
+      DisseminationPlan plan;
+      plan.allocation.push_back(clients.AllClients());
+      plan.channel_partitions.push_back(outcome->partition);
+
+      MulticastSimulator sim(&table_data, &index, &queries, &clients);
+      const RoundStats self =
+          sim.RunRound(plan, procedure, ExtractionMode::kSelfExtract);
+      const RoundStats tags =
+          sim.RunRound(plan, procedure, ExtractionMode::kServerTags);
+      QSP_CHECK(self.all_answers_correct && tags.all_answers_correct);
+
+      groups.Add(static_cast<double>(outcome->partition.size()));
+      self_bytes.Add(static_cast<double>(self.payload_bytes));
+      tag_bytes.Add(static_cast<double>(tags.payload_bytes));
+      examined.Add(static_cast<double>(self.rows_examined));
+    }
+    table.AddNumericRow(
+        {k_m, groups.mean(), self_bytes.mean(), tag_bytes.mean(),
+         100.0 * (tag_bytes.mean() / self_bytes.mean() - 1.0),
+         examined.mean()},
+        5);
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "Tags add ~6%% of wire bytes on 68-byte records; in exchange every row a\n"
+      "client examines becomes a bitmask read instead of two coordinate\n"
+      "comparisons x extractor count — the right choice when clients are\n"
+      "the paper's 'limited capacity' operational units.\n");
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 16: probability that the Pair Merging Algorithm finds the
+// optimal solution, vs the number of queries |Q| = 3..12. The optimum
+// comes from the exact Partition Algorithm (Bell-number search). The
+// paper reports an average probability of ~97%.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "merge/pair_merger.h"
+#include "merge/partition_merger.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 16 — P(pair merging finds the optimal solution) vs |Q|",
+      "Workload: Section 9.1 hybrid generator (cf=0.8, sf=0.5, df=0.03); "
+      "cost model K_M=10, K_T=9, K_U=4 (the adversarial Section 5.1 "
+      "constants). Oracle: exact Partition Algorithm.");
+
+  const CostModel model = bench::Fig16CostModel();
+  const PairMerger pair;
+  const PartitionMerger exact;
+
+  TablePrinter table({"|Q|", "trials", "optimal found", "P(optimal) %"});
+  Summary overall;
+
+  for (int n = 3; n <= 12; ++n) {
+    const int trials = bench::Fig16Trials(n);
+    int optimal_found = 0;
+    for (int t = 0; t < trials; ++t) {
+      bench::Instance inst(bench::Fig16WorkloadConfig(n),
+                           1000 * static_cast<uint64_t>(n) + t,
+                           bench::kFig16Density);
+      auto greedy = pair.Merge(*inst.ctx, model);
+      auto optimal = exact.Merge(*inst.ctx, model);
+      if (!greedy.ok() || !optimal.ok()) continue;
+      if (greedy->cost <= optimal->cost + 1e-9) ++optimal_found;
+    }
+    const double pct = 100.0 * optimal_found / trials;
+    overall.Add(pct);
+    table.AddRow({std::to_string(n), std::to_string(trials),
+                  std::to_string(optimal_found),
+                  std::to_string(pct)});
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf("Average over |Q| points: %.2f%%   (paper: ~97%%)\n",
+              overall.mean());
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 17: distance of the Pair Merging solution to the optimal one,
+//   (Cost_heuristic - Cost_optimum) / (Cost_initial - Cost_optimum),
+// vs |Q| = 3..12. The paper reports an average of ~0.6343%.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "merge/pair_merger.h"
+#include "merge/partition_merger.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 17 — distance of pair merging to the optimal solution vs |Q|",
+      "Metric: (C_heur - C_opt) / (C_init - C_opt); 0% = optimal, "
+      "100% = no better than not merging. Same workload/constants as "
+      "Figure 16.");
+
+  const CostModel model = bench::Fig16CostModel();
+  const PairMerger pair;
+  const PartitionMerger exact;
+
+  TablePrinter table({"|Q|", "trials", "mean distance %", "max distance %"});
+  Summary overall;
+
+  for (int n = 3; n <= 12; ++n) {
+    const int trials = bench::Fig16Trials(n);
+    Summary distance;
+    for (int t = 0; t < trials; ++t) {
+      bench::Instance inst(bench::Fig16WorkloadConfig(n),
+                           1000 * static_cast<uint64_t>(n) + t,
+                           bench::kFig16Density);
+      auto greedy = pair.Merge(*inst.ctx, model);
+      auto optimal = exact.Merge(*inst.ctx, model);
+      if (!greedy.ok() || !optimal.ok()) continue;
+      const double initial = model.InitialCost(*inst.ctx);
+      distance.Add(100.0 * bench::DistanceToOptimal(greedy->cost,
+                                                    optimal->cost, initial));
+    }
+    overall.Add(distance.mean());
+    table.AddNumericRow({static_cast<double>(n),
+                         static_cast<double>(trials), distance.mean(),
+                         distance.max()},
+                        4);
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf("Average over |Q| points: %.4f%%   (paper: ~0.6343%%)\n",
+              overall.mean());
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Future-work ablation (Section 11, "a new query arrives — can we
+// incrementally compute a new partition?"): IncrementalMerger vs
+// re-running the Pair Merging Algorithm from scratch after every
+// arrival. Reports the cost gap and the group-evaluation work of both,
+// plus the effect of periodic Repair passes.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "merge/incremental_merger.h"
+#include "merge/pair_merger.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Incremental merging vs from-scratch (future work, Section 11)",
+      "Queries arrive one at a time. 'scratch' re-runs pair merging on "
+      "every arrival; 'incremental' places the new query greedily; "
+      "'incr+repair' also runs a local-search repair every 8 arrivals. "
+      "Work = merged-group cost evaluations.");
+
+  const CostModel model = bench::Fig16CostModel();
+  const int trials = 30;
+  const size_t stream_length = 48;
+
+  Summary scratch_cost, incr_cost, repair_cost;
+  Summary scratch_work, incr_work, repair_work;
+
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(7000 + static_cast<uint64_t>(t));
+    const auto rects =
+        GenerateQueries(bench::Fig16WorkloadConfig(stream_length), &rng);
+
+    QuerySet queries;
+    UniformDensityEstimator estimator(bench::kFig16Density);
+    BoundingRectProcedure procedure;
+    MergeContext ctx(&queries, &estimator, &procedure);
+
+    IncrementalMerger incremental(&ctx, model);
+    IncrementalMerger repaired(&ctx, model);
+    const PairMerger scratch;
+
+    uint64_t scratch_evaluations = 0;
+    double final_scratch_cost = 0;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      const QueryId id = queries.Add(rects[i]);
+      incremental.AddQuery(id);
+      repaired.AddQuery(id);
+      if ((i + 1) % 8 == 0) repaired.Repair();
+      auto outcome = scratch.Merge(ctx, model);
+      if (outcome.ok()) {
+        scratch_evaluations += outcome->candidates;
+        final_scratch_cost = outcome->cost;
+      }
+    }
+    repaired.Repair();
+
+    scratch_cost.Add(final_scratch_cost);
+    incr_cost.Add(incremental.cost());
+    repair_cost.Add(repaired.cost());
+    scratch_work.Add(static_cast<double>(scratch_evaluations));
+    incr_work.Add(static_cast<double>(incremental.evaluations()));
+    repair_work.Add(static_cast<double>(repaired.evaluations()));
+  }
+
+  TablePrinter table({"strategy", "final cost (mean)", "evals (mean)",
+                      "cost vs scratch"});
+  auto ratio = [&](double c) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fx", c / scratch_cost.mean());
+    return std::string(buf);
+  };
+  table.AddRow({"scratch pair-merge each arrival",
+                std::to_string(scratch_cost.mean()),
+                std::to_string(scratch_work.mean()), "1.000x"});
+  table.AddRow({"incremental (greedy place)",
+                std::to_string(incr_cost.mean()),
+                std::to_string(incr_work.mean()), ratio(incr_cost.mean())});
+  table.AddRow({"incremental + repair every 8",
+                std::to_string(repair_cost.mean()),
+                std::to_string(repair_work.mean()),
+                ratio(repair_cost.mean())});
+  std::printf("%s\n", table.ToText().c_str());
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

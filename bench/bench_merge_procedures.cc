@@ -1,0 +1,95 @@
+// Ablation for the Figure 5 trade-off: bounding rectangle vs bounding
+// polygon vs exact cover. For the same workloads and the same (pair-
+// merged) grouping decisions, reports |M| (messages), size(M), U(Q,M) and
+// total cost under each procedure — who wins depends on the relative
+// price of messages (K_M) vs irrelevant data (K_U), which is the paper's
+// point.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "merge/pair_merger.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+struct ProcedureTotals {
+  Summary messages, size, irrelevant, cost;
+};
+
+void RunScenario(const char* label, const CostModel& model) {
+  std::printf("--- cost model: %s (K_M=%.0f K_T=%.0f K_U=%.1f) ---\n", label,
+              model.k_m, model.k_t, model.k_u);
+
+  BoundingRectProcedure rect_proc;
+  BoundingPolygonProcedure poly_proc;
+  ExactCoverProcedure cover_proc;
+  const std::vector<const MergeProcedure*> procedures = {
+      &rect_proc, &poly_proc, &cover_proc};
+
+  std::vector<ProcedureTotals> totals(procedures.size());
+  const PairMerger merger;
+  const int trials = 60;
+  const size_t num_queries = 16;
+
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(3000 + static_cast<uint64_t>(t));
+    QuerySet queries(GenerateQueries(
+        bench::Fig16WorkloadConfig(num_queries), &rng));
+    UniformDensityEstimator estimator(bench::kFig16Density);
+
+    for (size_t p = 0; p < procedures.size(); ++p) {
+      MergeContext ctx(&queries, &estimator, procedures[p]);
+      auto outcome = merger.Merge(ctx, model);
+      if (!outcome.ok()) continue;
+      double messages = 0, size = 0, irrelevant = 0;
+      for (const QueryGroup& group : outcome->partition) {
+        const GroupStats& stats = ctx.Stats(group);
+        messages += stats.messages;
+        size += stats.size;
+        irrelevant += stats.irrelevant;
+      }
+      totals[p].messages.Add(messages);
+      totals[p].size.Add(size);
+      totals[p].irrelevant.Add(irrelevant);
+      totals[p].cost.Add(outcome->cost);
+    }
+  }
+
+  TablePrinter table(
+      {"procedure", "|M| (msgs)", "size(M)", "U(Q,M)", "total cost"});
+  for (size_t p = 0; p < procedures.size(); ++p) {
+    table.AddRow({procedures[p]->name(),
+                  std::to_string(totals[p].messages.mean()),
+                  std::to_string(totals[p].size.mean()),
+                  std::to_string(totals[p].irrelevant.mean()),
+                  std::to_string(totals[p].cost.mean())});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 5 ablation — merge procedures under the pair merger",
+      "Means over 60 workloads of 16 queries (Section 9.1 generator). "
+      "Each procedure re-plans with its own merged-size oracle.");
+
+  // Messages expensive, filtering cheap: coarse shapes win.
+  RunScenario("message-bound", CostModel{50, 1, 0.5, 0});
+  // The paper's adversarial middle ground.
+  RunScenario("balanced", bench::Fig16CostModel());
+  // Client filtering expensive: exact cover's U=0 wins.
+  RunScenario("extraction-bound", CostModel{2, 1, 20, 0});
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces the 3-query example of Section 5.1 / Figure 6 / Appendix 1:
+// with S = 1, K_M = 10, K_T = 9, K_U = 4, merging all three queries is
+// optimal although merging any pair is not — the demonstration that local
+// (pairwise) merge decisions are insufficient.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "merge/directed_search_merger.h"
+#include "merge/pair_merger.h"
+#include "merge/partition_merger.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Section 5.1 / Figure 6 / Appendix 1 — the 3-query example",
+      "S=1, K_M=10, K_T=9, K_U=4; sizes: |q1|=|q2|=2S, |q3|=S, every "
+      "merge = 4S.\nPaper's costs: none=3K_M+5K_T=75, pair(q1,q2)=81, "
+      "all=K_M+4K_T+7K_U=74.");
+
+  // The Figure 6 arrangement (unit size S = 1).
+  QuerySet queries({Rect(0, 1, 2, 2),    // q1 (top bar, size 2)
+                    Rect(1, 0, 2, 2),    // q2 (right bar, size 2)
+                    Rect(0, 0, 1, 1)});  // q3 (corner square, size 1)
+  UniformDensityEstimator estimator(1.0);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{10, 9, 4, 0};
+
+  TablePrinter table({"candidate M", "cost", "paper"});
+  table.AddRow({"{q1}{q2}{q3}  (no merging)",
+                std::to_string(model.PartitionCost(ctx, SingletonPartition(3))),
+                "75"});
+  table.AddRow({"{q1,q2}{q3}",
+                std::to_string(model.PartitionCost(ctx, {{0, 1}, {2}})),
+                "81"});
+  table.AddRow({"{q1,q3}{q2}",
+                std::to_string(model.PartitionCost(ctx, {{0, 2}, {1}})),
+                "see EXPERIMENTS.md"});
+  table.AddRow({"{q2,q3}{q1}",
+                std::to_string(model.PartitionCost(ctx, {{1, 2}, {0}})),
+                "see EXPERIMENTS.md"});
+  table.AddRow({"{q1,q2,q3}  (merge all)",
+                std::to_string(model.PartitionCost(ctx, {{0, 1, 2}})),
+                "74"});
+  std::printf("%s\n", table.ToText().c_str());
+
+  PartitionMerger exact;
+  PairMerger pair;
+  DirectedSearchMerger directed(16, 7);
+  auto optimal = exact.Merge(ctx, model);
+  auto greedy = pair.Merge(ctx, model);
+  auto searched = directed.Merge(ctx, model);
+
+  std::printf("Partition algorithm (exact): cost %.0f, |M| = %zu\n",
+              optimal->cost, optimal->partition.size());
+  std::printf("Pair merging (greedy):       cost %.0f, |M| = %zu  "
+              "<- trapped, as Section 5.1 predicts\n",
+              greedy->cost, greedy->partition.size());
+  std::printf("Directed search:             cost %.0f, |M| = %zu  "
+              "<- escapes the trap\n",
+              searched->cost, searched->partition.size());
+
+  std::printf("\nPairwise merge benefits (all must be <= 0):\n");
+  std::printf("  benefit(q1,q2) = %.1f\n", model.MergeBenefit(ctx, {0}, {1}));
+  std::printf("  benefit(q1,q3) = %.1f\n", model.MergeBenefit(ctx, {0}, {2}));
+  std::printf("  benefit(q2,q3) = %.1f\n", model.MergeBenefit(ctx, {1}, {2}));
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

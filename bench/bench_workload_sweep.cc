@@ -1,0 +1,143 @@
+// Sensitivity sweep over the Section 9.1 workload parameters — the
+// "remaining parameters were ranged over a fixed interval" part of the
+// paper's methodology. Shows how the benefit of merging (relative cost
+// saving and wire-traffic reduction, measured end to end) responds to
+// the clustering factor cf, the cluster density df, and the query size.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "merge/pair_merger.h"
+#include "net/simulator.h"
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "stats/exact_estimator.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+#include "workload/client_gen.h"
+
+namespace qsp {
+namespace {
+
+struct SweepPoint {
+  double saving_pct = 0;     // (initial - merged) / initial cost.
+  double message_ratio = 0;  // merged messages / unmerged messages.
+  double traffic_ratio = 0;  // merged payload rows / unmerged rows.
+};
+
+SweepPoint RunPoint(const QueryGenConfig& qconfig, uint64_t seed) {
+  Rng rng(seed);
+  TableGeneratorConfig tconfig;
+  tconfig.domain = qconfig.domain;
+  tconfig.num_objects = 4000;
+  tconfig.clustered_fraction = 0.5;
+  tconfig.payload_fields = 0;
+  Table table = GenerateTable(tconfig, &rng);
+  GridIndex index(table, tconfig.domain);
+
+  QuerySet queries(GenerateQueries(qconfig, &rng));
+  ClientSet clients =
+      AssignClients(queries, 8, ClientAssignment::kLocality, &rng);
+  ExactEstimator estimator(&index);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{20.0, 1.0, 0.3, 0.0};
+
+  PairMerger merger;
+  auto outcome = merger.Merge(ctx, model);
+
+  DisseminationPlan merged;
+  merged.allocation.push_back(clients.AllClients());
+  merged.channel_partitions.push_back(outcome->partition);
+  DisseminationPlan unmerged;
+  unmerged.allocation.push_back(clients.AllClients());
+  unmerged.channel_partitions.push_back(
+      SingletonPartition(queries.size()));
+
+  MulticastSimulator sim(&table, &index, &queries, &clients);
+  const RoundStats m = sim.RunRound(merged, procedure);
+  const RoundStats u = sim.RunRound(unmerged, procedure);
+  QSP_CHECK(m.all_answers_correct && u.all_answers_correct);
+
+  SweepPoint point;
+  const double initial = model.InitialCost(ctx);
+  point.saving_pct = 100.0 * (initial - outcome->cost) / initial;
+  point.message_ratio = static_cast<double>(m.num_messages) /
+                        static_cast<double>(u.num_messages);
+  point.traffic_ratio =
+      u.payload_rows == 0
+          ? 1.0
+          : static_cast<double>(m.payload_rows) /
+                static_cast<double>(u.payload_rows);
+  return point;
+}
+
+void Sweep(const char* name,
+           const std::vector<std::pair<std::string, QueryGenConfig>>& points) {
+  std::printf("--- sweep: %s ---\n", name);
+  TablePrinter table({"setting", "cost saving %", "msg ratio",
+                      "traffic ratio"});
+  for (const auto& [label, qconfig] : points) {
+    Summary saving, msgs, traffic;
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      const SweepPoint p = RunPoint(qconfig, 31000 + seed);
+      saving.Add(p.saving_pct);
+      msgs.Add(p.message_ratio);
+      traffic.Add(p.traffic_ratio);
+    }
+    table.AddRow({label, std::to_string(saving.mean()),
+                  std::to_string(msgs.mean()),
+                  std::to_string(traffic.mean())});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Workload sensitivity — merging benefit vs cf / df / query size",
+      "24 queries, 8 clients, pair merging, exact estimator, end-to-end "
+      "simulated traffic. Ratios < 1 mean merging reduced the quantity.");
+
+  QueryGenConfig base = bench::Fig16WorkloadConfig(24);
+  base.domain = Rect(0, 0, 100, 100);
+
+  {
+    std::vector<std::pair<std::string, QueryGenConfig>> points;
+    for (double cf : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      QueryGenConfig q = base;
+      q.cf = cf;
+      points.emplace_back("cf=" + std::to_string(cf).substr(0, 4), q);
+    }
+    Sweep("clustering factor cf (more clustering -> more overlap)", points);
+  }
+  {
+    std::vector<std::pair<std::string, QueryGenConfig>> points;
+    for (double df : {0.01, 0.03, 0.08, 0.2}) {
+      QueryGenConfig q = base;
+      q.cf = 1.0;
+      q.df = df;
+      points.emplace_back("df=" + std::to_string(df).substr(0, 4), q);
+    }
+    Sweep("cluster density df (tighter clusters -> more overlap)", points);
+  }
+  {
+    std::vector<std::pair<std::string, QueryGenConfig>> points;
+    for (double extent : {0.03, 0.08, 0.15, 0.3}) {
+      QueryGenConfig q = base;
+      q.min_extent = extent / 2;
+      q.max_extent = extent;
+      points.emplace_back("max_extent=" + std::to_string(extent).substr(0, 4),
+                          q);
+    }
+    Sweep("query size (bigger queries -> more overlap, more data)", points);
+  }
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() {
+  qsp::Run();
+  return 0;
+}

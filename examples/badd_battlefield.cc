@@ -1,0 +1,134 @@
+// The paper's motivating scenario (Section 2): Battlefield Awareness and
+// Data Dissemination. Operational units subscribe to geographic areas of
+// a battlefield database; a server merges the overlapping subscriptions
+// and disseminates answers over a small number of satellite multicast
+// channels; units apply extractors to recover their own pictures.
+//
+// The example compares three dissemination strategies on the same
+// battlefield: naive (no merging, one channel), merged (pair merging,
+// one channel), and merged + channel allocation (3 channels), and prints
+// the traffic each one generates.
+
+#include <cstdio>
+#include <string>
+
+#include "core/subscription_service.h"
+#include "relation/generator.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct StrategyResult {
+  std::string name;
+  double planned_cost = 0;
+  qsp::RoundStats round;
+};
+
+StrategyResult RunStrategy(const std::string& name,
+                           const qsp::ServiceConfig& config,
+                           bool merge) {
+  using namespace qsp;
+
+  // Battlefield: objects (units, sensors, obstacles) concentrated around
+  // a few hot areas, like troop concentrations.
+  Rng rng(1944);
+  const Rect theater(0, 0, 500, 500);
+  TableGeneratorConfig tconfig;
+  tconfig.domain = theater;
+  tconfig.num_objects = 20000;
+  tconfig.clustered_fraction = 0.8;
+  tconfig.num_clusters = 6;
+  tconfig.cluster_spread = 0.05;
+  tconfig.payload_fields = 2;   // e.g. unit type + status report
+  tconfig.payload_bytes = 24;
+  Table table = GenerateTable(tconfig, &rng);
+
+  SubscriptionService service(std::move(table), theater, config);
+
+  // 12 operational units; each watches 2-3 rectangles around its own
+  // position, so nearby units ask for heavily overlapping areas.
+  Rng unit_rng(7);
+  for (int u = 0; u < 12; ++u) {
+    const ClientId unit = service.AddClient();
+    // Units deploy around the same hot spots as the objects.
+    const double bx = unit_rng.UniformDouble(50, 450);
+    const double by = unit_rng.UniformDouble(50, 450);
+    const int areas = 2 + static_cast<int>(unit_rng.UniformInt(0, 1));
+    for (int a = 0; a < areas; ++a) {
+      const double cx = bx + unit_rng.Normal(0, 15);
+      const double cy = by + unit_rng.Normal(0, 15);
+      const double w = unit_rng.UniformDouble(30, 80);
+      const double h = unit_rng.UniformDouble(30, 80);
+      service.Subscribe(unit,
+                        Rect(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2)
+                            .ClampTo(theater));
+    }
+  }
+
+  StrategyResult result;
+  result.name = name;
+  if (!merge) {
+    // Naive baseline: pretend every query is its own group by pricing
+    // merging out of the model (K_T = K_U large relative to K_M = 0
+    // would still merge identicals; instead run the planner with a model
+    // that never benefits: K_M = 0 means a merge can only add size/U).
+    // The service still verifies extraction end to end.
+  }
+  auto report = service.Plan();
+  if (!report.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  result.planned_cost = report->estimated_cost;
+  auto stats = service.RunRound();
+  if (!stats.ok() || !stats->all_answers_correct) {
+    std::fprintf(stderr, "round failed or answers wrong (%s)\n",
+                 result.name.c_str());
+    std::exit(1);
+  }
+  result.round = *stats;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qsp;
+  std::printf("BADD battlefield dissemination demo (paper Section 2)\n");
+  std::printf("12 operational units, 20k objects, clustered theater\n\n");
+
+  ServiceConfig naive;
+  naive.cost_model = {0.0, 1.0, 1.0, 0.0};  // K_M=0: merging never pays.
+  naive.merger = MergerKind::kPairMerging;
+  naive.estimator = EstimatorKind::kHistogram;
+
+  ServiceConfig merged = naive;
+  merged.cost_model = {2000.0, 1.0, 0.3, 0.0};  // Satellite msgs pricey.
+
+  ServiceConfig channels = merged;
+  channels.num_channels = 3;
+  channels.allocation_policy = StartPolicy::kBestOfBoth;
+
+  const StrategyResult results[] = {
+      RunStrategy("naive (no merging)", naive, false),
+      RunStrategy("merged, 1 channel", merged, true),
+      RunStrategy("merged, 3 channels", channels, true),
+  };
+
+  TablePrinter table({"strategy", "messages", "payload KB", "irrelevant rows",
+                      "header checks", "channels"});
+  for (const auto& r : results) {
+    table.AddRow({r.name, std::to_string(r.round.num_messages),
+                  std::to_string(r.round.payload_bytes / 1024),
+                  std::to_string(r.round.irrelevant_rows),
+                  std::to_string(r.round.headers_checked),
+                  std::to_string(r.round.channels_used)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "Merging cuts messages and bytes; multiple channels cut the headers\n"
+      "each unit must check (it only sees its own channel's traffic).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Channel-allocation planning tool (paper Sections 7-8): given a set of
+// clients with subscriptions and a budget of multicast channels, compare
+// the exhaustive and heuristic allocators and show how total cost falls
+// as channels are added — including where extra channels stop helping.
+//
+// Run:  ./build/examples/channel_planner [num_clients] [max_channels]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "channel/channel_cost.h"
+#include "channel/exhaustive_allocator.h"
+#include "channel/hill_climb_allocator.h"
+#include "cost/cost_model.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "workload/client_gen.h"
+#include "workload/query_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace qsp;
+  const size_t num_clients =
+      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 8;
+  const int max_channels = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  std::printf("Channel planning for %zu clients, 1..%d channels\n\n",
+              num_clients, max_channels);
+
+  Rng rng(555);
+  QueryGenConfig qconfig;
+  qconfig.domain = Rect(0, 0, 1000, 1000);
+  qconfig.num_queries = num_clients * 3;
+  qconfig.cf = 0.7;
+  qconfig.sf = 0.3;
+  qconfig.df = 0.04;
+  QuerySet queries(GenerateQueries(qconfig, &rng));
+  ClientSet clients =
+      AssignClients(queries, num_clients, ClientAssignment::kLocality, &rng);
+
+  UniformDensityEstimator estimator(0.001);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  // K_D models per-channel router/transponder state; k_check is the cost
+  // a client pays to inspect each message header on its channel — the
+  // term that makes splitting clients across channels pay off.
+  CostModel model{10.0, 9.0, 4.0, /*k_d=*/25.0};
+  model.k_check = 5.0;
+  ChannelCostEvaluator evaluator(&ctx, model, &clients);
+
+  const bool exhaustive_feasible = num_clients <= 10;
+  TablePrinter table({"channels", "heuristic cost", "optimal cost",
+                      "heuristic alloc"});
+  for (int c = 1; c <= max_channels; ++c) {
+    HillClimbAllocator heuristic(StartPolicy::kBestOfBoth, 99);
+    auto outcome = heuristic.Allocate(evaluator, c);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "allocation failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::string optimal = "n/a (too many clients)";
+    if (exhaustive_feasible) {
+      ExhaustiveAllocator exact;
+      auto best = exact.Allocate(evaluator, c);
+      if (best.ok()) optimal = std::to_string(best->cost);
+    }
+    table.AddRow({std::to_string(c), std::to_string(outcome->cost), optimal,
+                  AllocationToString(outcome->allocation)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "Adding channels splits disjoint interest groups (cost drops) until\n"
+      "the K_D per-channel charge outweighs the separation benefit.\n");
+  return 0;
+}

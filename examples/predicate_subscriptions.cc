@@ -1,0 +1,91 @@
+// Subscribing with SQL-ish selection predicates (the paper's sigma
+// queries in their textual form) and comparing the two extractor
+// implementations of Section 3.1:
+//   * self-extraction — clients re-apply their original query to each
+//     merged answer (no extra bytes, per-tuple geometry at the client);
+//   * server tags    — the server marks each answer object with the
+//     member queries it belongs to (4 bytes/row, trivial client work).
+
+#include <cstdio>
+
+#include "core/subscription_service.h"
+#include "relation/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+qsp::RoundStats RunWith(qsp::ExtractionMode mode) {
+  using namespace qsp;
+  Rng rng(77);
+  const Rect domain(0, 0, 360, 180);  // Lon x lat, world-ish.
+  TableGeneratorConfig tconfig;
+  tconfig.domain = domain;
+  tconfig.num_objects = 8000;
+  tconfig.clustered_fraction = 0.6;
+  tconfig.payload_fields = 1;
+  tconfig.payload_bytes = 48;  // A weather report string.
+  Table table = GenerateTable(tconfig, &rng);
+
+  ServiceConfig config;
+  config.cost_model = {50.0, 1.0, 0.5, 0.0};
+  config.extraction = mode;
+  SubscriptionService service(std::move(table), domain, config);
+
+  // Three weather consumers subscribing by predicate. The first two ask
+  // about overlapping parts of the same region.
+  const ClientId pacific_desk = service.AddClient();
+  const ClientId asia_desk = service.AddClient();
+  const ClientId europe_desk = service.AddClient();
+  struct Sub {
+    ClientId client;
+    const char* predicate;
+  };
+  const Sub subs[] = {
+      {pacific_desk, "longitude BETWEEN 140 AND 200 AND "
+                     "latitude BETWEEN 60 AND 120"},
+      {asia_desk, "longitude BETWEEN 150 AND 210 AND "
+                  "latitude BETWEEN 65 AND 125"},
+      {asia_desk, "longitude BETWEEN 60 AND 100 AND "
+                  "latitude BETWEEN 80 AND 110"},
+      {europe_desk, "longitude BETWEEN 0 AND 40 AND "
+                    "latitude BETWEEN 110 AND 150"},
+  };
+  for (const Sub& sub : subs) {
+    auto id = service.SubscribeWhere(sub.client, sub.predicate);
+    if (!id.ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  auto report = service.Plan();
+  if (!report.ok()) std::exit(1);
+  auto stats = service.RunRound();
+  if (!stats.ok() || !stats->all_answers_correct) std::exit(1);
+  return *stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Predicate subscriptions + extractor comparison\n\n");
+  const qsp::RoundStats self = RunWith(qsp::ExtractionMode::kSelfExtract);
+  const qsp::RoundStats tags = RunWith(qsp::ExtractionMode::kServerTags);
+
+  std::printf("%-28s %14s %14s\n", "", "self-extract", "server-tags");
+  std::printf("%-28s %14zu %14zu\n", "messages", self.num_messages,
+              tags.num_messages);
+  std::printf("%-28s %14zu %14zu\n", "payload bytes", self.payload_bytes,
+              tags.payload_bytes);
+  std::printf("%-28s %14zu %14zu\n", "rows examined by clients",
+              self.rows_examined, tags.rows_examined);
+  std::printf("%-28s %14s %14s\n", "all answers correct",
+              self.all_answers_correct ? "yes" : "NO",
+              tags.all_answers_correct ? "yes" : "NO");
+  std::printf(
+      "\nTags trade 4 bytes per transmitted row for eliminating the\n"
+      "client-side geometric test per (row, extractor) pair — the\n"
+      "choice the paper leaves open in Section 3.1.\n");
+  return 0;
+}

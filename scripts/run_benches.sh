@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs every figure-reproduction and ablation binary, writing the combined
+# output to bench_output.txt (the EXPERIMENTS.md evidence file).
+set -u
+cd "$(dirname "$0")/.."
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "########## $(basename "$b") ##########" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done
+echo "wrote $out"

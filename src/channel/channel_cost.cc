@@ -1,0 +1,57 @@
+#include "channel/channel_cost.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qsp {
+
+ChannelCostEvaluator::ChannelCostEvaluator(const MergeContext* ctx,
+                                           const CostModel& model,
+                                           const ClientSet* clients)
+    : ctx_(ctx), model_(model), clients_(clients) {
+  QSP_CHECK(ctx != nullptr);
+  QSP_CHECK(clients != nullptr);
+}
+
+double ChannelCostEvaluator::Cost(
+    const std::vector<ClientId>& channel_clients) const {
+  if (channel_clients.empty()) return 0.0;
+  std::vector<ClientId> key = channel_clients;
+  std::sort(key.begin(), key.end());
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ++evaluations_;
+  const double cost = Plan(key).cost;
+  cache_.emplace(std::move(key), cost);
+  return cost;
+}
+
+MergeOutcome ChannelCostEvaluator::Plan(
+    const std::vector<ClientId>& channel_clients) const {
+  const std::vector<QueryId> queries =
+      clients_->QueriesOfClients(channel_clients);
+  // Every client on the channel checks every message broadcast on it, so
+  // the per-message constant grows with the channel's population — the
+  // k6 * num(Clients) * |M| term of Section 4, scoped to this channel.
+  CostModel channel_model = model_;
+  channel_model.k_m +=
+      model_.k_check * static_cast<double>(channel_clients.size());
+  Partition start;
+  start.reserve(queries.size());
+  for (QueryId q : queries) start.push_back({q});
+  return merger_.MergeFrom(*ctx_, channel_model, std::move(start));
+}
+
+double ChannelCostEvaluator::TotalCost(const Allocation& allocation) const {
+  double total = 0.0;
+  size_t used = 0;
+  for (const auto& channel : allocation) {
+    if (channel.empty()) continue;
+    ++used;
+    total += Cost(channel);
+  }
+  return total + model_.k_d * static_cast<double>(used);
+}
+
+}  // namespace qsp

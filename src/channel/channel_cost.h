@@ -1,0 +1,70 @@
+#ifndef QSP_CHANNEL_CHANNEL_COST_H_
+#define QSP_CHANNEL_CHANNEL_COST_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/client_set.h"
+#include "cost/cost_model.h"
+#include "merge/merger.h"
+#include "merge/pair_merger.h"
+#include "query/merge_context.h"
+
+namespace qsp {
+
+/// Cost of serving a set of clients on one multicast channel: the union of
+/// their queries is merged with the Pair Merging Algorithm (as Section 8
+/// prescribes — the choice of merge function does not affect the
+/// allocation search, and pair merging keeps it polynomial) and the cost
+/// model is applied to the resulting collection.
+///
+/// Costs are memoized by client set: the allocation searches re-evaluate
+/// the same channel contents constantly (Section 8.2 keeps the same table
+/// T; this class is that table, generalized).
+class ChannelCostEvaluator {
+ public:
+  ChannelCostEvaluator(const MergeContext* ctx, const CostModel& model,
+                       const ClientSet* clients);
+
+  /// Memoized cost of the channel carrying exactly `channel_clients`.
+  /// An empty client set costs 0. Does not include the per-channel K_D
+  /// charge (the allocators add it per used channel).
+  double Cost(const std::vector<ClientId>& channel_clients) const;
+
+  /// Full merge plan for one channel (uncached; for reporting/serving).
+  MergeOutcome Plan(const std::vector<ClientId>& channel_clients) const;
+
+  /// Total cost of an allocation, including K_D per used channel.
+  double TotalCost(const Allocation& allocation) const;
+
+  /// Channel-cost evaluations actually computed (cache misses).
+  uint64_t evaluations() const { return evaluations_; }
+
+  const CostModel& model() const { return model_; }
+  const ClientSet& clients() const { return *clients_; }
+  const MergeContext& context() const { return *ctx_; }
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<ClientId>& v) const {
+      uint64_t h = 1469598103934665603ULL;
+      for (ClientId id : v) {
+        h ^= id;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  const MergeContext* ctx_;
+  CostModel model_;
+  const ClientSet* clients_;
+  PairMerger merger_;
+  mutable std::unordered_map<std::vector<ClientId>, double, VecHash> cache_;
+  mutable uint64_t evaluations_ = 0;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_CHANNEL_CHANNEL_COST_H_

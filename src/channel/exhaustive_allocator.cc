@@ -1,0 +1,49 @@
+#include "channel/exhaustive_allocator.h"
+
+#include <limits>
+
+#include "merge/rgs.h"
+
+namespace qsp {
+
+Result<AllocationOutcome> ExhaustiveAllocator::Allocate(
+    const ChannelCostEvaluator& evaluator, int num_channels) const {
+  const size_t n = evaluator.clients().num_clients();
+  if (num_channels < 1) {
+    return Status::InvalidArgument("need at least one channel");
+  }
+  if (n > static_cast<size_t>(max_clients_)) {
+    return Status::ResourceExhausted(
+        "exhaustive allocation limited to " + std::to_string(max_clients_) +
+        " clients, got " + std::to_string(n));
+  }
+
+  AllocationOutcome best;
+  best.cost = std::numeric_limits<double>::infinity();
+  if (n == 0) {
+    best.cost = 0.0;
+    return best;
+  }
+
+  RgsIterator it(static_cast<int>(n), num_channels);
+  do {
+    ++best.candidates;
+    Allocation allocation;
+    for (const auto& block : RgsToBlocks(it.Current())) {
+      std::vector<ClientId> channel;
+      channel.reserve(block.size());
+      for (int c : block) channel.push_back(static_cast<ClientId>(c));
+      allocation.push_back(std::move(channel));
+    }
+    const double cost = evaluator.TotalCost(allocation);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.allocation = std::move(allocation);
+    }
+  } while (it.Next());
+
+  CanonicalizeAllocation(&best.allocation);
+  return best;
+}
+
+}  // namespace qsp

@@ -1,0 +1,38 @@
+#ifndef QSP_CHANNEL_EXHAUSTIVE_ALLOCATOR_H_
+#define QSP_CHANNEL_EXHAUSTIVE_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "channel/channel_cost.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Result of a channel-allocation search.
+struct AllocationOutcome {
+  Allocation allocation;
+  double cost = 0.0;
+  /// Candidate allocations (exhaustive) or moves (heuristic) evaluated.
+  uint64_t candidates = 0;
+};
+
+/// The exhaustive channel-allocation algorithm of Section 8.1 (Figure
+/// 13): enumerates every distribution of clients into at most C channels
+/// via the same search-tree scheme as the Partition Algorithm, evaluating
+/// each leaf with the (memoized) per-channel pair-merging cost. Exact;
+/// refuses instances with more than `max_clients` clients.
+class ExhaustiveAllocator {
+ public:
+  explicit ExhaustiveAllocator(int max_clients = 12)
+      : max_clients_(max_clients) {}
+
+  Result<AllocationOutcome> Allocate(const ChannelCostEvaluator& evaluator,
+                                     int num_channels) const;
+
+ private:
+  int max_clients_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_CHANNEL_EXHAUSTIVE_ALLOCATOR_H_

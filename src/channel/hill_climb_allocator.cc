@@ -1,0 +1,159 @@
+#include "channel/hill_climb_allocator.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/float_compare.h"
+
+namespace qsp {
+
+Allocation HillClimbAllocator::SeededStart(
+    const ChannelCostEvaluator& evaluator, int num_channels) {
+  const size_t n = evaluator.clients().num_clients();
+  Allocation allocation(static_cast<size_t>(num_channels));
+  if (n == 0) return allocation;
+
+  struct Triple {
+    ClientId a;
+    ClientId b;
+    double delta;
+  };
+  std::vector<Triple> list;
+  for (ClientId a = 0; a < n; ++a) {
+    for (ClientId b = a + 1; b < n; ++b) {
+      const double delta = evaluator.Cost({a}) + evaluator.Cost({b}) -
+                           evaluator.Cost({a, b});
+      list.push_back({a, b, delta});
+    }
+  }
+
+  std::vector<bool> assigned(n, false);
+  size_t cch = 0;
+  while (!list.empty()) {
+    auto best = std::max_element(
+        list.begin(), list.end(),
+        [](const Triple& x, const Triple& y) { return x.delta < y.delta; });
+    const ClientId a = best->a;
+    const ClientId b = best->b;
+    allocation[cch].push_back(a);
+    allocation[cch].push_back(b);
+    assigned[a] = assigned[b] = true;
+    cch = (cch + 1) % static_cast<size_t>(num_channels);
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const Triple& t) {
+                                return t.a == a || t.a == b || t.b == a ||
+                                       t.b == b;
+                              }),
+               list.end());
+  }
+  for (ClientId c = 0; c < n; ++c) {
+    if (!assigned[c]) {
+      allocation[cch].push_back(c);
+      cch = (cch + 1) % static_cast<size_t>(num_channels);
+    }
+  }
+  for (auto& channel : allocation) std::sort(channel.begin(), channel.end());
+  return allocation;
+}
+
+Allocation HillClimbAllocator::RandomStart(size_t num_clients,
+                                           int num_channels, Rng* rng) {
+  Allocation allocation(static_cast<size_t>(num_channels));
+  for (ClientId c = 0; c < num_clients; ++c) {
+    const size_t ch = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(num_channels) - 1));
+    allocation[ch].push_back(c);
+  }
+  return allocation;
+}
+
+AllocationOutcome HillClimbAllocator::Climb(
+    const ChannelCostEvaluator& evaluator, Allocation start) const {
+  AllocationOutcome outcome;
+  Allocation& allocation = start;
+  const double k_d = evaluator.model().k_d;
+
+  auto channel_cost = [&](const std::vector<ClientId>& clients) {
+    return clients.empty() ? 0.0 : evaluator.Cost(clients) + k_d;
+  };
+
+  while (true) {
+    double best_delta = 0.0;
+    size_t best_client_pos = 0, best_src = 0, best_dst = 0;
+
+    for (size_t src = 0; src < allocation.size(); ++src) {
+      const auto& src_clients = allocation[src];
+      if (src_clients.empty()) continue;
+      const double src_cost = channel_cost(src_clients);
+      for (size_t pos = 0; pos < src_clients.size(); ++pos) {
+        std::vector<ClientId> src_without = src_clients;
+        src_without.erase(src_without.begin() +
+                          static_cast<ptrdiff_t>(pos));
+        const double src_without_cost = channel_cost(src_without);
+        for (size_t dst = 0; dst < allocation.size(); ++dst) {
+          if (dst == src) continue;
+          ++outcome.candidates;
+          std::vector<ClientId> dst_with = allocation[dst];
+          dst_with.push_back(src_clients[pos]);
+          std::sort(dst_with.begin(), dst_with.end());
+          const double dst_cost = channel_cost(allocation[dst]);
+          const double delta =
+              src_cost + dst_cost - src_without_cost - channel_cost(dst_with);
+          // Gate on IsImprovement: a rounding-level "gain" exists in both
+          // directions of the same move and would oscillate forever.
+          if (delta > best_delta &&
+              IsImprovement(delta, src_cost + dst_cost)) {
+            best_delta = delta;
+            best_client_pos = pos;
+            best_src = src;
+            best_dst = dst;
+          }
+        }
+      }
+    }
+
+    if (best_delta <= 0.0) break;
+    const ClientId mover = allocation[best_src][best_client_pos];
+    allocation[best_src].erase(allocation[best_src].begin() +
+                               static_cast<ptrdiff_t>(best_client_pos));
+    allocation[best_dst].push_back(mover);
+    std::sort(allocation[best_dst].begin(), allocation[best_dst].end());
+  }
+
+  outcome.cost = evaluator.TotalCost(allocation);
+  outcome.allocation = std::move(allocation);
+  CanonicalizeAllocation(&outcome.allocation);
+  return outcome;
+}
+
+Result<AllocationOutcome> HillClimbAllocator::Allocate(
+    const ChannelCostEvaluator& evaluator, int num_channels) const {
+  if (num_channels < 1) {
+    return Status::InvalidArgument("need at least one channel");
+  }
+  const size_t n = evaluator.clients().num_clients();
+  if (n == 0) return AllocationOutcome{};
+
+  Rng rng(seed_);
+  AllocationOutcome best;
+  best.cost = std::numeric_limits<double>::infinity();
+  uint64_t candidates = 0;
+
+  auto consider = [&](Allocation start) {
+    AllocationOutcome outcome = Climb(evaluator, std::move(start));
+    candidates += outcome.candidates;
+    if (outcome.cost < best.cost) best = std::move(outcome);
+  };
+
+  if (policy_ == StartPolicy::kSeeded || policy_ == StartPolicy::kBestOfBoth) {
+    consider(SeededStart(evaluator, num_channels));
+  }
+  if (policy_ == StartPolicy::kRandom || policy_ == StartPolicy::kBestOfBoth) {
+    consider(RandomStart(n, num_channels, &rng));
+  }
+  best.candidates = candidates;
+  return best;
+}
+
+}  // namespace qsp

@@ -1,0 +1,57 @@
+#ifndef QSP_CHANNEL_HILL_CLIMB_ALLOCATOR_H_
+#define QSP_CHANNEL_HILL_CLIMB_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "channel/channel_cost.h"
+#include "channel/exhaustive_allocator.h"
+#include "util/rng.h"
+
+namespace qsp {
+
+/// Where the hill climber starts (the comparison of Figure 18).
+enum class StartPolicy {
+  /// The pairwise Cost-delta seeding algorithm of Figure 14.
+  kSeeded,
+  /// A uniformly random assignment of clients to channels.
+  kRandom,
+  /// Run both starts, keep the cheaper final allocation.
+  kBestOfBoth,
+};
+
+/// The heuristic channel-allocation algorithm of Section 8.2: starting
+/// from an initial distribution, repeatedly move the single client whose
+/// relocation to another channel reduces the total cost most, until no
+/// move helps. Per-channel costs come from the memoized
+/// ChannelCostEvaluator (the paper's table T).
+class HillClimbAllocator {
+ public:
+  explicit HillClimbAllocator(StartPolicy policy = StartPolicy::kBestOfBoth,
+                              uint64_t seed = 42)
+      : policy_(policy), seed_(seed) {}
+
+  Result<AllocationOutcome> Allocate(const ChannelCostEvaluator& evaluator,
+                                     int num_channels) const;
+
+  /// The initial-distribution algorithm of Figure 14: repeatedly allocate
+  /// the client pair with the largest pairwise merge benefit to the next
+  /// channel (round robin), then scatter the leftovers. Exposed for tests
+  /// and the Figure 18 bench.
+  static Allocation SeededStart(const ChannelCostEvaluator& evaluator,
+                                int num_channels);
+
+  /// Uniform random client-to-channel assignment.
+  static Allocation RandomStart(size_t num_clients, int num_channels,
+                                Rng* rng);
+
+ private:
+  AllocationOutcome Climb(const ChannelCostEvaluator& evaluator,
+                          Allocation start) const;
+
+  StartPolicy policy_;
+  uint64_t seed_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_CHANNEL_HILL_CLIMB_ALLOCATOR_H_

@@ -1,0 +1,158 @@
+#include "core/subscription_service.h"
+
+#include <utility>
+
+#include "channel/channel_cost.h"
+#include "channel/exhaustive_allocator.h"
+#include "merge/clustering_merger.h"
+#include "merge/directed_search_merger.h"
+#include "merge/pair_merger.h"
+#include "merge/partition_merger.h"
+#include "relation/grid_index.h"
+#include "relation/rtree.h"
+#include "stats/exact_estimator.h"
+#include "stats/histogram_estimator.h"
+
+namespace qsp {
+
+std::unique_ptr<MergeProcedure> MakeProcedure(ProcedureKind kind) {
+  switch (kind) {
+    case ProcedureKind::kBoundingRect:
+      return std::make_unique<BoundingRectProcedure>();
+    case ProcedureKind::kBoundingPolygon:
+      return std::make_unique<BoundingPolygonProcedure>();
+    case ProcedureKind::kExactCover:
+      return std::make_unique<ExactCoverProcedure>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Merger> MakeMerger(MergerKind kind, uint64_t seed) {
+  switch (kind) {
+    case MergerKind::kPairMerging:
+      return std::make_unique<PairMerger>();
+    case MergerKind::kDirectedSearch:
+      return std::make_unique<DirectedSearchMerger>(8, seed);
+    case MergerKind::kClustering:
+      return std::make_unique<ClusteringMerger>();
+    case MergerKind::kPartitionExact:
+      return std::make_unique<PartitionMerger>();
+  }
+  return nullptr;
+}
+
+SubscriptionService::SubscriptionService(Table table, const Rect& domain,
+                                         ServiceConfig config)
+    : table_(std::move(table)), domain_(domain), config_(config) {
+  switch (config_.index) {
+    case IndexKind::kGrid:
+      index_ = std::make_unique<GridIndex>(table_, domain_);
+      break;
+    case IndexKind::kRTree:
+      index_ = std::make_unique<RTree>(table_);
+      break;
+  }
+  procedure_ = MakeProcedure(config_.procedure);
+  switch (config_.estimator) {
+    case EstimatorKind::kUniform:
+      estimator_ = std::make_unique<UniformDensityEstimator>(
+          static_cast<double>(table_.num_rows()), domain_);
+      break;
+    case EstimatorKind::kHistogram:
+      estimator_ = std::make_unique<HistogramEstimator>(
+          table_, domain_, config_.histogram_buckets,
+          config_.histogram_buckets);
+      break;
+    case EstimatorKind::kExact:
+      estimator_ = std::make_unique<ExactEstimator>(index_.get());
+      break;
+  }
+}
+
+SubscriptionService::~SubscriptionService() = default;
+
+ClientId SubscriptionService::AddClient() { return clients_.AddClient(); }
+
+QueryId SubscriptionService::Subscribe(ClientId client, const Rect& rect) {
+  const QueryId id = queries_.Add(rect);
+  clients_.Subscribe(client, id);
+  has_plan_ = false;
+  return id;
+}
+
+Result<QueryId> SubscriptionService::SubscribeWhere(
+    ClientId client, const std::string& predicate) {
+  auto parsed = ParsePredicate(predicate);
+  if (!parsed.ok()) return parsed.status();
+  auto rect = ExtractRange(parsed.value(), table_.schema(), domain_);
+  if (!rect.ok()) return rect.status();
+  return Subscribe(client, rect.value());
+}
+
+Result<PlanReport> SubscriptionService::Plan() {
+  if (queries_.empty()) {
+    return Status::FailedPrecondition("no subscriptions to plan");
+  }
+  if (clients_.num_clients() == 0) {
+    return Status::FailedPrecondition("no clients registered");
+  }
+  context_ = std::make_unique<MergeContext>(&queries_, estimator_.get(),
+                                            procedure_.get());
+
+  PlanReport report;
+  report.initial_cost = config_.cost_model.InitialCost(*context_);
+  if (config_.num_channels > 1) {
+    // The multi-channel baseline is "everyone on one channel, nothing
+    // merged", where every client checks every message (k_check term).
+    report.initial_cost += config_.cost_model.k_check *
+                           static_cast<double>(clients_.num_clients()) *
+                           static_cast<double>(queries_.size());
+  }
+  plan_ = DisseminationPlan{};
+
+  if (config_.num_channels <= 1) {
+    // Basic broadcast model: all clients on one channel, one merge run.
+    const auto merger = MakeMerger(config_.merger, config_.seed);
+    Result<MergeOutcome> outcome = merger->Merge(*context_, config_.cost_model);
+    if (!outcome.ok()) return outcome.status();
+    plan_.allocation.push_back(clients_.AllClients());
+    plan_.channel_partitions.push_back(outcome.value().partition);
+    report.estimated_cost = outcome.value().cost;
+  } else {
+    ChannelCostEvaluator evaluator(context_.get(), config_.cost_model,
+                                   &clients_);
+    HillClimbAllocator allocator(config_.allocation_policy, config_.seed);
+    Result<AllocationOutcome> outcome =
+        allocator.Allocate(evaluator, config_.num_channels);
+    if (!outcome.ok()) return outcome.status();
+    report.estimated_cost = outcome.value().cost;
+    plan_.allocation = outcome.value().allocation;
+    for (const auto& channel_clients : plan_.allocation) {
+      plan_.channel_partitions.push_back(
+          evaluator.Plan(channel_clients).partition);
+    }
+  }
+
+  for (const Partition& partition : plan_.channel_partitions) {
+    report.num_groups += partition.size();
+  }
+  report.plan = plan_;
+  has_plan_ = true;
+  simulator_.reset();
+  return report;
+}
+
+Result<RoundStats> SubscriptionService::RunRound() {
+  if (!has_plan_) {
+    return Status::FailedPrecondition("call Plan() before RunRound()");
+  }
+  // The simulator persists across rounds so that client caches carry
+  // over (it is reset whenever a new plan is made).
+  if (simulator_ == nullptr) {
+    simulator_ = std::make_unique<MulticastSimulator>(
+        &table_, index_.get(), &queries_, &clients_, config_.client_cache);
+  }
+  return simulator_->RunRound(plan_, *procedure_, config_.extraction);
+}
+
+}  // namespace qsp

@@ -1,0 +1,156 @@
+#ifndef QSP_CORE_SUBSCRIPTION_SERVICE_H_
+#define QSP_CORE_SUBSCRIPTION_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "channel/client_set.h"
+#include "channel/hill_climb_allocator.h"
+#include "cost/cost_model.h"
+#include "geom/rect.h"
+#include "merge/merger.h"
+#include "net/message.h"
+#include "net/simulator.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "query/predicate.h"
+#include "query/query.h"
+#include "relation/spatial_index.h"
+#include "relation/table.h"
+#include "stats/size_estimator.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Which merging algorithm the planner runs (Section 6).
+enum class MergerKind {
+  kPairMerging,
+  kDirectedSearch,
+  kClustering,
+  kPartitionExact,
+};
+
+/// Which merge procedure shapes merged queries (Figure 5).
+enum class ProcedureKind {
+  kBoundingRect,
+  kBoundingPolygon,
+  kExactCover,
+};
+
+/// Which size estimator feeds the cost model.
+enum class EstimatorKind {
+  kUniform,
+  kHistogram,
+  kExact,
+};
+
+/// Which spatial access path the server evaluates merged queries with.
+enum class IndexKind {
+  kGrid,
+  kRTree,
+};
+
+/// Configuration of the subscription service.
+struct ServiceConfig {
+  CostModel cost_model;
+  MergerKind merger = MergerKind::kPairMerging;
+  ProcedureKind procedure = ProcedureKind::kBoundingRect;
+  EstimatorKind estimator = EstimatorKind::kHistogram;
+  /// Number of physical multicast channels (Section 7). 1 = the basic
+  /// broadcast model of Section 4.
+  int num_channels = 1;
+  /// Start policy for the channel-allocation hill climber.
+  StartPolicy allocation_policy = StartPolicy::kBestOfBoth;
+  /// Enables the client-side answer cache (future-work extension).
+  bool client_cache = false;
+  /// Seed for the stochastic components (directed search, random starts).
+  uint64_t seed = 42;
+  /// Histogram resolution when estimator == kHistogram.
+  int histogram_buckets = 32;
+  /// Access path for evaluating merged queries.
+  IndexKind index = IndexKind::kGrid;
+  /// Extractor implementation (Section 3.1): clients re-apply their
+  /// query, or the server tags payload objects.
+  ExtractionMode extraction = ExtractionMode::kSelfExtract;
+};
+
+/// Summary of a planning pass.
+struct PlanReport {
+  DisseminationPlan plan;
+  /// Estimated total cost of the plan under the configured model.
+  double estimated_cost = 0.0;
+  /// Estimated cost of serving every query unmerged on one channel — the
+  /// paper's Cost_initial baseline.
+  double initial_cost = 0.0;
+  /// Total merged groups across channels.
+  size_t num_groups = 0;
+};
+
+/// The public facade: register clients and subscriptions, plan
+/// (merge + allocate channels), and run dissemination rounds against the
+/// in-memory database. See examples/quickstart.cc.
+class SubscriptionService {
+ public:
+  /// Takes ownership of the database. `domain` must cover the positions
+  /// used by queries and data.
+  SubscriptionService(Table table, const Rect& domain, ServiceConfig config);
+  ~SubscriptionService();
+
+  SubscriptionService(const SubscriptionService&) = delete;
+  SubscriptionService& operator=(const SubscriptionService&) = delete;
+
+  /// Registers a client; returns its id.
+  ClientId AddClient();
+
+  /// Subscribes `client` to the geographic range `rect`; returns the
+  /// query id. Re-plan after changing subscriptions.
+  QueryId Subscribe(ClientId client, const Rect& rect);
+
+  /// Subscribes via a SQL-ish selection predicate over the position
+  /// columns, e.g. "longitude BETWEEN 2 AND 41 AND latitude <= 40".
+  /// The predicate must reduce to one rectangle (a conjunction of
+  /// comparisons on the position columns); see query/predicate.h.
+  Result<QueryId> SubscribeWhere(ClientId client,
+                                 const std::string& predicate);
+
+  /// Runs the configured merge algorithm (and, with more than one
+  /// channel, the allocation heuristic) over the current subscriptions.
+  Result<PlanReport> Plan();
+
+  /// Executes one dissemination round under the most recent plan.
+  /// Requires a successful Plan() first.
+  Result<RoundStats> RunRound();
+
+  const Table& table() const { return table_; }
+  const QuerySet& queries() const { return queries_; }
+  const ClientSet& clients() const { return clients_; }
+  const Rect& domain() const { return domain_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// The context/estimator pair backing the current plan (valid after
+  /// Plan(); exposed for diagnostics and benches).
+  const MergeContext* context() const { return context_.get(); }
+
+ private:
+  Table table_;
+  Rect domain_;
+  ServiceConfig config_;
+  std::unique_ptr<SpatialIndex> index_;
+  QuerySet queries_;
+  ClientSet clients_;
+
+  std::unique_ptr<SizeEstimator> estimator_;
+  std::unique_ptr<MergeProcedure> procedure_;
+  std::unique_ptr<MergeContext> context_;
+  std::unique_ptr<MulticastSimulator> simulator_;
+  bool has_plan_ = false;
+  DisseminationPlan plan_;
+};
+
+/// Factory helpers shared with benches and tests.
+std::unique_ptr<MergeProcedure> MakeProcedure(ProcedureKind kind);
+std::unique_ptr<Merger> MakeMerger(MergerKind kind, uint64_t seed);
+
+}  // namespace qsp
+
+#endif  // QSP_CORE_SUBSCRIPTION_SERVICE_H_

@@ -1,0 +1,59 @@
+#include "cost/cost_model.h"
+
+namespace qsp {
+
+CostModel CostModel::FromComponents(double k1, double k2, double k3,
+                                    double k4, double k5, double k6,
+                                    int num_clients) {
+  CostModel model;
+  model.k_m = k1 + k6 * static_cast<double>(num_clients) + k4;
+  model.k_t = k2 + k3;
+  model.k_u = k5;
+  model.k_d = 0.0;
+  return model;
+}
+
+CostModel CostModel::FromComponentsMultiChannel(double k1, double k2,
+                                                double k3, double k4,
+                                                double k5, double k6) {
+  CostModel model;
+  model.k_m = k1 + k4;
+  model.k_t = k2 + k3;
+  model.k_u = k5;
+  model.k_d = 0.0;
+  model.k_check = k6;
+  return model;
+}
+
+double CostModel::GroupCost(const MergeContext& ctx,
+                            const QueryGroup& group) const {
+  return GroupCost(ctx.Stats(group));
+}
+
+double CostModel::PartitionCost(const MergeContext& ctx,
+                                const Partition& partition) const {
+  double total = 0.0;
+  for (const QueryGroup& group : partition) total += GroupCost(ctx, group);
+  return total;
+}
+
+double CostModel::InitialCost(const MergeContext& ctx) const {
+  double total = 0.0;
+  for (QueryId id = 0; id < ctx.num_queries(); ++id) {
+    total += k_m + k_t * ctx.Size(id);
+  }
+  return total;
+}
+
+double CostModel::MergeBenefit(const MergeContext& ctx, const QueryGroup& a,
+                               const QueryGroup& b) const {
+  const QueryGroup merged = UnionGroups(a, b);
+  return GroupCost(ctx, a) + GroupCost(ctx, b) - GroupCost(ctx, merged);
+}
+
+bool CostModel::TwoQueryMergeBeneficial(double s1, double s2,
+                                        double s3) const {
+  return k_m + k_t * (s1 + s2 - s3) + k_u * (s1 + s2 - 2.0 * s3) > 0.0;
+}
+
+}  // namespace qsp

@@ -1,0 +1,56 @@
+#include "geom/hull.h"
+
+#include <algorithm>
+
+namespace qsp {
+namespace {
+
+/// For each maximal x-slab of the union, emits one rect spanning the
+/// union's full y-range within the slab.
+std::vector<Rect> SlabFillX(const RectilinearRegion& region) {
+  std::vector<Rect> out;
+  const auto& pieces = region.pieces();
+  size_t i = 0;
+  while (i < pieces.size()) {
+    const double x_lo = pieces[i].x_lo();
+    const double x_hi = pieces[i].x_hi();
+    double y_lo = pieces[i].y_lo();
+    double y_hi = pieces[i].y_hi();
+    size_t j = i + 1;
+    while (j < pieces.size() && pieces[j].x_lo() == x_lo) {
+      y_lo = std::min(y_lo, pieces[j].y_lo());
+      y_hi = std::max(y_hi, pieces[j].y_hi());
+      ++j;
+    }
+    out.emplace_back(x_lo, y_lo, x_hi, y_hi);
+    i = j;
+  }
+  return out;
+}
+
+std::vector<Rect> Transpose(const std::vector<Rect>& rects) {
+  std::vector<Rect> out;
+  out.reserve(rects.size());
+  for (const Rect& r : rects) {
+    if (!r.IsEmpty()) out.emplace_back(r.y_lo(), r.x_lo(), r.y_hi(), r.x_hi());
+  }
+  return out;
+}
+
+}  // namespace
+
+RectilinearRegion VerticalFill(const std::vector<Rect>& rects) {
+  RectilinearRegion region = RectilinearRegion::UnionOf(rects);
+  return RectilinearRegion::UnionOf(SlabFillX(region));
+}
+
+RectilinearRegion HorizontalFill(const std::vector<Rect>& rects) {
+  RectilinearRegion fill = VerticalFill(Transpose(rects));
+  return RectilinearRegion::UnionOf(Transpose(fill.pieces()));
+}
+
+RectilinearRegion BoundingPolygon(const std::vector<Rect>& rects) {
+  return VerticalFill(rects).IntersectWith(HorizontalFill(rects));
+}
+
+}  // namespace qsp

@@ -1,0 +1,33 @@
+#ifndef QSP_GEOM_HULL_H_
+#define QSP_GEOM_HULL_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/region.h"
+
+namespace qsp {
+
+/// Builds the "bounding polygon" of a set of rectangles — the shape used by
+/// the bounding-polygon merge procedure of Figure 5(b): a single rectilinear
+/// region that contains every input rectangle, is contained in the bounding
+/// rectangle, and carries less irrelevant area than the bounding rectangle.
+///
+/// Construction: take the union of the inputs; fill it vertically (for each
+/// x-slab spanned by the union use the full [min_y, max_y] of the union in
+/// that slab) and horizontally (same with the roles of x and y swapped);
+/// intersect the two fills. The result is the *orthogonal slab hull*: it
+/// contains the union (each fill does), is orthogonally convex in both
+/// axes, and is a subset of the bounding box.
+RectilinearRegion BoundingPolygon(const std::vector<Rect>& rects);
+
+/// The vertical fill alone (each x-slab grown to the union's y-extent in
+/// that slab). Exposed for tests and for the merge-procedure ablation.
+RectilinearRegion VerticalFill(const std::vector<Rect>& rects);
+
+/// The horizontal fill alone.
+RectilinearRegion HorizontalFill(const std::vector<Rect>& rects);
+
+}  // namespace qsp
+
+#endif  // QSP_GEOM_HULL_H_

@@ -1,0 +1,20 @@
+#ifndef QSP_GEOM_POINT_H_
+#define QSP_GEOM_POINT_H_
+
+namespace qsp {
+
+/// A point in the two-dimensional attribute space of the database. Using
+/// the paper's BADD scenario, `x` is longitude and `y` is latitude, but the
+/// library is agnostic: any pair of ordered attributes works.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace qsp
+
+#endif  // QSP_GEOM_POINT_H_

@@ -1,0 +1,124 @@
+#include "geom/region.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qsp {
+namespace {
+
+/// Merges closed y-intervals, coalescing touching ones.
+std::vector<std::pair<double, double>> MergeIntervals(
+    std::vector<std::pair<double, double>> spans) {
+  std::sort(spans.begin(), spans.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& s : spans) {
+    if (!merged.empty() && s.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, s.second);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+RectilinearRegion RectilinearRegion::UnionOf(const std::vector<Rect>& rects) {
+  std::vector<const Rect*> live;
+  live.reserve(rects.size());
+  std::vector<double> xs;
+  for (const Rect& r : rects) {
+    if (r.IsEmpty()) continue;
+    live.push_back(&r);
+    xs.push_back(r.x_lo());
+    xs.push_back(r.x_hi());
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<Rect> pieces;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double slab_lo = xs[i];
+    const double slab_hi = xs[i + 1];
+    if (slab_hi <= slab_lo) continue;
+    std::vector<std::pair<double, double>> spans;
+    for (const Rect* r : live) {
+      // The rect must cover the whole open slab.
+      if (r->x_lo() <= slab_lo && r->x_hi() >= slab_hi) {
+        spans.emplace_back(r->y_lo(), r->y_hi());
+      }
+    }
+    for (const auto& [y_lo, y_hi] : MergeIntervals(std::move(spans))) {
+      pieces.emplace_back(slab_lo, y_lo, slab_hi, y_hi);
+    }
+  }
+  // Degenerate (zero-width) input rects contribute no area and are dropped
+  // by the slab sweep; that matches Area() semantics.
+  std::sort(pieces.begin(), pieces.end(), [](const Rect& a, const Rect& b) {
+    if (a.x_lo() != b.x_lo()) return a.x_lo() < b.x_lo();
+    return a.y_lo() < b.y_lo();
+  });
+  return RectilinearRegion(std::move(pieces));
+}
+
+double RectilinearRegion::Area() const {
+  double total = 0.0;
+  for (const Rect& r : pieces_) total += r.Area();
+  return total;
+}
+
+bool RectilinearRegion::Contains(const Point& p) const {
+  for (const Rect& r : pieces_) {
+    if (r.Contains(p)) return true;
+  }
+  return false;
+}
+
+bool RectilinearRegion::Covers(const Rect& r) const {
+  if (r.IsEmpty()) return true;
+  // r is covered iff area(region ∩ r) == area(r). Robust for rectilinear
+  // data because all coordinates come from input rect edges.
+  return OverlapArea(r) >= r.Area() * (1.0 - 1e-12);
+}
+
+RectilinearRegion RectilinearRegion::IntersectWith(
+    const RectilinearRegion& other) const {
+  std::vector<Rect> out;
+  for (const Rect& a : pieces_) {
+    for (const Rect& b : other.pieces_) {
+      Rect c = a.Intersection(b);
+      if (!c.IsEmpty() && c.Area() > 0) out.push_back(c);
+    }
+  }
+  // Pieces of each operand are interior-disjoint, so pairwise
+  // intersections are interior-disjoint too; no re-decomposition needed.
+  return RectilinearRegion(std::move(out));
+}
+
+double RectilinearRegion::OverlapArea(const Rect& r) const {
+  double total = 0.0;
+  for (const Rect& piece : pieces_) total += qsp::OverlapArea(piece, r);
+  return total;
+}
+
+Rect RectilinearRegion::BoundingBox() const {
+  Rect box = Rect::Empty();
+  for (const Rect& r : pieces_) box = box.BoundingUnion(r);
+  return box;
+}
+
+std::string RectilinearRegion::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += pieces_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+double UnionArea(const std::vector<Rect>& rects) {
+  return RectilinearRegion::UnionOf(rects).Area();
+}
+
+}  // namespace qsp

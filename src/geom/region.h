@@ -1,0 +1,63 @@
+#ifndef QSP_GEOM_REGION_H_
+#define QSP_GEOM_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace qsp {
+
+/// A rectilinear region stored as interior-disjoint rectangles (adjacent
+/// pieces may share boundary segments, which have zero area). This is the
+/// shape produced by the exact-cover merge procedure of Figure 5(c): the
+/// union of a group's query rectangles split into pieces so that nothing
+/// outside any original query is transmitted.
+class RectilinearRegion {
+ public:
+  /// The empty region.
+  RectilinearRegion() = default;
+
+  /// Builds the union of arbitrary (possibly overlapping) rectangles and
+  /// decomposes it into interior-disjoint vertical-slab pieces. Empty
+  /// input rectangles are ignored.
+  static RectilinearRegion UnionOf(const std::vector<Rect>& rects);
+
+  /// The decomposed pieces. Sorted by (x_lo, y_lo).
+  const std::vector<Rect>& pieces() const { return pieces_; }
+
+  bool IsEmpty() const { return pieces_.empty(); }
+
+  /// Exact area of the union.
+  double Area() const;
+
+  /// Closed containment of a point (true if any piece contains it).
+  bool Contains(const Point& p) const;
+
+  /// True when `r` is fully covered by the region.
+  bool Covers(const Rect& r) const;
+
+  /// The region covered by both inputs.
+  RectilinearRegion IntersectWith(const RectilinearRegion& other) const;
+
+  /// Area of overlap with a single rectangle.
+  double OverlapArea(const Rect& r) const;
+
+  /// Smallest rectangle containing the region.
+  Rect BoundingBox() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit RectilinearRegion(std::vector<Rect> pieces)
+      : pieces_(std::move(pieces)) {}
+
+  std::vector<Rect> pieces_;
+};
+
+/// Exact area of the union of arbitrary rectangles (sweep decomposition).
+double UnionArea(const std::vector<Rect>& rects);
+
+}  // namespace qsp
+
+#endif  // QSP_GEOM_REGION_H_

@@ -1,0 +1,91 @@
+#include "merge/clustering_merger.h"
+
+#include <numeric>
+#include <vector>
+
+#include "merge/pair_merger.h"
+#include "merge/partition_merger.h"
+
+namespace qsp {
+namespace {
+
+/// Union-find over query ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<MergeOutcome> ClusteringMerger::Merge(const MergeContext& ctx,
+                                             const CostModel& model) const {
+  const size_t n = ctx.num_queries();
+  MergeOutcome outcome;
+  if (n == 0) return outcome;
+
+  // Build the "mergeable" graph: connect queries whose best-case co-merge
+  // benefit is positive.
+  DisjointSets components(n);
+  for (QueryId a = 0; a < n; ++a) {
+    for (QueryId b = a + 1; b < n; ++b) {
+      ++outcome.candidates;
+      const double s1 = ctx.Size(a);
+      const double s2 = ctx.Size(b);
+      const double r = tight_bound_ ? ctx.UnionSize(a, b)
+                                    : ctx.Stats({a, b}).size;
+      if (model.CoMergeBenefitBound(s1, s2, r) > 0.0) {
+        components.Union(a, b);
+      }
+    }
+  }
+
+  // Collect components.
+  std::vector<std::vector<QueryId>> clusters(n);
+  for (QueryId id = 0; id < n; ++id) {
+    clusters[components.Find(id)].push_back(id);
+  }
+
+  // Solve each cluster independently.
+  const PairMerger pair_merger;
+  for (const auto& cluster : clusters) {
+    if (cluster.empty()) continue;
+    if (cluster.size() == 1) {
+      outcome.partition.push_back(cluster);
+      continue;
+    }
+    if (static_cast<int>(cluster.size()) <= exact_component_limit_) {
+      MergeOutcome sub = ExactPartitionSearch(ctx, model, cluster);
+      outcome.candidates += sub.candidates;
+      for (auto& group : sub.partition) {
+        outcome.partition.push_back(std::move(group));
+      }
+    } else {
+      Partition start;
+      start.reserve(cluster.size());
+      for (QueryId id : cluster) start.push_back({id});
+      MergeOutcome sub = pair_merger.MergeFrom(ctx, model, std::move(start));
+      outcome.candidates += sub.candidates;
+      for (auto& group : sub.partition) {
+        outcome.partition.push_back(std::move(group));
+      }
+    }
+  }
+  CanonicalizePartition(&outcome.partition);
+  outcome.cost = model.PartitionCost(ctx, outcome.partition);
+  return outcome;
+}
+
+}  // namespace qsp

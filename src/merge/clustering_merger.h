@@ -1,0 +1,38 @@
+#ifndef QSP_MERGE_CLUSTERING_MERGER_H_
+#define QSP_MERGE_CLUSTERING_MERGER_H_
+
+#include <memory>
+
+#include "merge/merger.h"
+
+namespace qsp {
+
+/// The Clustering Algorithm of Section 6.3: divide and conquer. Two
+/// queries whose optimistic co-merge benefit bound (CostModel::
+/// CoMergeBenefitBound) is non-positive are "far apart" and never need to
+/// share a merged group; connected components of the remaining
+/// "mergeable" graph are solved independently — exactly (PartitionMerger)
+/// when a component is small, greedily (PairMerger) otherwise.
+///
+/// `tight_bound` uses size(q1 ∪ q2) as the lower bound on the merged size
+/// (the paper's refinement via query intersection); otherwise the pair's
+/// actual merged size under the procedure is used.
+class ClusteringMerger : public Merger {
+ public:
+  explicit ClusteringMerger(int exact_component_limit = 10,
+                            bool tight_bound = true)
+      : exact_component_limit_(exact_component_limit),
+        tight_bound_(tight_bound) {}
+
+  Result<MergeOutcome> Merge(const MergeContext& ctx,
+                             const CostModel& model) const override;
+  std::string name() const override { return "clustering"; }
+
+ private:
+  int exact_component_limit_;
+  bool tight_bound_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_CLUSTERING_MERGER_H_

@@ -1,0 +1,152 @@
+#include "merge/cover_refiner.h"
+
+#include <algorithm>
+
+#include "geom/region.h"
+#include "util/float_compare.h"
+
+namespace qsp {
+namespace {
+
+/// Estimated size of one merged query's region.
+double MergedSize(const MergeContext& ctx, const MergedQuery& merged) {
+  return ctx.estimator().EstimateRegionSize(merged.region);
+}
+
+/// Estimated size of region ∩ rect.
+double OverlapSize(const MergeContext& ctx, const MergedQuery& merged,
+                   const Rect& rect) {
+  double total = 0.0;
+  for (const Rect& piece : merged.region) {
+    const Rect clipped = piece.Intersection(rect);
+    if (!clipped.IsEmpty()) total += ctx.estimator().EstimateSize(clipped);
+  }
+  return total;
+}
+
+/// True when `rect` is fully covered by the union of the regions.
+bool Covers(const std::vector<const MergedQuery*>& covers, const Rect& rect) {
+  std::vector<Rect> pieces;
+  for (const MergedQuery* m : covers) {
+    pieces.insert(pieces.end(), m->region.begin(), m->region.end());
+  }
+  return RectilinearRegion::UnionOf(pieces).Covers(rect);
+}
+
+}  // namespace
+
+double CoverRefiner::PlanCost(const MergeContext& ctx, const CostModel& model,
+                              const std::vector<MergedQuery>& merged) {
+  double cost = 0.0;
+  for (const MergedQuery& m : merged) {
+    const double size = MergedSize(ctx, m);
+    cost += model.k_m + model.k_t * size;
+    for (QueryId member : m.members) {
+      cost += model.k_u * (size - OverlapSize(ctx, m, ctx.queries().rect(member)));
+    }
+  }
+  return cost;
+}
+
+CoverPlan CoverRefiner::Refine(const MergeContext& ctx,
+                               const CostModel& model,
+                               const Partition& partition) const {
+  CoverPlan plan;
+  // Materialize the partition's merged queries.
+  for (const QueryGroup& group : partition) {
+    std::vector<MergedQuery> merged = ctx.Merged(group);
+    for (MergedQuery& m : merged) plan.merged.push_back(std::move(m));
+  }
+  plan.cost = PlanCost(ctx, model, plan.merged);
+
+  // Greedily try to dissolve merged queries, cheapest groups first
+  // (singletons are the usual winners: their whole message overhead goes
+  // away). Restart the scan after each successful dissolution since the
+  // remaining covers changed.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t victim = 0; victim < plan.merged.size(); ++victim) {
+      const MergedQuery& v = plan.merged[victim];
+
+      // Candidate covers: other merged queries intersecting the victim.
+      std::vector<size_t> neighbours;
+      const Rect victim_box = [&] {
+        Rect box = Rect::Empty();
+        for (const Rect& piece : v.region) box = box.BoundingUnion(piece);
+        return box;
+      }();
+      for (size_t other = 0; other < plan.merged.size(); ++other) {
+        if (other == victim) continue;
+        for (const Rect& piece : plan.merged[other].region) {
+          if (piece.Intersects(victim_box)) {
+            neighbours.push_back(other);
+            break;
+          }
+        }
+      }
+      if (neighbours.empty()) continue;
+
+      // For every member of the victim we need a cover set of size <=
+      // max_cover_size_ from the neighbours. Try single covers first,
+      // then pairs (the paper's example splits across two).
+      std::vector<std::vector<size_t>> member_covers;
+      bool all_covered = true;
+      for (QueryId member : v.members) {
+        const Rect& rect = ctx.queries().rect(member);
+        std::vector<size_t> chosen;
+        for (size_t n : neighbours) {
+          ++plan.candidates;
+          if (Covers({&plan.merged[n]}, rect)) {
+            chosen = {n};
+            break;
+          }
+        }
+        if (chosen.empty() && max_cover_size_ >= 2) {
+          for (size_t i = 0; i < neighbours.size() && chosen.empty(); ++i) {
+            for (size_t j = i + 1; j < neighbours.size(); ++j) {
+              ++plan.candidates;
+              if (Covers({&plan.merged[neighbours[i]],
+                          &plan.merged[neighbours[j]]},
+                         rect)) {
+                chosen = {neighbours[i], neighbours[j]};
+                break;
+              }
+            }
+          }
+        }
+        if (chosen.empty()) {
+          all_covered = false;
+          break;
+        }
+        member_covers.push_back(std::move(chosen));
+      }
+      if (!all_covered) continue;
+
+      // Build the candidate plan and compare costs.
+      std::vector<MergedQuery> candidate = plan.merged;
+      for (size_t i = 0; i < v.members.size(); ++i) {
+        for (size_t cover : member_covers[i]) {
+          auto& members = candidate[cover].members;
+          if (std::find(members.begin(), members.end(), v.members[i]) ==
+              members.end()) {
+            members.push_back(v.members[i]);
+            std::sort(members.begin(), members.end());
+          }
+        }
+      }
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(victim));
+      const double candidate_cost = PlanCost(ctx, model, candidate);
+      if (IsImprovement(plan.cost - candidate_cost, plan.cost)) {
+        plan.absorbed += v.members.size();
+        plan.merged = std::move(candidate);
+        plan.cost = candidate_cost;
+        changed = true;
+        break;  // Indices shifted; rescan.
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace qsp

@@ -1,0 +1,59 @@
+#ifndef QSP_MERGE_COVER_REFINER_H_
+#define QSP_MERGE_COVER_REFINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "query/query.h"
+
+namespace qsp {
+
+/// A cover-based dissemination plan: a list of merged queries whose
+/// member sets may overlap — one original query may derive its answer
+/// from several merged answers. This drops the single-allocation
+/// restriction of the partition model, realizing the paper's Section 11
+/// "splitting a query between 2 clients" future-work item (e.g. q3 with
+/// 0<x<2 is derivable from q1': 0<x<4 and q2': x<4... the union of two
+/// merged ranges covers it).
+struct CoverPlan {
+  std::vector<MergedQuery> merged;
+  /// Total cost under the cover cost semantics (same three terms; U
+  /// counts, per merged query and member, the data outside that member).
+  double cost = 0.0;
+  /// Queries whose own group was dissolved into covers.
+  size_t absorbed = 0;
+  /// Candidate absorptions evaluated.
+  uint64_t candidates = 0;
+};
+
+/// Greedy post-pass over a partition plan: for each group, check whether
+/// every member query is covered by the union of at most
+/// `max_cover_size` other merged regions; if dissolving the group (its
+/// message disappears; its queries ride the covering messages) lowers
+/// the total cost, apply it. Only single-region merged queries (the
+/// bounding-rect procedure) are considered as covers.
+class CoverRefiner {
+ public:
+  explicit CoverRefiner(int max_cover_size = 2)
+      : max_cover_size_(max_cover_size) {}
+
+  /// Refines `partition` (as produced by any Merger under `ctx`'s
+  /// procedure). The result's merged list always serves every query of
+  /// the partition exactly.
+  CoverPlan Refine(const MergeContext& ctx, const CostModel& model,
+                   const Partition& partition) const;
+
+  /// Cost of an explicit cover plan under the model (exposed for tests).
+  static double PlanCost(const MergeContext& ctx, const CostModel& model,
+                         const std::vector<MergedQuery>& merged);
+
+ private:
+  int max_cover_size_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_COVER_REFINER_H_

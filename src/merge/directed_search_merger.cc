@@ -1,0 +1,124 @@
+#include "merge/directed_search_merger.h"
+
+#include <limits>
+
+#include "util/float_compare.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+/// Uniform random assignment of queries to up to n blocks (not uniform
+/// over set partitions, but a cheap scattering start as the paper's
+/// "random state").
+Partition RandomPartition(size_t n, Rng* rng) {
+  Partition groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t block =
+        static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    groups[block].push_back(static_cast<QueryId>(i));
+  }
+  CanonicalizePartition(&groups);
+  return groups;
+}
+
+/// Steepest-descent to a local minimum; returns the local cost and the
+/// number of candidate moves evaluated.
+double Descend(const MergeContext& ctx, const CostModel& model,
+               Partition* partition, uint64_t* candidates) {
+  double cost = model.PartitionCost(ctx, *partition);
+  while (true) {
+    double best_delta = 0.0;
+    enum class Kind { kNone, kMerge, kExtract };
+    Kind best_kind = Kind::kNone;
+    size_t best_i = 0, best_j = 0;
+    QueryId best_q = 0;
+
+    // Merge moves.
+    for (size_t i = 0; i < partition->size(); ++i) {
+      for (size_t j = i + 1; j < partition->size(); ++j) {
+        ++*candidates;
+        const double delta =
+            model.MergeBenefit(ctx, (*partition)[i], (*partition)[j]);
+        // IsImprovement filters rounding-level "gains" that would make a
+        // merge and its inverse extract move both look beneficial.
+        if (delta > best_delta && IsImprovement(delta, cost)) {
+          best_delta = delta;
+          best_kind = Kind::kMerge;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    // Extract moves: pull one query out of a multi-query group.
+    for (size_t i = 0; i < partition->size(); ++i) {
+      const QueryGroup& group = (*partition)[i];
+      if (group.size() < 2) continue;
+      const double group_cost = model.GroupCost(ctx, group);
+      for (QueryId q : group) {
+        ++*candidates;
+        QueryGroup rest;
+        rest.reserve(group.size() - 1);
+        for (QueryId other : group) {
+          if (other != q) rest.push_back(other);
+        }
+        const double delta = group_cost - model.GroupCost(ctx, rest) -
+                             model.GroupCost(ctx, {q});
+        if (delta > best_delta && IsImprovement(delta, cost)) {
+          best_delta = delta;
+          best_kind = Kind::kExtract;
+          best_i = i;
+          best_q = q;
+        }
+      }
+    }
+
+    if (best_kind == Kind::kNone) return cost;
+    if (best_kind == Kind::kMerge) {
+      QueryGroup merged =
+          UnionGroups((*partition)[best_i], (*partition)[best_j]);
+      partition->erase(partition->begin() +
+                       static_cast<ptrdiff_t>(best_j));
+      (*partition)[best_i] = std::move(merged);
+    } else {
+      QueryGroup& group = (*partition)[best_i];
+      QueryGroup rest;
+      for (QueryId other : group) {
+        if (other != best_q) rest.push_back(other);
+      }
+      group = std::move(rest);
+      partition->push_back({best_q});
+    }
+    cost -= best_delta;
+  }
+}
+
+}  // namespace
+
+Result<MergeOutcome> DirectedSearchMerger::Merge(
+    const MergeContext& ctx, const CostModel& model) const {
+  const size_t n = ctx.num_queries();
+  MergeOutcome best;
+  best.cost = std::numeric_limits<double>::infinity();
+  if (n == 0) {
+    best.cost = 0.0;
+    return best;
+  }
+  Rng rng(seed_);
+  for (int t = 0; t < restarts_; ++t) {
+    // Restart 0 descends from the no-merging state; later restarts from
+    // random scatters.
+    Partition partition =
+        (t == 0) ? SingletonPartition(n) : RandomPartition(n, &rng);
+    const double cost = Descend(ctx, model, &partition, &best.candidates);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.partition = std::move(partition);
+    }
+  }
+  CanonicalizePartition(&best.partition);
+  best.cost = model.PartitionCost(ctx, best.partition);
+  return best;
+}
+
+}  // namespace qsp

@@ -1,0 +1,33 @@
+#ifndef QSP_MERGE_DIRECTED_SEARCH_MERGER_H_
+#define QSP_MERGE_DIRECTED_SEARCH_MERGER_H_
+
+#include <cstdint>
+
+#include "merge/merger.h"
+
+namespace qsp {
+
+/// The Directed Search Algorithm of Section 6.2.2: restarted steepest-
+/// descent local search over partitions. Each restart begins at a random
+/// partition and repeatedly applies the best of two move kinds —
+/// merging two groups, or extracting one query out of its group into a
+/// singleton — until no move lowers the cost. The best of T restarts is
+/// returned; the first restart starts from singletons so the result is
+/// never worse than plain pair merging. O(T * |Q|^2) per descent step.
+class DirectedSearchMerger : public Merger {
+ public:
+  explicit DirectedSearchMerger(int restarts = 8, uint64_t seed = 42)
+      : restarts_(restarts), seed_(seed) {}
+
+  Result<MergeOutcome> Merge(const MergeContext& ctx,
+                             const CostModel& model) const override;
+  std::string name() const override { return "directed-search"; }
+
+ private:
+  int restarts_;
+  uint64_t seed_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_DIRECTED_SEARCH_MERGER_H_

@@ -1,0 +1,69 @@
+#include "merge/exhaustive_merger.h"
+
+#include <limits>
+#include <vector>
+
+namespace qsp {
+namespace {
+
+QueryGroup MaskToGroup(uint32_t mask) {
+  QueryGroup group;
+  for (uint32_t i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1u) group.push_back(i);
+  }
+  return group;
+}
+
+}  // namespace
+
+Result<MergeOutcome> ExhaustiveMerger::Merge(const MergeContext& ctx,
+                                             const CostModel& model) const {
+  const int n = static_cast<int>(ctx.num_queries());
+  if (n == 0) return MergeOutcome{};
+  if (n > max_queries_) {
+    return Status::ResourceExhausted(
+        "exhaustive S(S(Q)) search is limited to " +
+        std::to_string(max_queries_) + " queries, got " + std::to_string(n));
+  }
+
+  const uint32_t num_subsets = (1u << n) - 1;  // Non-empty subsets of Q.
+  const uint32_t full_cover = (1u << n) - 1;
+
+  // Precompute group costs per subset mask (masks are 1-based here:
+  // subset index s corresponds to query-id mask s).
+  std::vector<double> subset_cost(num_subsets + 1, 0.0);
+  for (uint32_t s = 1; s <= num_subsets; ++s) {
+    subset_cost[s] = model.GroupCost(ctx, MaskToGroup(s));
+  }
+
+  MergeOutcome best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  // Enumerate S(S(Q)): every collection of non-empty subsets.
+  const uint64_t num_collections = 1ull << num_subsets;
+  for (uint64_t collection = 1; collection < num_collections; ++collection) {
+    uint32_t covered = 0;
+    double cost = 0.0;
+    for (uint32_t s = 1; s <= num_subsets; ++s) {
+      if (collection & (1ull << (s - 1))) {
+        covered |= s;
+        cost += subset_cost[s];
+      }
+    }
+    ++best.candidates;
+    if (covered != full_cover) continue;  // Not a total cover of Q.
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.partition.clear();
+      for (uint32_t s = 1; s <= num_subsets; ++s) {
+        if (collection & (1ull << (s - 1))) {
+          best.partition.push_back(MaskToGroup(s));
+        }
+      }
+    }
+  }
+  CanonicalizePartition(&best.partition);
+  return best;
+}
+
+}  // namespace qsp

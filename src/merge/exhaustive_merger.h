@@ -1,0 +1,31 @@
+#ifndef QSP_MERGE_EXHAUSTIVE_MERGER_H_
+#define QSP_MERGE_EXHAUSTIVE_MERGER_H_
+
+#include "merge/merger.h"
+
+namespace qsp {
+
+/// The doubly exponential exhaustive algorithm of Section 6.1: enumerate
+/// every element of S(S(Q)) — every collection of query subsets — keep the
+/// ones that cover Q (members may overlap: a query may be allocated to
+/// several merged sets), and pick the cheapest. O(2^(2^|Q|)); refuses
+/// |Q| > max_queries (default 4, already 2^15 candidate collections).
+///
+/// Exists to (a) demonstrate that the single-allocation property holds for
+/// this cost model — the optimum it finds is always a partition — and
+/// (b) serve as ground truth for the PartitionMerger on tiny inputs.
+class ExhaustiveMerger : public Merger {
+ public:
+  explicit ExhaustiveMerger(int max_queries = 4) : max_queries_(max_queries) {}
+
+  Result<MergeOutcome> Merge(const MergeContext& ctx,
+                             const CostModel& model) const override;
+  std::string name() const override { return "exhaustive"; }
+
+ private:
+  int max_queries_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_EXHAUSTIVE_MERGER_H_

@@ -1,0 +1,131 @@
+#include "merge/incremental_merger.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/float_compare.h"
+#include "util/status.h"
+
+namespace qsp {
+
+IncrementalMerger::IncrementalMerger(const MergeContext* ctx,
+                                     const CostModel& model)
+    : ctx_(ctx), model_(model) {
+  QSP_CHECK(ctx != nullptr);
+}
+
+double IncrementalMerger::GroupCost(const QueryGroup& group) {
+  ++evaluations_;
+  return model_.GroupCost(*ctx_, group);
+}
+
+double IncrementalMerger::AddQuery(QueryId id) {
+  // Candidate 0: a new singleton group.
+  const double singleton_cost = GroupCost({id});
+  double best_delta = singleton_cost;
+  size_t best_group = partition_.size();  // Sentinel: singleton.
+
+  for (size_t i = 0; i < partition_.size(); ++i) {
+    const double old_cost = GroupCost(partition_[i]);
+    QueryGroup grown = partition_[i];
+    grown.push_back(id);
+    CanonicalizeGroup(&grown);
+    const double delta = GroupCost(grown) - old_cost;
+    if (delta < best_delta) {
+      best_delta = delta;
+      best_group = i;
+    }
+  }
+
+  if (best_group == partition_.size()) {
+    partition_.push_back({id});
+  } else {
+    partition_[best_group].push_back(id);
+    CanonicalizeGroup(&partition_[best_group]);
+  }
+  cost_ += best_delta;
+  return cost_;
+}
+
+double IncrementalMerger::RemoveQuery(QueryId id) {
+  for (size_t i = 0; i < partition_.size(); ++i) {
+    auto it = std::find(partition_[i].begin(), partition_[i].end(), id);
+    if (it == partition_[i].end()) continue;
+    const double old_cost = GroupCost(partition_[i]);
+    partition_[i].erase(it);
+    if (partition_[i].empty()) {
+      cost_ -= old_cost;
+      partition_.erase(partition_.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      cost_ += GroupCost(partition_[i]) - old_cost;
+    }
+    return cost_;
+  }
+  return cost_;
+}
+
+double IncrementalMerger::Repair(int max_moves) {
+  int moves = 0;
+  while (max_moves == 0 || moves < max_moves) {
+    double best_delta = 0.0;
+    enum class Kind { kNone, kMerge, kExtract };
+    Kind best_kind = Kind::kNone;
+    size_t best_i = 0, best_j = 0;
+    QueryId best_q = 0;
+
+    for (size_t i = 0; i < partition_.size(); ++i) {
+      for (size_t j = i + 1; j < partition_.size(); ++j) {
+        const double delta =
+            GroupCost(partition_[i]) + GroupCost(partition_[j]) -
+            GroupCost(UnionGroups(partition_[i], partition_[j]));
+        // IsImprovement filters rounding-level "gains" that would make a
+        // merge and its inverse extract move both look beneficial.
+        if (delta > best_delta && IsImprovement(delta, cost_)) {
+          best_delta = delta;
+          best_kind = Kind::kMerge;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    for (size_t i = 0; i < partition_.size(); ++i) {
+      const QueryGroup& group = partition_[i];
+      if (group.size() < 2) continue;
+      const double group_cost = GroupCost(group);
+      for (QueryId q : group) {
+        QueryGroup rest;
+        for (QueryId other : group) {
+          if (other != q) rest.push_back(other);
+        }
+        const double delta =
+            group_cost - GroupCost(rest) - GroupCost({q});
+        if (delta > best_delta && IsImprovement(delta, cost_)) {
+          best_delta = delta;
+          best_kind = Kind::kExtract;
+          best_i = i;
+          best_q = q;
+        }
+      }
+    }
+
+    if (best_kind == Kind::kNone) break;
+    if (best_kind == Kind::kMerge) {
+      QueryGroup merged = UnionGroups(partition_[best_i], partition_[best_j]);
+      partition_.erase(partition_.begin() + static_cast<ptrdiff_t>(best_j));
+      partition_[best_i] = std::move(merged);
+    } else {
+      QueryGroup& group = partition_[best_i];
+      QueryGroup rest;
+      for (QueryId other : group) {
+        if (other != best_q) rest.push_back(other);
+      }
+      group = std::move(rest);
+      partition_.push_back({best_q});
+    }
+    cost_ -= best_delta;
+    ++moves;
+  }
+  return cost_;
+}
+
+}  // namespace qsp

@@ -1,0 +1,57 @@
+#ifndef QSP_MERGE_INCREMENTAL_MERGER_H_
+#define QSP_MERGE_INCREMENTAL_MERGER_H_
+
+#include <cstdint>
+
+#include "cost/cost_model.h"
+#include "query/merge_context.h"
+#include "query/query.h"
+
+namespace qsp {
+
+/// Dynamic-scenario merging (future work, Section 11): maintains a
+/// partition as subscriptions arrive and depart, without re-running a
+/// merge algorithm from scratch.
+///
+///  * AddQuery: greedily place the new query into the existing group whose
+///    cost increases least (or as a singleton), O(|M|) group evaluations.
+///  * RemoveQuery: drop the query from its group.
+///  * Repair: one steepest-descent pass (merge / extract moves, as the
+///    directed search) to undo accumulated drift; call periodically.
+///
+/// The underlying MergeContext must wrap the same QuerySet that grows as
+/// ids are added; ids passed to AddQuery must already exist in the set.
+class IncrementalMerger {
+ public:
+  IncrementalMerger(const MergeContext* ctx, const CostModel& model);
+
+  /// Places a new query; returns the resulting total cost.
+  double AddQuery(QueryId id);
+
+  /// Removes a subscribed query; returns the resulting total cost.
+  /// No-op if the id is not currently placed.
+  double RemoveQuery(QueryId id);
+
+  /// Local-search repair; returns the improved cost. `max_moves` bounds
+  /// the number of applied moves (0 = until local minimum).
+  double Repair(int max_moves = 0);
+
+  const Partition& partition() const { return partition_; }
+  double cost() const { return cost_; }
+
+  /// Group evaluations performed so far (work metric vs from-scratch).
+  uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  double GroupCost(const QueryGroup& group);
+
+  const MergeContext* ctx_;
+  CostModel model_;
+  Partition partition_;
+  double cost_ = 0.0;
+  uint64_t evaluations_ = 0;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_INCREMENTAL_MERGER_H_

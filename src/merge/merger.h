@@ -1,0 +1,43 @@
+#ifndef QSP_MERGE_MERGER_H_
+#define QSP_MERGE_MERGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "query/merge_context.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Output of a query-merging algorithm: the chosen collection M, its total
+/// cost under the model, and how much of the search space was touched.
+struct MergeOutcome {
+  Partition partition;
+  double cost = 0.0;
+  /// Candidate solutions (or local moves) evaluated; a search-effort
+  /// metric used by the algorithm-comparison benchmarks.
+  uint64_t candidates = 0;
+};
+
+/// Common interface of the query-merging algorithms of Section 6. All
+/// implementations are deterministic given their configuration (stochastic
+/// ones take an explicit seed).
+class Merger {
+ public:
+  virtual ~Merger() = default;
+
+  /// Solves (exactly or heuristically) the query merging problem for all
+  /// queries in `ctx` under `model`. Returns an error only when the
+  /// instance exceeds the algorithm's feasibility limits (the exhaustive
+  /// searches refuse inputs whose enumeration would not terminate).
+  virtual Result<MergeOutcome> Merge(const MergeContext& ctx,
+                                     const CostModel& model) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_MERGER_H_

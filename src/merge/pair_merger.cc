@@ -1,0 +1,128 @@
+#include "merge/pair_merger.h"
+
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace qsp {
+namespace {
+
+/// One profit-table entry: the benefit of merging live groups a and b.
+struct ProfitEntry {
+  double benefit;
+  size_t a;
+  size_t b;
+  bool operator<(const ProfitEntry& other) const {
+    return benefit < other.benefit;  // max-heap on benefit
+  }
+};
+
+}  // namespace
+
+MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
+                                   const CostModel& model,
+                                   Partition start) const {
+  MergeOutcome outcome;
+  std::vector<QueryGroup> groups = std::move(start);
+  std::vector<bool> alive(groups.size(), true);
+  std::vector<double> group_cost(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    group_cost[i] = model.GroupCost(ctx, groups[i]);
+  }
+
+  // Profit Table: benefit of merging each live pair. The map variant is
+  // the paper's table; the heap variant keeps the same values in a lazy
+  // priority queue.
+  std::map<std::pair<size_t, size_t>, double> table;
+  std::priority_queue<ProfitEntry> heap;
+
+  auto benefit_of = [&](size_t i, size_t j) {
+    ++outcome.candidates;
+    const QueryGroup merged = UnionGroups(groups[i], groups[j]);
+    return group_cost[i] + group_cost[j] - model.GroupCost(ctx, merged);
+  };
+
+  auto add_pair = [&](size_t i, size_t j) {
+    const double benefit = benefit_of(i, j);
+    if (use_heap_) {
+      if (benefit > 0) heap.push({benefit, i, j});
+    } else {
+      table[{i, j}] = benefit;
+    }
+  };
+
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (!alive[i]) continue;
+    for (size_t j = i + 1; j < groups.size(); ++j) {
+      if (alive[j]) add_pair(i, j);
+    }
+  }
+
+  while (true) {
+    size_t best_a = 0, best_b = 0;
+    double best_benefit = 0.0;
+    if (use_heap_) {
+      // Pop until a live, still-accurate entry surfaces. Entries are
+      // immutable once pushed; merging marks groups dead, which
+      // invalidates their entries lazily.
+      bool found = false;
+      while (!heap.empty()) {
+        const ProfitEntry top = heap.top();
+        heap.pop();
+        if (!alive[top.a] || !alive[top.b]) continue;
+        best_a = top.a;
+        best_b = top.b;
+        best_benefit = top.benefit;
+        found = true;
+        break;
+      }
+      if (!found) break;
+    } else {
+      for (const auto& [pair, benefit] : table) {
+        if (benefit > best_benefit) {
+          best_benefit = benefit;
+          best_a = pair.first;
+          best_b = pair.second;
+        }
+      }
+      if (best_benefit <= 0.0) break;
+    }
+
+    // Merge best_a and best_b into a fresh group.
+    QueryGroup merged = UnionGroups(groups[best_a], groups[best_b]);
+    alive[best_a] = false;
+    alive[best_b] = false;
+    if (!use_heap_) {
+      for (auto it = table.begin(); it != table.end();) {
+        const auto& [i, j] = it->first;
+        if (i == best_a || i == best_b || j == best_a || j == best_b) {
+          it = table.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    const size_t new_index = groups.size();
+    groups.push_back(std::move(merged));
+    alive.push_back(true);
+    group_cost.push_back(model.GroupCost(ctx, groups[new_index]));
+    for (size_t i = 0; i < new_index; ++i) {
+      if (alive[i]) add_pair(i, new_index);
+    }
+  }
+
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (alive[i]) outcome.partition.push_back(groups[i]);
+  }
+  CanonicalizePartition(&outcome.partition);
+  outcome.cost = model.PartitionCost(ctx, outcome.partition);
+  return outcome;
+}
+
+Result<MergeOutcome> PairMerger::Merge(const MergeContext& ctx,
+                                       const CostModel& model) const {
+  return MergeFrom(ctx, model, SingletonPartition(ctx.num_queries()));
+}
+
+}  // namespace qsp

@@ -1,0 +1,39 @@
+#ifndef QSP_MERGE_PAIR_MERGER_H_
+#define QSP_MERGE_PAIR_MERGER_H_
+
+#include "merge/merger.h"
+
+namespace qsp {
+
+/// The greedy Pair Merging Algorithm of Section 6.2.1. Starts from
+/// singleton groups, repeatedly merges the pair of groups with the largest
+/// positive benefit Cost_old - Cost_new, and stops when no merge helps.
+/// Benefits are kept in a Profit Table so only the pairs involving the
+/// freshly merged group are re-evaluated each round, exactly as the paper
+/// prescribes; `use_heap` selects between the paper's table-with-rescan
+/// and a lazy max-heap over the same table (identical results, different
+/// constants — compared in bench_profit_table).
+///
+/// O(|Q|^2) group evaluations; guaranteed optimal for |Q| <= 2.
+class PairMerger : public Merger {
+ public:
+  explicit PairMerger(bool use_heap = true) : use_heap_(use_heap) {}
+
+  Result<MergeOutcome> Merge(const MergeContext& ctx,
+                             const CostModel& model) const override;
+
+  /// Runs the same greedy loop starting from an arbitrary partition
+  /// instead of singletons (used by the directed search and the channel
+  /// allocator).
+  MergeOutcome MergeFrom(const MergeContext& ctx, const CostModel& model,
+                         Partition start) const;
+
+  std::string name() const override { return "pair-merging"; }
+
+ private:
+  bool use_heap_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_PAIR_MERGER_H_

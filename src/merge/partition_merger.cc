@@ -1,0 +1,95 @@
+#include "merge/partition_merger.h"
+
+#include <limits>
+
+namespace qsp {
+namespace {
+
+/// Depth-first walk of the paper's partition search tree (Figure 9) over
+/// an explicit id list.
+class PartitionSearch {
+ public:
+  PartitionSearch(const MergeContext& ctx, const CostModel& model,
+                  const std::vector<QueryId>& ids)
+      : ctx_(ctx), model_(model), ids_(ids) {
+    best_.cost = std::numeric_limits<double>::infinity();
+  }
+
+  MergeOutcome Run() {
+    if (ids_.empty()) {
+      best_.cost = 0.0;
+      return best_;
+    }
+    current_.clear();
+    Descend(0);
+    CanonicalizePartition(&best_.partition);
+    // Replace the incrementally accumulated cost with a canonical
+    // recomputation so exact and heuristic results compare exactly.
+    best_.cost = model_.PartitionCost(ctx_, best_.partition);
+    return best_;
+  }
+
+ private:
+  void Descend(size_t next) {
+    if (next == ids_.size()) {
+      ++best_.candidates;
+      if (cost_ < best_.cost) {
+        best_.cost = cost_;
+        best_.partition = current_;
+      }
+      return;
+    }
+    const QueryId id = ids_[next];
+
+    // Child 0: open a new group {id}.
+    const double singleton_cost = model_.GroupCost(ctx_, {id});
+    current_.push_back({id});
+    cost_ += singleton_cost;
+    Descend(next + 1);
+    cost_ -= singleton_cost;
+    current_.pop_back();
+
+    // Children 1..m: add `id` to an existing group. `ids_` must be
+    // ascending, so appending keeps every group canonical.
+    for (QueryGroup& group : current_) {
+      const double old_cost = model_.GroupCost(ctx_, group);
+      group.push_back(id);
+      const double new_cost = model_.GroupCost(ctx_, group);
+      cost_ += new_cost - old_cost;
+      Descend(next + 1);
+      cost_ -= new_cost - old_cost;
+      group.pop_back();
+    }
+  }
+
+  const MergeContext& ctx_;
+  const CostModel& model_;
+  const std::vector<QueryId>& ids_;
+  Partition current_;
+  double cost_ = 0.0;
+  MergeOutcome best_;
+};
+
+}  // namespace
+
+MergeOutcome ExactPartitionSearch(const MergeContext& ctx,
+                                  const CostModel& model,
+                                  const std::vector<QueryId>& ids) {
+  std::vector<QueryId> sorted = ids;
+  CanonicalizeGroup(&sorted);
+  PartitionSearch search(ctx, model, sorted);
+  return search.Run();
+}
+
+Result<MergeOutcome> PartitionMerger::Merge(const MergeContext& ctx,
+                                            const CostModel& model) const {
+  const int n = static_cast<int>(ctx.num_queries());
+  if (n > max_queries_) {
+    return Status::ResourceExhausted(
+        "partition enumeration is limited to " + std::to_string(max_queries_) +
+        " queries (Bell growth), got " + std::to_string(n));
+  }
+  return ExactPartitionSearch(ctx, model, ctx.queries().AllIds());
+}
+
+}  // namespace qsp

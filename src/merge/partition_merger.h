@@ -1,0 +1,37 @@
+#ifndef QSP_MERGE_PARTITION_MERGER_H_
+#define QSP_MERGE_PARTITION_MERGER_H_
+
+#include <vector>
+
+#include "merge/merger.h"
+
+namespace qsp {
+
+/// Exhaustive, exact search over the set partitions of an arbitrary list
+/// of query ids (the paper's partition search tree, Figure 9), with the
+/// partial cost maintained incrementally so each tree edge costs one
+/// memoized group evaluation. Enumerates Bell(|ids|) leaves.
+MergeOutcome ExactPartitionSearch(const MergeContext& ctx,
+                                  const CostModel& model,
+                                  const std::vector<QueryId>& ids);
+
+/// The Partition Algorithm of Section 6.1.1: exhaustive search over set
+/// partitions only, justified by the single-allocation property of the
+/// cost model. Exact; refuses |Q| > max_queries (default 13,
+/// Bell(13) = 27.6M).
+class PartitionMerger : public Merger {
+ public:
+  explicit PartitionMerger(int max_queries = 13)
+      : max_queries_(max_queries) {}
+
+  Result<MergeOutcome> Merge(const MergeContext& ctx,
+                             const CostModel& model) const override;
+  std::string name() const override { return "partition"; }
+
+ private:
+  int max_queries_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_PARTITION_MERGER_H_

@@ -1,0 +1,49 @@
+#include "merge/rgs.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qsp {
+
+RgsIterator::RgsIterator(int n, int max_blocks)
+    : n_(n), max_blocks_(max_blocks) {
+  QSP_CHECK(n >= 1);
+  a_.assign(static_cast<size_t>(n), 0);
+  prefix_max_.assign(static_cast<size_t>(n), 0);
+}
+
+bool RgsIterator::Next() {
+  // Find the rightmost position (>0) we can increment.
+  for (int i = n_ - 1; i >= 1; --i) {
+    const int cap = std::min(
+        prefix_max_[i - 1] + 1,
+        max_blocks_ > 0 ? max_blocks_ - 1 : prefix_max_[i - 1] + 1);
+    if (a_[i] < cap) {
+      ++a_[i];
+      prefix_max_[i] = std::max(prefix_max_[i - 1], a_[i]);
+      for (int j = i + 1; j < n_; ++j) {
+        a_[j] = 0;
+        prefix_max_[j] = prefix_max_[j - 1];
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+int RgsIterator::NumBlocks() const {
+  return n_ == 0 ? 0 : prefix_max_[n_ - 1] + 1;
+}
+
+std::vector<std::vector<int>> RgsToBlocks(const std::vector<int>& rgs) {
+  int blocks = 0;
+  for (int b : rgs) blocks = std::max(blocks, b + 1);
+  std::vector<std::vector<int>> out(static_cast<size_t>(blocks));
+  for (size_t i = 0; i < rgs.size(); ++i) {
+    out[static_cast<size_t>(rgs[i])].push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace qsp

@@ -1,0 +1,42 @@
+#ifndef QSP_MERGE_RGS_H_
+#define QSP_MERGE_RGS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qsp {
+
+/// Iterates all restricted growth strings (RGS) of length n — canonical
+/// encodings of set partitions: a[0] = 0 and a[i] <= max(a[0..i-1]) + 1.
+/// Each RGS maps element i to block a[i]. With `max_blocks` set, strings
+/// are restricted to at most that many blocks, which enumerates partitions
+/// into at most k unlabeled parts (the channel-allocation search space of
+/// Section 8.1). Enumeration order is lexicographic starting from all
+/// zeros (the one-block partition).
+class RgsIterator {
+ public:
+  /// `n` must be >= 1. `max_blocks` <= 0 means unbounded.
+  explicit RgsIterator(int n, int max_blocks = 0);
+
+  /// The current string; valid until Next() returns false.
+  const std::vector<int>& Current() const { return a_; }
+
+  /// Advances to the next string; false when exhausted.
+  bool Next();
+
+  /// Number of blocks in the current string (max element + 1).
+  int NumBlocks() const;
+
+ private:
+  int n_;
+  int max_blocks_;
+  std::vector<int> a_;
+  std::vector<int> prefix_max_;  // prefix_max_[i] = max(a_[0..i]).
+};
+
+/// Converts an RGS into explicit blocks (groups of element indices).
+std::vector<std::vector<int>> RgsToBlocks(const std::vector<int>& rgs);
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_RGS_H_

@@ -1,0 +1,109 @@
+#include "net/server.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qsp {
+
+Server::Server(const Table* table, const SpatialIndex* index,
+               const QuerySet* queries, const ClientSet* clients)
+    : table_(table), index_(index), queries_(queries), clients_(clients) {
+  QSP_CHECK(table != nullptr);
+  QSP_CHECK(index != nullptr);
+  QSP_CHECK(queries != nullptr);
+  QSP_CHECK(clients != nullptr);
+}
+
+namespace {
+
+/// Builds the message for one merged query on one channel.
+Message BuildMessage(size_t channel, const MergedQuery& merged,
+                     const std::vector<ClientId>& channel_clients,
+                     const SpatialIndex& index, const Table& table,
+                     const QuerySet& queries, const ClientSet& clients,
+                     ExtractionMode mode) {
+  Message msg;
+  msg.channel = channel;
+
+  // Evaluate the merged region. Pieces are interior-disjoint but share
+  // boundaries; dedupe to keep each row once.
+  for (const Rect& piece : merged.region) {
+    const std::vector<RowId> rows = index.Query(piece);
+    msg.payload.insert(msg.payload.end(), rows.begin(), rows.end());
+  }
+  std::sort(msg.payload.begin(), msg.payload.end());
+  msg.payload.erase(std::unique(msg.payload.begin(), msg.payload.end()),
+                    msg.payload.end());
+
+  // Server-side tagging: mark which member queries each row serves.
+  if (mode == ExtractionMode::kServerTags && merged.members.size() <= 32) {
+    msg.members = merged.members;
+    msg.payload_tags.reserve(msg.payload.size());
+    for (RowId row : msg.payload) {
+      uint32_t tags = 0;
+      const Point position = table.PositionOf(row);
+      for (size_t k = 0; k < merged.members.size(); ++k) {
+        if (queries.rect(merged.members[k]).Contains(position)) {
+          tags |= 1u << k;
+        }
+      }
+      msg.payload_tags.push_back(tags);
+    }
+  }
+
+  // Header: every channel client subscribed to a member query is a
+  // recipient, with one extractor entry per such query.
+  for (ClientId client : channel_clients) {
+    bool is_recipient = false;
+    for (QueryId member : merged.members) {
+      const auto& subs = clients.QueriesOf(client);
+      if (std::binary_search(subs.begin(), subs.end(), member)) {
+        msg.extractors.push_back({client, {member, queries.rect(member)}});
+        is_recipient = true;
+      }
+    }
+    if (is_recipient) msg.recipients.push_back(client);
+  }
+  return msg;
+}
+
+}  // namespace
+
+std::vector<Message> Server::ExecuteRound(const DisseminationPlan& plan,
+                                          const MergeProcedure& procedure,
+                                          ExtractionMode mode) const {
+  QSP_CHECK(plan.channel_partitions.size() == plan.allocation.size());
+  std::vector<std::vector<MergedQuery>> merged_per_channel(
+      plan.allocation.size());
+  for (size_t ch = 0; ch < plan.allocation.size(); ++ch) {
+    for (const QueryGroup& group : plan.channel_partitions[ch]) {
+      std::vector<MergedQuery> merged = procedure.Merge(*queries_, group);
+      for (MergedQuery& m : merged) {
+        merged_per_channel[ch].push_back(std::move(m));
+      }
+    }
+  }
+  return ExecuteRoundMerged(plan.allocation, merged_per_channel, mode);
+}
+
+std::vector<Message> Server::ExecuteRoundMerged(
+    const Allocation& allocation,
+    const std::vector<std::vector<MergedQuery>>& merged_per_channel,
+    ExtractionMode mode) const {
+  QSP_CHECK(merged_per_channel.size() == allocation.size());
+  std::vector<Message> messages;
+  for (size_t ch = 0; ch < allocation.size(); ++ch) {
+    for (const MergedQuery& merged : merged_per_channel[ch]) {
+      messages.push_back(BuildMessage(ch, merged, allocation[ch], *index_,
+                                      *table_, *queries_, *clients_, mode));
+    }
+  }
+  return messages;
+}
+
+std::vector<RowId> Server::DirectAnswer(QueryId query) const {
+  return index_->Query(queries_->rect(query));
+}
+
+}  // namespace qsp

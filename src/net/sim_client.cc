@@ -1,0 +1,80 @@
+#include "net/sim_client.h"
+
+#include <algorithm>
+
+#include "query/extractor.h"
+#include "util/status.h"
+
+namespace qsp {
+
+SimClient::SimClient(ClientId id, size_t channel, const QuerySet* queries,
+                     std::vector<QueryId> subscriptions, bool enable_cache)
+    : id_(id),
+      channel_(channel),
+      queries_(queries),
+      subscriptions_(std::move(subscriptions)),
+      enable_cache_(enable_cache) {
+  QSP_CHECK(queries != nullptr);
+}
+
+void SimClient::StartRound() {
+  partial_answers_.clear();
+  stats_ = ClientStats{};
+}
+
+void SimClient::Receive(const Message& msg, const Table& table) {
+  QSP_CHECK(msg.channel == channel_);
+  ++stats_.headers_checked;
+  const bool addressed =
+      std::find(msg.recipients.begin(), msg.recipients.end(), id_) !=
+      msg.recipients.end();
+  if (!addressed) return;
+  ++stats_.messages_processed;
+
+  // Track which payload rows land in at least one of this client's
+  // answers, to count irrelevant rows once per message.
+  std::set<RowId> used;
+  for (const HeaderEntry& entry : msg.extractors) {
+    if (entry.client != id_) continue;
+
+    // Server-tagged payloads skip the per-tuple geometric test: the tag
+    // bit of this entry's query decides membership.
+    int tag_bit = -1;
+    if (msg.HasTags()) {
+      for (size_t k = 0; k < msg.members.size(); ++k) {
+        if (msg.members[k] == entry.spec.query) {
+          tag_bit = static_cast<int>(k);
+          break;
+        }
+      }
+    }
+
+    std::vector<RowId> part;
+    for (size_t i = 0; i < msg.payload.size(); ++i) {
+      const RowId row = msg.payload[i];
+      ++stats_.rows_examined;
+      if (enable_cache_ && cache_.count(row) > 0) ++stats_.cache_hits;
+      const bool mine =
+          tag_bit >= 0
+              ? (msg.payload_tags[i] & (1u << tag_bit)) != 0
+              : entry.spec.rect.Contains(table.PositionOf(row));
+      if (mine) {
+        part.push_back(row);
+        used.insert(row);
+      }
+    }
+    partial_answers_[entry.spec.query].push_back(std::move(part));
+  }
+  stats_.rows_irrelevant += msg.payload.size() - used.size();
+  if (enable_cache_) {
+    cache_.insert(msg.payload.begin(), msg.payload.end());
+  }
+}
+
+std::vector<RowId> SimClient::AnswerFor(QueryId query) const {
+  auto it = partial_answers_.find(query);
+  if (it == partial_answers_.end()) return {};
+  return CombineAnswers(it->second);
+}
+
+}  // namespace qsp

@@ -1,0 +1,69 @@
+#ifndef QSP_NET_SIM_CLIENT_H_
+#define QSP_NET_SIM_CLIENT_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/message.h"
+#include "query/query.h"
+#include "relation/table.h"
+
+namespace qsp {
+
+/// Per-client resource counters for one round — the simulated analogues
+/// of the client-side terms of the cost model.
+struct ClientStats {
+  /// Messages whose header the client had to check (everything broadcast
+  /// on its channel — the k6 * |M| term).
+  size_t headers_checked = 0;
+  /// Messages actually addressed to the client.
+  size_t messages_processed = 0;
+  /// Rows the client's extractors had to examine (payload of processed
+  /// messages, counted once per extractor application — the k5 * U term).
+  size_t rows_examined = 0;
+  /// Rows delivered to the client that ended up in none of its answers.
+  size_t rows_irrelevant = 0;
+  /// Rows skipped because they were already in the client's cache
+  /// (dynamic-scenario extension; 0 with caching disabled).
+  size_t cache_hits = 0;
+};
+
+/// A "dumb-but-not-that-dumb" operational unit: listens to one channel,
+/// checks headers, applies extractors, combines partial answers.
+class SimClient {
+ public:
+  /// `subscriptions` are the client's query ids (ascending).
+  SimClient(ClientId id, size_t channel, const QuerySet* queries,
+            std::vector<QueryId> subscriptions, bool enable_cache = false);
+
+  ClientId id() const { return id_; }
+  size_t channel() const { return channel_; }
+
+  /// Processes one broadcast message (must be on this client's channel).
+  void Receive(const Message& msg, const Table& table);
+
+  /// The combined, deduplicated answer to one subscribed query after all
+  /// messages of the round were received.
+  std::vector<RowId> AnswerFor(QueryId query) const;
+
+  const std::vector<QueryId>& subscriptions() const { return subscriptions_; }
+  const ClientStats& stats() const { return stats_; }
+
+  /// Clears per-round answers and counters; the cache persists.
+  void StartRound();
+
+ private:
+  ClientId id_;
+  size_t channel_;
+  const QuerySet* queries_;
+  std::vector<QueryId> subscriptions_;
+  bool enable_cache_;
+  std::map<QueryId, std::vector<std::vector<RowId>>> partial_answers_;
+  std::set<RowId> cache_;
+  ClientStats stats_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_NET_SIM_CLIENT_H_

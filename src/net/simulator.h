@@ -1,0 +1,82 @@
+#ifndef QSP_NET_SIMULATOR_H_
+#define QSP_NET_SIMULATOR_H_
+
+#include <vector>
+
+#include "net/message.h"
+#include "net/server.h"
+#include "net/sim_client.h"
+
+namespace qsp {
+
+/// Aggregate measurements of one dissemination round — the simulated
+/// counterparts of the cost-model terms, for validating that the planner's
+/// estimated costs track real traffic.
+struct RoundStats {
+  /// Number of merged-answer messages broadcast (|M|).
+  size_t num_messages = 0;
+  /// Total payload bytes on the wire (size(M) in bytes).
+  size_t payload_bytes = 0;
+  /// Total header bytes on the wire.
+  size_t header_bytes = 0;
+  /// Total payload rows across messages (size(M) in tuples).
+  size_t payload_rows = 0;
+  /// Rows delivered to clients that none of their answers needed (U).
+  size_t irrelevant_rows = 0;
+  /// Rows examined by client extractors.
+  size_t rows_examined = 0;
+  /// Header checks performed across all clients.
+  size_t headers_checked = 0;
+  /// Rows clients had already cached from earlier rounds (only nonzero
+  /// with the client cache enabled).
+  size_t cache_hits = 0;
+  /// Channels that carried at least one message.
+  size_t channels_used = 0;
+  /// Bytes actually serialized through the wire format (0 unless the
+  /// simulator was built with verify_wire).
+  size_t wire_bytes = 0;
+  /// True when every message survived an encode/decode round trip with
+  /// identical header and tuples (always true with verify_wire off).
+  bool wire_round_trip_ok = false;
+  /// True when every client's recovered answer for every subscription
+  /// exactly equals the direct evaluation of the original query.
+  bool all_answers_correct = false;
+};
+
+/// End-to-end dissemination simulator (the environment of Figure 15):
+/// builds clients per the plan's allocation, runs the server, broadcasts
+/// each message to every client on its channel, and verifies extraction.
+class MulticastSimulator {
+ public:
+  /// `verify_wire` additionally serializes every message through the
+  /// binary wire format (net/wire.h), decodes it, and checks the round
+  /// trip — exercising what a real deployment would put on the network.
+  MulticastSimulator(const Table* table, const SpatialIndex* index,
+                     const QuerySet* queries, const ClientSet* clients,
+                     bool enable_client_cache = false,
+                     bool verify_wire = false);
+
+  /// Executes one round under `plan` and `procedure`; `mode` selects the
+  /// extractor implementation (self-extraction vs server tags).
+  RoundStats RunRound(const DisseminationPlan& plan,
+                      const MergeProcedure& procedure,
+                      ExtractionMode mode = ExtractionMode::kSelfExtract);
+
+  /// Clients built for the most recent round (inspection/testing).
+  const std::vector<SimClient>& sim_clients() const { return sim_clients_; }
+
+ private:
+  const Table* table_;
+  const SpatialIndex* index_;
+  const QuerySet* queries_;
+  const ClientSet* clients_;
+  bool enable_client_cache_;
+  bool verify_wire_;
+  Server server_;
+  std::vector<SimClient> sim_clients_;
+  Allocation last_allocation_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_NET_SIMULATOR_H_

@@ -1,0 +1,234 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace qsp {
+namespace {
+
+constexpr uint32_t kMagic = 0x51535031;  // "QSP1"
+
+}  // namespace
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+Result<uint8_t> WireReader::GetU8() {
+  if (pos_ + 1 > buffer_.size()) {
+    return Status::OutOfRange("truncated frame (u8)");
+  }
+  return buffer_[pos_++];
+}
+
+Result<uint32_t> WireReader::GetU32() {
+  if (pos_ + 4 > buffer_.size()) {
+    return Status::OutOfRange("truncated frame (u32)");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(buffer_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::GetU64() {
+  if (pos_ + 8 > buffer_.size()) {
+    return Status::OutOfRange("truncated frame (u64)");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(buffer_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> WireReader::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  const uint64_t raw = bits.value();
+  std::memcpy(&v, &raw, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::GetString() {
+  auto length = GetU32();
+  if (!length.ok()) return length.status();
+  if (pos_ + length.value() > buffer_.size()) {
+    return Status::OutOfRange("truncated frame (string body)");
+  }
+  std::string out(reinterpret_cast<const char*>(&buffer_[pos_]),
+                  length.value());
+  pos_ += length.value();
+  return out;
+}
+
+Result<std::vector<uint8_t>> EncodeMessage(const Message& msg,
+                                           const Table& table) {
+  WireWriter writer;
+  writer.PutU32(kMagic);
+  writer.PutU32(static_cast<uint32_t>(msg.channel));
+
+  writer.PutU32(static_cast<uint32_t>(msg.recipients.size()));
+  for (ClientId c : msg.recipients) writer.PutU32(c);
+
+  writer.PutU32(static_cast<uint32_t>(msg.extractors.size()));
+  for (const HeaderEntry& entry : msg.extractors) {
+    writer.PutU32(entry.client);
+    writer.PutU32(entry.spec.query);
+    writer.PutDouble(entry.spec.rect.x_lo());
+    writer.PutDouble(entry.spec.rect.y_lo());
+    writer.PutDouble(entry.spec.rect.x_hi());
+    writer.PutDouble(entry.spec.rect.y_hi());
+  }
+
+  writer.PutU32(static_cast<uint32_t>(msg.payload.size()));
+
+  // Optional server-tag block (Section 3.1's tagged-object extractors).
+  writer.PutU8(msg.HasTags() ? 1 : 0);
+  if (msg.HasTags()) {
+    if (msg.payload_tags.size() != msg.payload.size()) {
+      return Status::InvalidArgument("payload_tags/payload size mismatch");
+    }
+    writer.PutU32(static_cast<uint32_t>(msg.members.size()));
+    for (QueryId member : msg.members) writer.PutU32(member);
+    for (uint32_t tags : msg.payload_tags) writer.PutU32(tags);
+  }
+
+  for (RowId row : msg.payload) {
+    if (row >= table.num_rows()) {
+      return Status::InvalidArgument("payload row id out of range");
+    }
+    for (const Value& value : table.row(row)) {
+      switch (TypeOf(value)) {
+        case ValueType::kInt64:
+          writer.PutU64(static_cast<uint64_t>(std::get<int64_t>(value)));
+          break;
+        case ValueType::kDouble:
+          writer.PutDouble(std::get<double>(value));
+          break;
+        case ValueType::kString:
+          writer.PutString(std::get<std::string>(value));
+          break;
+      }
+    }
+  }
+  return writer.Take();
+}
+
+Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& frame,
+                                     const Schema& schema) {
+  WireReader reader(frame);
+  auto magic = reader.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != kMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  DecodedMessage out;
+  auto channel = reader.GetU32();
+  if (!channel.ok()) return channel.status();
+  out.channel = channel.value();
+
+  auto num_recipients = reader.GetU32();
+  if (!num_recipients.ok()) return num_recipients.status();
+  for (uint32_t i = 0; i < num_recipients.value(); ++i) {
+    auto client = reader.GetU32();
+    if (!client.ok()) return client.status();
+    out.recipients.push_back(client.value());
+  }
+
+  auto num_extractors = reader.GetU32();
+  if (!num_extractors.ok()) return num_extractors.status();
+  for (uint32_t i = 0; i < num_extractors.value(); ++i) {
+    HeaderEntry entry;
+    auto client = reader.GetU32();
+    if (!client.ok()) return client.status();
+    entry.client = client.value();
+    auto query = reader.GetU32();
+    if (!query.ok()) return query.status();
+    entry.spec.query = query.value();
+    double coords[4];
+    for (double& coord : coords) {
+      auto value = reader.GetDouble();
+      if (!value.ok()) return value.status();
+      coord = value.value();
+    }
+    entry.spec.rect = Rect(coords[0], coords[1], coords[2], coords[3]);
+    out.extractors.push_back(entry);
+  }
+
+  auto num_tuples = reader.GetU32();
+  if (!num_tuples.ok()) return num_tuples.status();
+
+  auto has_tags = reader.GetU8();
+  if (!has_tags.ok()) return has_tags.status();
+  if (has_tags.value() == 1) {
+    auto num_members = reader.GetU32();
+    if (!num_members.ok()) return num_members.status();
+    for (uint32_t i = 0; i < num_members.value(); ++i) {
+      auto member = reader.GetU32();
+      if (!member.ok()) return member.status();
+      out.members.push_back(member.value());
+    }
+    for (uint32_t i = 0; i < num_tuples.value(); ++i) {
+      auto tags = reader.GetU32();
+      if (!tags.ok()) return tags.status();
+      out.tags.push_back(tags.value());
+    }
+  } else if (has_tags.value() != 0) {
+    return Status::InvalidArgument("bad tag marker");
+  }
+
+  for (uint32_t i = 0; i < num_tuples.value(); ++i) {
+    std::vector<Value> tuple;
+    tuple.reserve(schema.num_fields());
+    for (size_t f = 0; f < schema.num_fields(); ++f) {
+      switch (schema.field(f).type) {
+        case ValueType::kInt64: {
+          auto value = reader.GetU64();
+          if (!value.ok()) return value.status();
+          tuple.emplace_back(static_cast<int64_t>(value.value()));
+          break;
+        }
+        case ValueType::kDouble: {
+          auto value = reader.GetDouble();
+          if (!value.ok()) return value.status();
+          tuple.emplace_back(value.value());
+          break;
+        }
+        case ValueType::kString: {
+          auto value = reader.GetString();
+          if (!value.ok()) return value.status();
+          tuple.emplace_back(std::move(value).value());
+          break;
+        }
+      }
+    }
+    out.tuples.push_back(std::move(tuple));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after frame");
+  }
+  return out;
+}
+
+}  // namespace qsp

@@ -1,0 +1,85 @@
+#ifndef QSP_NET_WIRE_H_
+#define QSP_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Little-endian append-only encoder for the multicast wire format.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  /// Length-prefixed (u32) bytes.
+  void PutString(const std::string& v);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked reader over an encoded buffer. Every getter fails with
+/// kOutOfRange instead of reading past the end — a malformed frame from
+/// the network must never crash a client.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& buffer)
+      : buffer_(buffer) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return buffer_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+ private:
+  const std::vector<uint8_t>& buffer_;
+  size_t pos_ = 0;
+};
+
+/// A Message materialized for the wire: instead of row ids into the
+/// server's table, the payload carries the actual tuples.
+struct DecodedMessage {
+  size_t channel = 0;
+  std::vector<ClientId> recipients;
+  std::vector<HeaderEntry> extractors;
+  /// Member list + per-tuple tag bits (empty unless the message was
+  /// built with ExtractionMode::kServerTags).
+  std::vector<QueryId> members;
+  std::vector<uint32_t> tags;
+  std::vector<std::vector<Value>> tuples;
+};
+
+/// Serializes `msg` (resolving payload row ids against `table`) into the
+/// frame format:
+///   u32 magic  u32 channel
+///   u32 #recipients  (u32 client)*
+///   u32 #extractors  (u32 client, u32 query, 4 x f64 rect)*
+///   u32 #tuples
+///   u8 has_tags  [u32 #members (u32 member)*  (u32 tags)*#tuples]
+///   per tuple, per schema column: f64 | i64 | string
+Result<std::vector<uint8_t>> EncodeMessage(const Message& msg,
+                                           const Table& table);
+
+/// Parses a frame back; validates the magic and the tuple arity/types
+/// against `schema`.
+Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& frame,
+                                     const Schema& schema);
+
+}  // namespace qsp
+
+#endif  // QSP_NET_WIRE_H_

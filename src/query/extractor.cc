@@ -1,0 +1,28 @@
+#include "query/extractor.h"
+
+#include <algorithm>
+
+namespace qsp {
+
+std::vector<RowId> ApplyExtractor(const ExtractorSpec& spec,
+                                  const std::vector<RowId>& payload,
+                                  const Table& table, size_t* examined) {
+  std::vector<RowId> out;
+  for (RowId id : payload) {
+    if (spec.rect.Contains(table.PositionOf(id))) out.push_back(id);
+  }
+  if (examined != nullptr) *examined += payload.size();
+  return out;
+}
+
+std::vector<RowId> CombineAnswers(std::vector<std::vector<RowId>> parts) {
+  std::vector<RowId> out;
+  for (auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace qsp

@@ -1,0 +1,36 @@
+#ifndef QSP_QUERY_EXTRACTOR_H_
+#define QSP_QUERY_EXTRACTOR_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "query/query.h"
+#include "relation/table.h"
+
+namespace qsp {
+
+/// The (e, q) pair a server attaches to a merged answer's header
+/// (Section 3.1): client c applies extractor `e` to the merged answer to
+/// recover ans(q). For selection queries the extractor is the original
+/// query itself — a rectangle filter — which is the representation here.
+struct ExtractorSpec {
+  QueryId query = 0;
+  Rect rect;
+};
+
+/// Applies an extractor to a merged answer: keeps the rows of `payload`
+/// whose position lies in `spec.rect`. `examined` (optional) returns how
+/// many rows the client had to inspect — the client-side filtering work
+/// the K_U cost term models.
+std::vector<RowId> ApplyExtractor(const ExtractorSpec& spec,
+                                  const std::vector<RowId>& payload,
+                                  const Table& table,
+                                  size_t* examined = nullptr);
+
+/// Merges several partial answers (from multiple merged queries, as the
+/// exact-cover procedure produces) into one deduplicated, sorted answer.
+std::vector<RowId> CombineAnswers(std::vector<std::vector<RowId>> parts);
+
+}  // namespace qsp
+
+#endif  // QSP_QUERY_EXTRACTOR_H_

@@ -1,0 +1,81 @@
+#include "query/merge_context.h"
+
+#include "geom/region.h"
+#include "util/status.h"
+
+namespace qsp {
+
+MergeContext::MergeContext(const QuerySet* queries,
+                           const SizeEstimator* estimator,
+                           const MergeProcedure* procedure)
+    : queries_(queries), estimator_(estimator), procedure_(procedure) {
+  QSP_CHECK(queries != nullptr);
+  QSP_CHECK(estimator != nullptr);
+  QSP_CHECK(procedure != nullptr);
+  size_cache_.resize(queries->size(), 0.0);
+  size_known_.resize(queries->size(), false);
+}
+
+double MergeContext::Size(QueryId id) const {
+  if (id >= size_cache_.size()) {
+    // The query set may have grown (dynamic scenario).
+    size_cache_.resize(queries_->size(), 0.0);
+    size_known_.resize(queries_->size(), false);
+  }
+  if (!size_known_[id]) {
+    size_cache_[id] = estimator_->EstimateSize(queries_->rect(id));
+    size_known_[id] = true;
+  }
+  return size_cache_[id];
+}
+
+const GroupStats& MergeContext::Stats(const QueryGroup& group) const {
+  auto it = group_cache_.find(group);
+  if (it != group_cache_.end()) return it->second;
+  return group_cache_.emplace(group, Compute(group)).first->second;
+}
+
+GroupStats MergeContext::Compute(const QueryGroup& group) const {
+  GroupStats stats;
+  if (group.empty()) return stats;
+  if (group.size() == 1) {
+    // A singleton group is transmitted as-is: one message, no overhead.
+    stats.messages = 1.0;
+    stats.size = Size(group[0]);
+    stats.irrelevant = 0.0;
+    return stats;
+  }
+  for (const MergedQuery& merged : procedure_->Merge(*queries_, group)) {
+    const double merged_size = estimator_->EstimateRegionSize(merged.region);
+    stats.messages += 1.0;
+    stats.size += merged_size;
+    for (QueryId member : merged.members) {
+      const Rect& member_rect = queries_->rect(member);
+      // Portion of the merged answer relevant to this member.
+      double relevant = 0.0;
+      for (const Rect& piece : merged.region) {
+        const Rect clipped = piece.Intersection(member_rect);
+        if (!clipped.IsEmpty()) relevant += estimator_->EstimateSize(clipped);
+      }
+      stats.irrelevant += merged_size - relevant;
+    }
+  }
+  return stats;
+}
+
+std::vector<MergedQuery> MergeContext::Merged(const QueryGroup& group) const {
+  return procedure_->Merge(*queries_, group);
+}
+
+double MergeContext::UnionSize(QueryId a, QueryId b) const {
+  RectilinearRegion region =
+      RectilinearRegion::UnionOf({queries_->rect(a), queries_->rect(b)});
+  return estimator_->EstimateRegionSize(region.pieces());
+}
+
+double MergeContext::IntersectionSize(QueryId a, QueryId b) const {
+  const Rect overlap = queries_->rect(a).Intersection(queries_->rect(b));
+  return overlap.IsEmpty() ? 0.0 : estimator_->EstimateSize(overlap);
+}
+
+}  // namespace qsp

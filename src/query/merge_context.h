@@ -1,0 +1,91 @@
+#ifndef QSP_QUERY_MERGE_CONTEXT_H_
+#define QSP_QUERY_MERGE_CONTEXT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "query/merge_procedure.h"
+#include "query/query.h"
+#include "stats/size_estimator.h"
+
+namespace qsp {
+
+/// Aggregate answer statistics of one merged group M_i, the quantities the
+/// cost model consumes:
+///   messages   — number of merged queries produced for the group
+///                (contribution to |M|);
+///   size       — total estimated answer size (contribution to size(M));
+///   irrelevant — total irrelevant data across the group's member queries
+///                (contribution to U(Q, M)).
+struct GroupStats {
+  double messages = 0.0;
+  double size = 0.0;
+  double irrelevant = 0.0;
+};
+
+/// The oracle the merging algorithms run against: size(q), and the merged
+/// statistics of any candidate group under a chosen merge procedure and
+/// size estimator. All lookups are memoized, which is what makes the
+/// exhaustive partition searches of Sections 6.1/8.1 tractable — the same
+/// subgroups recur across thousands of candidate partitions.
+///
+/// Does not own the query set, estimator, or procedure; all must outlive
+/// the context.
+class MergeContext {
+ public:
+  MergeContext(const QuerySet* queries, const SizeEstimator* estimator,
+               const MergeProcedure* procedure);
+
+  const QuerySet& queries() const { return *queries_; }
+  const MergeProcedure& procedure() const { return *procedure_; }
+  const SizeEstimator& estimator() const { return *estimator_; }
+
+  size_t num_queries() const { return queries_->size(); }
+
+  /// size(q): estimated answer size of one original query.
+  double Size(QueryId id) const;
+
+  /// Memoized merged statistics of a canonical group.
+  const GroupStats& Stats(const QueryGroup& group) const;
+
+  /// The merged queries themselves (geometry + members); not memoized —
+  /// used once per group by the dissemination server.
+  std::vector<MergedQuery> Merged(const QueryGroup& group) const;
+
+  /// Estimated size of the exact union of two queries; the tight lower
+  /// bound on any merged size of {a, b}, used by the clustering pruning
+  /// rule (Section 6.3).
+  double UnionSize(QueryId a, QueryId b) const;
+
+  /// Estimated size of the intersection of two queries.
+  double IntersectionSize(QueryId a, QueryId b) const;
+
+  /// Number of distinct groups evaluated so far (search-effort metric).
+  size_t groups_evaluated() const { return group_cache_.size(); }
+
+ private:
+  struct GroupHash {
+    size_t operator()(const QueryGroup& g) const {
+      uint64_t h = 1469598103934665603ULL;
+      for (QueryId id : g) {
+        h ^= id;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  GroupStats Compute(const QueryGroup& group) const;
+
+  const QuerySet* queries_;
+  const SizeEstimator* estimator_;
+  const MergeProcedure* procedure_;
+  mutable std::vector<double> size_cache_;
+  mutable std::vector<bool> size_known_;
+  mutable std::unordered_map<QueryGroup, GroupStats, GroupHash> group_cache_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_QUERY_MERGE_CONTEXT_H_

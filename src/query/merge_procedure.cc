@@ -1,0 +1,114 @@
+#include "query/merge_procedure.h"
+
+#include <algorithm>
+
+#include "geom/hull.h"
+#include "geom/region.h"
+
+namespace qsp {
+
+std::vector<MergedQuery> BoundingRectProcedure::Merge(
+    const QuerySet& queries, const QueryGroup& group) const {
+  Rect box = Rect::Empty();
+  for (QueryId id : group) box = box.BoundingUnion(queries.rect(id));
+  MergedQuery merged;
+  if (!box.IsEmpty()) merged.region.push_back(box);
+  merged.members = group;
+  return {std::move(merged)};
+}
+
+std::vector<MergedQuery> BoundingPolygonProcedure::Merge(
+    const QuerySet& queries, const QueryGroup& group) const {
+  RectilinearRegion hull = BoundingPolygon(queries.RectsOf(group));
+  MergedQuery merged;
+  merged.region = hull.pieces();
+  merged.members = group;
+  return {std::move(merged)};
+}
+
+std::vector<MergedQuery> ExactCoverProcedure::Merge(
+    const QuerySet& queries, const QueryGroup& group) const {
+  struct Cell {
+    Rect rect;
+    std::vector<QueryId> members;
+  };
+
+  std::vector<double> xs;
+  for (QueryId id : group) {
+    const Rect& r = queries.rect(id);
+    if (r.IsEmpty()) continue;
+    xs.push_back(r.x_lo());
+    xs.push_back(r.x_hi());
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<Cell> cells;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double slab_lo = xs[i];
+    const double slab_hi = xs[i + 1];
+    if (slab_hi <= slab_lo) continue;
+
+    // Rects covering the whole slab, plus the y edges they induce.
+    std::vector<QueryId> slab_members;
+    std::vector<double> ys;
+    for (QueryId id : group) {
+      const Rect& r = queries.rect(id);
+      if (r.IsEmpty()) continue;
+      if (r.x_lo() <= slab_lo && r.x_hi() >= slab_hi) {
+        slab_members.push_back(id);
+        ys.push_back(r.y_lo());
+        ys.push_back(r.y_hi());
+      }
+    }
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+    Cell pending;  // Vertically coalesces adjacent cells w/ equal members.
+    for (size_t j = 0; j + 1 < ys.size(); ++j) {
+      const double cell_lo = ys[j];
+      const double cell_hi = ys[j + 1];
+      if (cell_hi <= cell_lo) continue;
+      std::vector<QueryId> members;
+      for (QueryId id : slab_members) {
+        const Rect& r = queries.rect(id);
+        if (r.y_lo() <= cell_lo && r.y_hi() >= cell_hi) members.push_back(id);
+      }
+      if (members.empty()) {
+        if (!pending.members.empty()) {
+          cells.push_back(pending);
+          pending = Cell{};
+        }
+        continue;
+      }
+      const Rect cell(slab_lo, cell_lo, slab_hi, cell_hi);
+      if (!pending.members.empty() && pending.members == members &&
+          pending.rect.y_hi() == cell_lo) {
+        pending.rect = Rect(slab_lo, pending.rect.y_lo(), slab_hi, cell_hi);
+      } else {
+        if (!pending.members.empty()) cells.push_back(pending);
+        pending = Cell{cell, members};
+      }
+    }
+    if (!pending.members.empty()) cells.push_back(pending);
+  }
+
+  std::vector<MergedQuery> out;
+  out.reserve(cells.size());
+  for (Cell& cell : cells) {
+    MergedQuery merged;
+    merged.region.push_back(cell.rect);
+    merged.members = std::move(cell.members);
+    out.push_back(std::move(merged));
+  }
+  // A group of fully-empty rectangles still needs one (empty) merged query
+  // so every member is allocated somewhere.
+  if (out.empty()) {
+    MergedQuery merged;
+    merged.members = group;
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace qsp

@@ -1,0 +1,75 @@
+#ifndef QSP_QUERY_MERGE_PROCEDURE_H_
+#define QSP_QUERY_MERGE_PROCEDURE_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "query/query.h"
+
+namespace qsp {
+
+/// One merged query produced by a merge procedure: the region its answer
+/// covers (as interior-disjoint rectangles) and the subscribed queries its
+/// answer serves. The answer to a merged query is transmitted as one
+/// message / logical channel, so each MergedQuery contributes 1 to |M|.
+struct MergedQuery {
+  /// Interior-disjoint rectangles whose union is the merged query range.
+  std::vector<Rect> region;
+  /// Ids of original queries whose answers are derivable from this one.
+  std::vector<QueryId> members;
+};
+
+/// The paper's mrg() function (Section 3.2, Figure 5): combines a group of
+/// queries into one or more merged queries, trading merged-query
+/// complexity, extractor complexity, and irrelevant data.
+class MergeProcedure {
+ public:
+  virtual ~MergeProcedure() = default;
+
+  /// Merges `group` (canonical ids into `queries`). Postconditions:
+  ///  * every group member appears in at least one result's `members`;
+  ///  * each result's region covers the rectangles of its `members`'
+  ///    intersection with it (clients can extract their full answers).
+  virtual std::vector<MergedQuery> Merge(const QuerySet& queries,
+                                         const QueryGroup& group) const = 0;
+
+  /// Human-readable procedure name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Figure 5(a): the smallest rectangle bounding the group. One merged
+/// query; simple extractors (re-apply the original query); most
+/// irrelevant data.
+class BoundingRectProcedure : public MergeProcedure {
+ public:
+  std::vector<MergedQuery> Merge(const QuerySet& queries,
+                                 const QueryGroup& group) const override;
+  std::string name() const override { return "bounding-rect"; }
+};
+
+/// Figure 5(b): a single rectilinear bounding polygon (orthogonal slab
+/// hull of the union). One merged query with disjunctions; extractors are
+/// still the original queries; less irrelevant data than the rectangle.
+class BoundingPolygonProcedure : public MergeProcedure {
+ public:
+  std::vector<MergedQuery> Merge(const QuerySet& queries,
+                                 const QueryGroup& group) const override;
+  std::string name() const override { return "bounding-polygon"; }
+};
+
+/// Figure 5(c): decomposes the union of the group into pieces such that
+/// each piece lies inside every query it serves — zero irrelevant data,
+/// but multiple merged queries whose answers clients must combine.
+/// Vertically adjacent cells with identical member sets are coalesced to
+/// keep the piece count low.
+class ExactCoverProcedure : public MergeProcedure {
+ public:
+  std::vector<MergedQuery> Merge(const QuerySet& queries,
+                                 const QueryGroup& group) const override;
+  std::string name() const override { return "exact-cover"; }
+};
+
+}  // namespace qsp
+
+#endif  // QSP_QUERY_MERGE_PROCEDURE_H_

@@ -1,0 +1,528 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace qsp {
+namespace {
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+      return buf;
+    }
+    default:
+      return "'" + std::get<std::string>(v) + "'";
+  }
+}
+
+/// Compares a row value against a constant. Int64 and double compare
+/// numerically; strings lexicographically. Mixed string/number is false
+/// (Bind rejects it anyway).
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  int cmp;
+  if (std::holds_alternative<std::string>(lhs) ||
+      std::holds_alternative<std::string>(rhs)) {
+    if (!std::holds_alternative<std::string>(lhs) ||
+        !std::holds_alternative<std::string>(rhs)) {
+      return false;
+    }
+    const auto& a = std::get<std::string>(lhs);
+    const auto& b = std::get<std::string>(rhs);
+    cmp = a < b ? -1 : (a == b ? 0 : 1);
+  } else {
+    const double a = std::holds_alternative<double>(lhs)
+                         ? std::get<double>(lhs)
+                         : static_cast<double>(std::get<int64_t>(lhs));
+    const double b = std::holds_alternative<double>(rhs)
+                         ? std::get<double>(rhs)
+                         : static_cast<double>(std::get<int64_t>(rhs));
+    cmp = a < b ? -1 : (a == b ? 0 : 1);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+PredicateRef MakeNode(Predicate&& node) {
+  return std::make_shared<const Predicate>(std::move(node));
+}
+
+}  // namespace
+
+// Predicate has a private default constructor; the factories build nodes
+// through this friend-free helper by value-initializing fields directly.
+PredicateRef Predicate::True() {
+  Predicate node;
+  node.kind_ = Kind::kTrue;
+  return MakeNode(std::move(node));
+}
+
+PredicateRef Predicate::Compare(std::string column, CompareOp op,
+                                Value constant) {
+  Predicate node;
+  node.kind_ = Kind::kCompare;
+  node.column_ = std::move(column);
+  node.op_ = op;
+  node.constant_ = std::move(constant);
+  return MakeNode(std::move(node));
+}
+
+PredicateRef Predicate::And(PredicateRef left, PredicateRef right) {
+  Predicate node;
+  node.kind_ = Kind::kAnd;
+  node.left_ = std::move(left);
+  node.right_ = std::move(right);
+  return MakeNode(std::move(node));
+}
+
+PredicateRef Predicate::Or(PredicateRef left, PredicateRef right) {
+  Predicate node;
+  node.kind_ = Kind::kOr;
+  node.left_ = std::move(left);
+  node.right_ = std::move(right);
+  return MakeNode(std::move(node));
+}
+
+PredicateRef Predicate::Not(PredicateRef operand) {
+  Predicate node;
+  node.kind_ = Kind::kNot;
+  node.left_ = std::move(operand);
+  return MakeNode(std::move(node));
+}
+
+PredicateRef Predicate::Between(const std::string& column, double lo,
+                                double hi) {
+  return And(Compare(column, CompareOp::kGe, lo),
+             Compare(column, CompareOp::kLe, hi));
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCompare:
+      return column_ + " " + OpName(op_) + " " + ValueToString(constant_);
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + left_->ToString();
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- Bind
+
+Result<BoundPredicate> BoundPredicate::Bind(PredicateRef predicate,
+                                            const Schema& schema) {
+  BoundPredicate bound;
+  // Recursive flatten into nodes_; returns node index or -1 on error.
+  Status error = Status::OK();
+  auto flatten = [&](auto&& self, const Predicate& p) -> int {
+    Node node;
+    node.kind = p.kind();
+    switch (p.kind()) {
+      case Predicate::Kind::kTrue:
+        break;
+      case Predicate::Kind::kCompare: {
+        auto index = schema.IndexOf(p.column());
+        if (!index.has_value()) {
+          error = Status::NotFound("unknown column '" + p.column() + "'");
+          return -1;
+        }
+        const ValueType column_type = schema.field(*index).type;
+        const bool constant_is_string =
+            std::holds_alternative<std::string>(p.constant());
+        if ((column_type == ValueType::kString) != constant_is_string) {
+          error = Status::InvalidArgument(
+              "type mismatch comparing column '" + p.column() + "'");
+          return -1;
+        }
+        node.column = *index;
+        node.op = p.op();
+        node.constant = p.constant();
+        break;
+      }
+      case Predicate::Kind::kAnd:
+      case Predicate::Kind::kOr: {
+        node.left = self(self, *p.left());
+        if (node.left < 0) return -1;
+        node.right = self(self, *p.right());
+        if (node.right < 0) return -1;
+        break;
+      }
+      case Predicate::Kind::kNot: {
+        node.left = self(self, *p.left());
+        if (node.left < 0) return -1;
+        break;
+      }
+    }
+    bound.nodes_.push_back(std::move(node));
+    return static_cast<int>(bound.nodes_.size()) - 1;
+  };
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("null predicate");
+  }
+  // Nodes are appended post-order, so the root is the last node;
+  // Matches() evaluates from there.
+  const int root = flatten(flatten, *predicate);
+  if (root < 0) return error;
+  return bound;
+}
+
+bool BoundPredicate::Eval(int node, const std::vector<Value>& row) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  switch (n.kind) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kCompare:
+      return CompareValues(row[n.column], n.op, n.constant);
+    case Predicate::Kind::kAnd:
+      return Eval(n.left, row) && Eval(n.right, row);
+    case Predicate::Kind::kOr:
+      return Eval(n.left, row) || Eval(n.right, row);
+    case Predicate::Kind::kNot:
+      return !Eval(n.left, row);
+  }
+  return false;
+}
+
+bool BoundPredicate::Matches(const std::vector<Value>& row) const {
+  if (nodes_.empty()) return true;
+  return Eval(static_cast<int>(nodes_.size()) - 1, row);  // Post-order root.
+}
+
+// --------------------------------------------------------- ExtractRange
+
+namespace {
+
+/// Applies one comparison on a position axis to the interval [lo, hi].
+Status TightenAxis(CompareOp op, double value, double* lo, double* hi) {
+  switch (op) {
+    case CompareOp::kLe:
+    case CompareOp::kLt:  // Closed-interval approximation of <.
+      *hi = std::min(*hi, value);
+      return Status::OK();
+    case CompareOp::kGe:
+    case CompareOp::kGt:
+      *lo = std::max(*lo, value);
+      return Status::OK();
+    case CompareOp::kEq:
+      *lo = std::max(*lo, value);
+      *hi = std::min(*hi, value);
+      return Status::OK();
+    case CompareOp::kNe:
+      return Status::InvalidArgument(
+          "'!=' constraints cannot form a range query");
+  }
+  return Status::Internal("unreachable");
+}
+
+Status CollectConjuncts(const Predicate& p, const Schema& schema,
+                        double* x_lo, double* x_hi, double* y_lo,
+                        double* y_hi) {
+  switch (p.kind()) {
+    case Predicate::Kind::kTrue:
+      return Status::OK();
+    case Predicate::Kind::kAnd:
+      QSP_RETURN_IF_ERROR(
+          CollectConjuncts(*p.left(), schema, x_lo, x_hi, y_lo, y_hi));
+      return CollectConjuncts(*p.right(), schema, x_lo, x_hi, y_lo, y_hi);
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot:
+      return Status::InvalidArgument(
+          "only conjunctions of comparisons form a range query");
+    case Predicate::Kind::kCompare: {
+      auto index = schema.IndexOf(p.column());
+      if (!index.has_value()) {
+        return Status::NotFound("unknown column '" + p.column() + "'");
+      }
+      if (*index > 1) {
+        return Status::InvalidArgument(
+            "constraint on non-position column '" + p.column() +
+            "' cannot join a geographic range query");
+      }
+      if (!std::holds_alternative<double>(p.constant()) &&
+          !std::holds_alternative<int64_t>(p.constant())) {
+        return Status::InvalidArgument("position constraints need numbers");
+      }
+      const double value =
+          std::holds_alternative<double>(p.constant())
+              ? std::get<double>(p.constant())
+              : static_cast<double>(std::get<int64_t>(p.constant()));
+      return *index == 0 ? TightenAxis(p.op(), value, x_lo, x_hi)
+                         : TightenAxis(p.op(), value, y_lo, y_hi);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<Rect> ExtractRange(const PredicateRef& predicate,
+                          const Schema& schema, const Rect& domain) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("null predicate");
+  }
+  double x_lo = domain.x_lo(), x_hi = domain.x_hi();
+  double y_lo = domain.y_lo(), y_hi = domain.y_hi();
+  QSP_RETURN_IF_ERROR(
+      CollectConjuncts(*predicate, schema, &x_lo, &x_hi, &y_lo, &y_hi));
+  return Rect(x_lo, y_lo, x_hi, y_hi);
+}
+
+// --------------------------------------------------------------- Parser
+
+namespace {
+
+/// Hand-rolled recursive-descent parser for the grammar in the header.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<PredicateRef> Parse() {
+    auto expr = ParseOr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_));
+    }
+    return expr;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Case-insensitive keyword match followed by a non-identifier char.
+  bool ConsumeKeyword(const char* keyword) {
+    SkipSpace();
+    size_t p = pos_;
+    for (const char* k = keyword; *k != '\0'; ++k, ++p) {
+      if (p >= text_.size() ||
+          std::toupper(static_cast<unsigned char>(text_[p])) != *k) {
+        return false;
+      }
+    }
+    if (p < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[p])) ||
+         text_[p] == '_')) {
+      return false;
+    }
+    pos_ = p;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<PredicateRef> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left;
+    PredicateRef result = left.value();
+    while (ConsumeKeyword("OR")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right;
+      result = Predicate::Or(result, right.value());
+    }
+    return result;
+  }
+
+  Result<PredicateRef> ParseAnd() {
+    auto left = ParseFactor();
+    if (!left.ok()) return left;
+    PredicateRef result = left.value();
+    while (ConsumeKeyword("AND")) {
+      auto right = ParseFactor();
+      if (!right.ok()) return right;
+      result = Predicate::And(result, right.value());
+    }
+    return result;
+  }
+
+  Result<PredicateRef> ParseFactor() {
+    if (ConsumeKeyword("NOT")) {
+      auto operand = ParseFactor();
+      if (!operand.ok()) return operand;
+      return Predicate::Not(operand.value());
+    }
+    if (ConsumeKeyword("TRUE")) return Predicate::True();
+    if (ConsumeChar('(')) {
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (!ConsumeChar(')')) {
+        return Status::InvalidArgument("expected ')' at offset " +
+                                       std::to_string(pos_));
+      }
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<PredicateRef> ParseComparison() {
+    auto column = ParseIdentifier();
+    if (!column.ok()) return column.status();
+    if (ConsumeKeyword("BETWEEN")) {
+      auto lo = ParseNumber();
+      if (!lo.ok()) return lo.status();
+      if (!ConsumeKeyword("AND")) {
+        return Status::InvalidArgument("BETWEEN needs AND");
+      }
+      auto hi = ParseNumber();
+      if (!hi.ok()) return hi.status();
+      return Predicate::Between(column.value(), lo.value(), hi.value());
+    }
+    auto op = ParseOp();
+    if (!op.ok()) return op.status();
+    auto value = ParseValue();
+    if (!value.ok()) return value.status();
+    return Predicate::Compare(column.value(), op.value(), value.value());
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at offset " +
+                                     std::to_string(pos_));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<CompareOp> ParseOp() {
+    SkipSpace();
+    auto starts = [&](const char* s) {
+      return text_.compare(pos_, std::char_traits<char>::length(s), s) == 0;
+    };
+    if (starts("<=")) {
+      pos_ += 2;
+      return CompareOp::kLe;
+    }
+    if (starts(">=")) {
+      pos_ += 2;
+      return CompareOp::kGe;
+    }
+    if (starts("!=") || starts("<>")) {
+      pos_ += 2;
+      return CompareOp::kNe;
+    }
+    if (starts("<")) {
+      pos_ += 1;
+      return CompareOp::kLt;
+    }
+    if (starts(">")) {
+      pos_ += 1;
+      return CompareOp::kGt;
+    }
+    if (starts("=")) {
+      pos_ += 1;
+      return CompareOp::kEq;
+    }
+    return Status::InvalidArgument("expected comparison operator at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(text_[pos_]));
+      ++pos_;
+    }
+    if (!digits) {
+      return Status::InvalidArgument("expected number at offset " +
+                                     std::to_string(start));
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  Result<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+      if (pos_ == text_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      std::string literal = text_.substr(start, pos_ - start);
+      ++pos_;  // Closing quote.
+      return Value{std::move(literal)};
+    }
+    auto number = ParseNumber();
+    if (!number.ok()) return number.status();
+    return Value{number.value()};
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PredicateRef> ParsePredicate(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace qsp

@@ -1,0 +1,113 @@
+#ifndef QSP_QUERY_PREDICATE_H_
+#define QSP_QUERY_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Comparison operators of the selection language.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+class Predicate;
+using PredicateRef = std::shared_ptr<const Predicate>;
+
+/// An immutable selection-predicate AST over a relation's columns — the
+/// paper's sigma queries in their general form ("our system can handle
+/// more complicated queries", Section 2). Geographic rectangle queries
+/// are the special case of a conjunction of range comparisons on the two
+/// position columns; ExtractRange recovers that rectangle.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kCompare, kAnd, kOr, kNot };
+
+  /// Factories. Comparisons take the column by name; binding to a
+  /// concrete schema happens in BoundPredicate.
+  static PredicateRef True();
+  static PredicateRef Compare(std::string column, CompareOp op,
+                              Value constant);
+  static PredicateRef And(PredicateRef left, PredicateRef right);
+  static PredicateRef Or(PredicateRef left, PredicateRef right);
+  static PredicateRef Not(PredicateRef operand);
+
+  /// Convenience: column BETWEEN lo AND hi.
+  static PredicateRef Between(const std::string& column, double lo,
+                              double hi);
+
+  Kind kind() const { return kind_; }
+  const std::string& column() const { return column_; }
+  CompareOp op() const { return op_; }
+  const Value& constant() const { return constant_; }
+  const PredicateRef& left() const { return left_; }
+  const PredicateRef& right() const { return right_; }
+
+  /// SQL-ish rendering, e.g. "(latitude >= 2 AND latitude <= 40)".
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  std::string column_;
+  CompareOp op_ = CompareOp::kEq;
+  Value constant_ = int64_t{0};
+  PredicateRef left_;
+  PredicateRef right_;
+};
+
+/// A predicate resolved against a concrete schema (column names become
+/// indexes), ready to evaluate against rows.
+class BoundPredicate {
+ public:
+  /// Fails if the predicate references a column the schema lacks or
+  /// compares a column against a constant of the wrong type.
+  static Result<BoundPredicate> Bind(PredicateRef predicate,
+                                     const Schema& schema);
+
+  /// True when the row satisfies the predicate.
+  bool Matches(const std::vector<Value>& row) const;
+
+ private:
+  struct Node {
+    Predicate::Kind kind;
+    size_t column = 0;
+    CompareOp op = CompareOp::kEq;
+    Value constant = int64_t{0};
+    // Children indices into nodes_ (kAnd/kOr: both; kNot: left only).
+    int left = -1;
+    int right = -1;
+  };
+
+  bool Eval(int node, const std::vector<Value>& row) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root (if non-empty).
+};
+
+/// Analyzes a predicate and returns the tightest rectangle R over the
+/// two position columns such that the predicate implies "position in R",
+/// starting from `domain`. Returns an error when the predicate is not a
+/// pure conjunction of comparisons on the position columns (an OR, NOT,
+/// or a constraint on a payload column cannot be turned into one
+/// geographic query). This is the bridge from the general selection
+/// language to the paper's rectangle queries.
+Result<Rect> ExtractRange(const PredicateRef& predicate,
+                          const Schema& schema, const Rect& domain);
+
+/// Parses a SQL-ish selection predicate, e.g.
+///   "longitude BETWEEN 2 AND 41 AND latitude <= 40"
+///   "(a >= 1 OR b = 'x') AND NOT c < 5".
+/// Grammar: expr := term (OR term)*; term := factor (AND factor)*;
+/// factor := NOT factor | '(' expr ')' | column op value |
+///           column BETWEEN value AND value.
+/// Values are numbers (DOUBLE constants) or single-quoted strings.
+Result<PredicateRef> ParsePredicate(const std::string& text);
+
+}  // namespace qsp
+
+#endif  // QSP_QUERY_PREDICATE_H_

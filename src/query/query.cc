@@ -1,0 +1,96 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+namespace qsp {
+
+QuerySet::QuerySet(const std::vector<Rect>& rects) {
+  for (const Rect& r : rects) Add(r);
+}
+
+QueryId QuerySet::Add(const Rect& rect) {
+  const QueryId id = static_cast<QueryId>(queries_.size());
+  queries_.push_back({id, rect});
+  return id;
+}
+
+std::vector<QueryId> QuerySet::AllIds() const {
+  std::vector<QueryId> ids(queries_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<QueryId>(i);
+  return ids;
+}
+
+std::vector<Rect> QuerySet::RectsOf(const QueryGroup& group) const {
+  std::vector<Rect> rects;
+  rects.reserve(group.size());
+  for (QueryId id : group) rects.push_back(rect(id));
+  return rects;
+}
+
+Partition SingletonPartition(size_t num_queries) {
+  Partition partition;
+  partition.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    partition.push_back({static_cast<QueryId>(i)});
+  }
+  return partition;
+}
+
+Partition OneGroupPartition(size_t num_queries) {
+  Partition partition(1);
+  for (size_t i = 0; i < num_queries; ++i) {
+    partition[0].push_back(static_cast<QueryId>(i));
+  }
+  return partition;
+}
+
+void CanonicalizePartition(Partition* partition) {
+  for (auto& group : *partition) CanonicalizeGroup(&group);
+  partition->erase(
+      std::remove_if(partition->begin(), partition->end(),
+                     [](const QueryGroup& g) { return g.empty(); }),
+      partition->end());
+  std::sort(partition->begin(), partition->end(),
+            [](const QueryGroup& a, const QueryGroup& b) {
+              return a.front() < b.front();
+            });
+}
+
+bool IsValidPartition(const Partition& partition, size_t num_queries) {
+  std::vector<int> seen(num_queries, 0);
+  for (const QueryGroup& group : partition) {
+    for (QueryId id : group) {
+      if (id >= num_queries) return false;
+      if (++seen[id] > 1) return false;
+    }
+  }
+  for (int count : seen) {
+    if (count != 1) return false;
+  }
+  return true;
+}
+
+void CanonicalizeGroup(QueryGroup* group) {
+  std::sort(group->begin(), group->end());
+  group->erase(std::unique(group->begin(), group->end()), group->end());
+}
+
+QueryGroup UnionGroups(const QueryGroup& a, const QueryGroup& b) {
+  QueryGroup out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string GroupToString(const QueryGroup& group) {
+  std::string out = "{";
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(group[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace qsp

@@ -1,0 +1,83 @@
+#ifndef QSP_QUERY_QUERY_H_
+#define QSP_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Identifier of a subscribed query. Ids are dense: the i-th query added
+/// to a QuerySet has id i.
+using QueryId = uint32_t;
+
+/// A group of query ids scheduled to be merged together — one element
+/// M_i of the paper's collection M. Canonical form is sorted ascending.
+using QueryGroup = std::vector<QueryId>;
+
+/// A geographic range query: sigma_{rect contains (longitude, latitude)} R.
+struct RangeQuery {
+  QueryId id = 0;
+  Rect rect;
+};
+
+/// The set Q of all queries received by the server. Append-only.
+class QuerySet {
+ public:
+  QuerySet() = default;
+
+  /// Convenience constructor from raw rectangles (ids assigned 0..n-1).
+  explicit QuerySet(const std::vector<Rect>& rects);
+
+  /// Adds a query; returns its id.
+  QueryId Add(const Rect& rect);
+
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+
+  const RangeQuery& query(QueryId id) const { return queries_[id]; }
+  const Rect& rect(QueryId id) const { return queries_[id].rect; }
+
+  /// All ids, ascending.
+  std::vector<QueryId> AllIds() const;
+
+  /// The rectangles of a group, in group order.
+  std::vector<Rect> RectsOf(const QueryGroup& group) const;
+
+ private:
+  std::vector<RangeQuery> queries_;
+};
+
+/// A candidate solution of the query merging problem: the collection
+/// M = {M_1, ..., M_m}. Under the single-allocation property (Section
+/// 6.1.1) this is a set partition of the query ids.
+using Partition = std::vector<QueryGroup>;
+
+/// The no-merging partition {{0}, {1}, ..., {n-1}}.
+Partition SingletonPartition(size_t num_queries);
+
+/// Partition with every query in one group.
+Partition OneGroupPartition(size_t num_queries);
+
+/// Sorts each group and orders groups by first element, dropping empties,
+/// so structurally equal partitions compare equal.
+void CanonicalizePartition(Partition* partition);
+
+/// Validates that `partition` covers ids 0..num_queries-1 exactly once.
+bool IsValidPartition(const Partition& partition, size_t num_queries);
+
+/// Sorts and deduplicates a group into canonical form.
+void CanonicalizeGroup(QueryGroup* group);
+
+/// Merges two canonical groups into a new canonical group.
+QueryGroup UnionGroups(const QueryGroup& a, const QueryGroup& b);
+
+/// "{0,3,7}" rendering for logs and tests.
+std::string GroupToString(const QueryGroup& group);
+
+}  // namespace qsp
+
+#endif  // QSP_QUERY_QUERY_H_

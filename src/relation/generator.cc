@@ -1,0 +1,61 @@
+#include "relation/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace qsp {
+namespace {
+
+std::string RandomPayload(int bytes, Rng* rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(static_cast<size_t>(bytes));
+  for (int i = 0; i < bytes; ++i) {
+    out += kAlphabet[rng->UniformInt(0, sizeof(kAlphabet) - 2)];
+  }
+  return out;
+}
+
+}  // namespace
+
+Table GenerateTable(const TableGeneratorConfig& config, Rng* rng) {
+  QSP_CHECK(!config.domain.IsEmpty());
+  Table table(Schema::Geographic(config.payload_fields));
+
+  std::vector<Point> centers;
+  for (int i = 0; i < config.num_clusters; ++i) {
+    centers.push_back(
+        {rng->UniformDouble(config.domain.x_lo(), config.domain.x_hi()),
+         rng->UniformDouble(config.domain.y_lo(), config.domain.y_hi())});
+  }
+  const double spread = config.cluster_spread * config.domain.Width();
+
+  for (size_t i = 0; i < config.num_objects; ++i) {
+    Point p;
+    if (!centers.empty() && rng->Bernoulli(config.clustered_fraction)) {
+      const Point& c =
+          centers[static_cast<size_t>(rng->UniformInt(
+              0, static_cast<int64_t>(centers.size()) - 1))];
+      p.x = std::clamp(rng->Normal(c.x, spread), config.domain.x_lo(),
+                       config.domain.x_hi());
+      p.y = std::clamp(rng->Normal(c.y, spread), config.domain.y_lo(),
+                       config.domain.y_hi());
+    } else {
+      p.x = rng->UniformDouble(config.domain.x_lo(), config.domain.x_hi());
+      p.y = rng->UniformDouble(config.domain.y_lo(), config.domain.y_hi());
+    }
+    std::vector<Value> row = {p.x, p.y};
+    for (int f = 0; f < config.payload_fields; ++f) {
+      row.emplace_back(RandomPayload(config.payload_bytes, rng));
+    }
+    auto result = table.Insert(std::move(row));
+    QSP_CHECK(result.ok());
+  }
+  return table;
+}
+
+}  // namespace qsp

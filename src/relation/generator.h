@@ -1,0 +1,39 @@
+#ifndef QSP_RELATION_GENERATOR_H_
+#define QSP_RELATION_GENERATOR_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "relation/table.h"
+#include "util/rng.h"
+
+namespace qsp {
+
+/// Configuration of the synthetic object space. The paper's evaluation
+/// uses a two-attribute database (Figure 15); the "non-uniform object
+/// space" extension of Section 11 is covered by Gaussian clusters.
+struct TableGeneratorConfig {
+  /// Domain of the two position attributes.
+  Rect domain = Rect(0, 0, 1000, 1000);
+  /// Total number of objects.
+  size_t num_objects = 10000;
+  /// Fraction of objects drawn from clusters (0 = fully uniform).
+  double clustered_fraction = 0.0;
+  /// Number of Gaussian clusters when clustered_fraction > 0.
+  int num_clusters = 5;
+  /// Standard deviation of each cluster as a fraction of domain width.
+  double cluster_spread = 0.03;
+  /// Extra string payload columns per object.
+  int payload_fields = 1;
+  /// Bytes of payload per string column (description of the object).
+  int payload_bytes = 32;
+};
+
+/// Generates a geographic Table per `config`, deterministic in `rng`.
+/// Cluster centers are drawn uniformly in the domain; clustered points are
+/// Normal(center, spread) and clamped into the domain.
+Table GenerateTable(const TableGeneratorConfig& config, Rng* rng);
+
+}  // namespace qsp
+
+#endif  // QSP_RELATION_GENERATOR_H_

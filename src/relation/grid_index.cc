@@ -1,0 +1,71 @@
+#include "relation/grid_index.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace qsp {
+
+GridIndex::GridIndex(const Table& table, const Rect& domain, int cells_x,
+                     int cells_y)
+    : table_(table),
+      domain_(domain),
+      cells_x_(std::max(1, cells_x)),
+      cells_y_(std::max(1, cells_y)) {
+  QSP_CHECK(!domain.IsEmpty());
+  buckets_.resize(static_cast<size_t>(cells_x_) *
+                  static_cast<size_t>(cells_y_));
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    const Point p = table.PositionOf(id);
+    buckets_[CellIndex(ClampCellX(p.x), ClampCellY(p.y))].push_back(id);
+  }
+}
+
+int GridIndex::ClampCellX(double x) const {
+  const double t = (x - domain_.x_lo()) / std::max(domain_.Width(), 1e-300);
+  int cell = static_cast<int>(t * cells_x_);
+  return std::clamp(cell, 0, cells_x_ - 1);
+}
+
+int GridIndex::ClampCellY(double y) const {
+  const double t = (y - domain_.y_lo()) / std::max(domain_.Height(), 1e-300);
+  int cell = static_cast<int>(t * cells_y_);
+  return std::clamp(cell, 0, cells_y_ - 1);
+}
+
+std::vector<RowId> GridIndex::Query(const Rect& rect) const {
+  std::vector<RowId> out;
+  if (rect.IsEmpty()) return out;
+  const int cx_lo = ClampCellX(rect.x_lo());
+  const int cx_hi = ClampCellX(rect.x_hi());
+  const int cy_lo = ClampCellY(rect.y_lo());
+  const int cy_hi = ClampCellY(rect.y_hi());
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (RowId id : buckets_[CellIndex(cx, cy)]) {
+        if (rect.Contains(table_.PositionOf(id))) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t GridIndex::Count(const Rect& rect) const {
+  if (rect.IsEmpty()) return 0;
+  size_t count = 0;
+  const int cx_lo = ClampCellX(rect.x_lo());
+  const int cx_hi = ClampCellX(rect.x_hi());
+  const int cy_lo = ClampCellY(rect.y_lo());
+  const int cy_hi = ClampCellY(rect.y_hi());
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (RowId id : buckets_[CellIndex(cx, cy)]) {
+        if (rect.Contains(table_.PositionOf(id))) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace qsp

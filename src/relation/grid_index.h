@@ -1,0 +1,49 @@
+#ifndef QSP_RELATION_GRID_INDEX_H_
+#define QSP_RELATION_GRID_INDEX_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "relation/spatial_index.h"
+#include "relation/table.h"
+
+namespace qsp {
+
+/// Uniform 2-D grid index over the position columns of a Table. Supports
+/// the server's repeated evaluation of merged range queries at a cost far
+/// below a full scan, and exact cardinality counting for the
+/// ExactEstimator.
+class GridIndex : public SpatialIndex {
+ public:
+  /// Builds an index over `table` with `cells_x` x `cells_y` buckets
+  /// covering `domain`. Rows outside the domain are clamped into the
+  /// boundary cells so no row is lost.
+  GridIndex(const Table& table, const Rect& domain, int cells_x = 64,
+            int cells_y = 64);
+
+  /// Row ids whose position lies in `rect`, in ascending id order.
+  std::vector<RowId> Query(const Rect& rect) const override;
+
+  /// Number of rows in `rect` (same pruning as Query, no materialization).
+  size_t Count(const Rect& rect) const override;
+
+  const Rect& domain() const { return domain_; }
+
+ private:
+  size_t CellIndex(int cx, int cy) const {
+    return static_cast<size_t>(cy) * static_cast<size_t>(cells_x_) +
+           static_cast<size_t>(cx);
+  }
+  int ClampCellX(double x) const;
+  int ClampCellY(double y) const;
+
+  const Table& table_;
+  Rect domain_;
+  int cells_x_;
+  int cells_y_;
+  std::vector<std::vector<RowId>> buckets_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_RELATION_GRID_INDEX_H_

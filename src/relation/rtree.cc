@@ -1,0 +1,158 @@
+#include "relation/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace qsp {
+
+RTree::RTree(const Table& table, int fanout) : table_(table) {
+  QSP_CHECK(fanout >= 2);
+  const size_t n = table.num_rows();
+  if (n == 0) return;
+
+  // STR leaf packing: sort by x, cut into ceil(sqrt(n/B)) vertical
+  // slabs of ~B*slab_rows points, sort each slab by y, emit full leaves.
+  struct Item {
+    Point pos;
+    RowId row;
+  };
+  std::vector<Item> items;
+  items.reserve(n);
+  for (RowId id = 0; id < n; ++id) items.push_back({table.PositionOf(id), id});
+
+  const size_t capacity = static_cast<size_t>(fanout);
+  const size_t num_leaves = (n + capacity - 1) / capacity;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_size =
+      ((num_leaves + num_slabs - 1) / num_slabs) * capacity;
+
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.pos.x != b.pos.x) return a.pos.x < b.pos.x;
+    return a.pos.y < b.pos.y;
+  });
+
+  std::vector<uint32_t> level;  // Node indices of the level being built.
+  for (size_t slab_start = 0; slab_start < n; slab_start += slab_size) {
+    const size_t slab_end = std::min(n, slab_start + slab_size);
+    std::sort(items.begin() + static_cast<ptrdiff_t>(slab_start),
+              items.begin() + static_cast<ptrdiff_t>(slab_end),
+              [](const Item& a, const Item& b) {
+                if (a.pos.y != b.pos.y) return a.pos.y < b.pos.y;
+                return a.pos.x < b.pos.x;
+              });
+    for (size_t leaf_start = slab_start; leaf_start < slab_end;
+         leaf_start += capacity) {
+      const size_t leaf_end = std::min(slab_end, leaf_start + capacity);
+      Node leaf;
+      leaf.is_leaf = true;
+      leaf.bounds = Rect::Empty();
+      for (size_t i = leaf_start; i < leaf_end; ++i) {
+        leaf.entries.push_back(items[i].row);
+        leaf.bounds = leaf.bounds.BoundingUnion(
+            Rect(items[i].pos.x, items[i].pos.y, items[i].pos.x,
+                 items[i].pos.y));
+      }
+      leaf.subtree_size = leaf.entries.size();
+      level.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(leaf));
+    }
+  }
+  height_ = 1;
+
+  // Pack upper levels by child-center STR until one root remains.
+  while (level.size() > 1) {
+    struct Child {
+      Point center;
+      uint32_t node;
+    };
+    std::vector<Child> children;
+    children.reserve(level.size());
+    for (uint32_t idx : level) {
+      children.push_back({nodes_[idx].bounds.Center(), idx});
+    }
+    const size_t num_parents = (children.size() + capacity - 1) / capacity;
+    const size_t parent_slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    const size_t parent_slab_size =
+        ((num_parents + parent_slabs - 1) / parent_slabs) * capacity;
+
+    std::sort(children.begin(), children.end(),
+              [](const Child& a, const Child& b) {
+                if (a.center.x != b.center.x) return a.center.x < b.center.x;
+                return a.center.y < b.center.y;
+              });
+    std::vector<uint32_t> next_level;
+    for (size_t slab_start = 0; slab_start < children.size();
+         slab_start += parent_slab_size) {
+      const size_t slab_end =
+          std::min(children.size(), slab_start + parent_slab_size);
+      std::sort(children.begin() + static_cast<ptrdiff_t>(slab_start),
+                children.begin() + static_cast<ptrdiff_t>(slab_end),
+                [](const Child& a, const Child& b) {
+                  if (a.center.y != b.center.y) return a.center.y < b.center.y;
+                  return a.center.x < b.center.x;
+                });
+      for (size_t start = slab_start; start < slab_end; start += capacity) {
+        const size_t end = std::min(slab_end, start + capacity);
+        Node parent;
+        parent.is_leaf = false;
+        parent.bounds = Rect::Empty();
+        for (size_t i = start; i < end; ++i) {
+          parent.entries.push_back(children[i].node);
+          parent.bounds =
+              parent.bounds.BoundingUnion(nodes_[children[i].node].bounds);
+          parent.subtree_size += nodes_[children[i].node].subtree_size;
+        }
+        next_level.push_back(static_cast<uint32_t>(nodes_.size()));
+        nodes_.push_back(std::move(parent));
+      }
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_ = static_cast<int>(level.front());
+}
+
+void RTree::Visit(uint32_t node, const Rect& rect, std::vector<RowId>* out,
+                  size_t* count) const {
+  const Node& n = nodes_[node];
+  if (!rect.Intersects(n.bounds)) return;
+  if (n.is_leaf) {
+    for (uint32_t row : n.entries) {
+      if (rect.Contains(table_.PositionOf(row))) {
+        if (out != nullptr) out->push_back(row);
+        if (count != nullptr) ++*count;
+      }
+    }
+    return;
+  }
+  // Whole-subtree containment: counting needs no per-point checks below.
+  if (out == nullptr && rect.Contains(n.bounds)) {
+    *count += n.subtree_size;
+    return;
+  }
+  for (uint32_t child : n.entries) Visit(child, rect, out, count);
+}
+
+std::vector<RowId> RTree::Query(const Rect& rect) const {
+  std::vector<RowId> out;
+  if (root_ >= 0 && !rect.IsEmpty()) {
+    Visit(static_cast<uint32_t>(root_), rect, &out, nullptr);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+size_t RTree::Count(const Rect& rect) const {
+  size_t count = 0;
+  if (root_ >= 0 && !rect.IsEmpty()) {
+    Visit(static_cast<uint32_t>(root_), rect, nullptr, &count);
+  }
+  return count;
+}
+
+}  // namespace qsp

@@ -1,0 +1,62 @@
+#include "relation/schema.h"
+
+namespace qsp {
+namespace {
+
+const char* TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Schema Schema::Geographic(int payload_fields) {
+  std::vector<Field> fields = {{"longitude", ValueType::kDouble},
+                               {"latitude", ValueType::kDouble}};
+  for (int i = 0; i < payload_fields; ++i) {
+    fields.push_back({"attr" + std::to_string(i), ValueType::kString});
+  }
+  return Schema(std::move(fields));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::Validate(const std::vector<Value>& values) const {
+  if (values.size() != fields_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(fields_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (TypeOf(values[i]) != fields_[i].type) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     fields_[i].name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += TypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace qsp

@@ -1,0 +1,49 @@
+#ifndef QSP_RELATION_SCHEMA_H_
+#define QSP_RELATION_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// One column: name + type.
+struct Field {
+  std::string name;
+  ValueType type;
+};
+
+/// An ordered list of named, typed columns. Immutable after construction.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// The BADD running-example schema: (longitude DOUBLE, latitude DOUBLE)
+  /// followed by `payload_fields` extra string attributes describing the
+  /// object at that position.
+  static Schema Geographic(int payload_fields = 1);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Verifies `values` matches this schema's arity and types.
+  Status Validate(const std::vector<Value>& values) const;
+
+  /// "name:TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_RELATION_SCHEMA_H_

@@ -1,0 +1,53 @@
+#include "relation/table.h"
+
+namespace qsp {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {}
+
+Result<RowId> Table::Insert(std::vector<Value> values) {
+  QSP_RETURN_IF_ERROR(schema_.Validate(values));
+  if (schema_.num_fields() < 2 ||
+      schema_.field(0).type != ValueType::kDouble ||
+      schema_.field(1).type != ValueType::kDouble) {
+    return Status::FailedPrecondition(
+        "table schema must start with two DOUBLE position columns");
+  }
+  rows_.push_back(std::move(values));
+  return static_cast<RowId>(rows_.size() - 1);
+}
+
+Point Table::PositionOf(RowId id) const {
+  const auto& row = rows_[id];
+  return {std::get<double>(row[0]), std::get<double>(row[1])};
+}
+
+std::vector<RowId> Table::ScanRange(const Rect& rect) const {
+  std::vector<RowId> out;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rect.Contains(PositionOf(id))) out.push_back(id);
+  }
+  return out;
+}
+
+size_t Table::CountRange(const Rect& rect) const {
+  size_t count = 0;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rect.Contains(PositionOf(id))) ++count;
+  }
+  return count;
+}
+
+size_t Table::RowWireSize(RowId id) const {
+  size_t bytes = 0;
+  for (const Value& v : rows_[id]) bytes += WireSize(v);
+  return bytes;
+}
+
+double Table::MeanRowWireSize() const {
+  if (rows_.empty()) return 0.0;
+  size_t total = 0;
+  for (RowId id = 0; id < rows_.size(); ++id) total += RowWireSize(id);
+  return static_cast<double>(total) / static_cast<double>(rows_.size());
+}
+
+}  // namespace qsp

@@ -1,0 +1,69 @@
+#ifndef QSP_RELATION_TABLE_H_
+#define QSP_RELATION_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Row identifier within a Table (stable; rows are append-only).
+using RowId = uint32_t;
+
+/// A row-store relation. By convention (matching the BADD example) the
+/// first two columns are DOUBLE position attributes (x = longitude,
+/// y = latitude); geographic range queries select on them.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends one validated row; returns its RowId.
+  Result<RowId> Insert(std::vector<Value> values);
+
+  /// Direct row access; `id` must be < num_rows().
+  const std::vector<Value>& row(RowId id) const { return rows_[id]; }
+
+  /// Position of a row (reads the first two DOUBLE columns).
+  Point PositionOf(RowId id) const;
+
+  /// Row ids whose position lies in `rect` (closed bounds), in id order.
+  /// This is the server's evaluation of a geographic query when no index
+  /// is available — a full scan.
+  std::vector<RowId> ScanRange(const Rect& rect) const;
+
+  /// Number of rows in `rect`, via full scan.
+  size_t CountRange(const Rect& rect) const;
+
+  /// Row ids whose row satisfies `matches` (any callable taking the row
+  /// values), in id order. Used for general selection predicates.
+  template <typename Matcher>
+  std::vector<RowId> ScanWhere(const Matcher& matches) const {
+    std::vector<RowId> out;
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (matches(rows_[id])) out.push_back(id);
+    }
+    return out;
+  }
+
+  /// Approximate wire size of one row in bytes (used by byte accounting).
+  size_t RowWireSize(RowId id) const;
+
+  /// Mean wire size over all rows (0 if empty).
+  double MeanRowWireSize() const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_RELATION_TABLE_H_

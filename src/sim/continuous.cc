@@ -1,0 +1,179 @@
+#include "sim/continuous.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "geom/point.h"
+#include "merge/incremental_merger.h"
+#include "merge/pair_merger.h"
+#include "query/merge_context.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+/// A round's freshly inserted objects (positions only — payload does not
+/// affect the delta-dissemination accounting).
+struct Delta {
+  std::vector<Point> points;
+
+  size_t CountIn(const Rect& rect) const {
+    size_t n = 0;
+    for (const Point& p : points) {
+      if (rect.Contains(p)) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace
+
+Result<ContinuousOutcome> RunContinuous(const ContinuousConfig& config) {
+  if (config.rounds <= 0) {
+    return Status::InvalidArgument("rounds must be positive");
+  }
+  Rng rng(config.seed);
+
+  // Hot spots for clustered object arrivals.
+  std::vector<Point> hotspots;
+  for (int i = 0; i < config.object_clusters; ++i) {
+    hotspots.push_back(
+        {rng.UniformDouble(config.domain.x_lo(), config.domain.x_hi()),
+         rng.UniformDouble(config.domain.y_lo(), config.domain.y_hi())});
+  }
+  const double spread = 0.03 * config.domain.Width();
+
+  QuerySet queries;
+  UniformDensityEstimator estimator(
+      static_cast<double>(config.inserts_per_round) /
+      std::max(config.domain.Area(), 1.0));
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+
+  IncrementalMerger incremental(&ctx, config.cost_model);
+  const PairMerger scratch;
+
+  // Active subscriptions, FIFO for departures.
+  std::deque<QueryId> active;
+  QueryGenConfig shape = config.query_shape;
+  shape.domain = config.domain;
+  shape.num_queries = 1;
+  auto new_subscription = [&]() {
+    const Rect rect = GenerateQueries(shape, &rng)[0];
+    const QueryId id = queries.Add(rect);
+    active.push_back(id);
+    incremental.AddQuery(id);
+  };
+  for (size_t i = 0; i < config.initial_queries; ++i) new_subscription();
+
+  ContinuousOutcome outcome;
+  outcome.all_deltas_correct = true;
+  uint64_t evals_before = incremental.evaluations();
+
+  Partition replan_partition;  // Used by kReplanEachRound.
+
+  for (int round = 0; round < config.rounds; ++round) {
+    // --- Subscription churn.
+    for (size_t i = 0; i < config.arrivals_per_round; ++i) new_subscription();
+    for (size_t i = 0;
+         i < config.departures_per_round && active.size() > 1; ++i) {
+      incremental.RemoveQuery(active.front());
+      active.pop_front();
+    }
+
+    // --- Plan maintenance.
+    ContinuousRoundStats stats;
+    stats.round = round;
+    stats.active_queries = active.size();
+    const Partition* plan = nullptr;
+    switch (config.maintenance) {
+      case PlanMaintenance::kIncremental:
+        plan = &incremental.partition();
+        stats.plan_cost = incremental.cost();
+        break;
+      case PlanMaintenance::kIncrementalRepair:
+        incremental.Repair();
+        plan = &incremental.partition();
+        stats.plan_cost = incremental.cost();
+        break;
+      case PlanMaintenance::kReplanEachRound: {
+        Partition start;
+        for (QueryId q : active) start.push_back({q});
+        MergeOutcome merged =
+            scratch.MergeFrom(ctx, config.cost_model, std::move(start));
+        stats.maintenance_evals += merged.candidates;
+        stats.plan_cost = merged.cost;
+        replan_partition = std::move(merged.partition);
+        plan = &replan_partition;
+        break;
+      }
+    }
+    if (config.maintenance != PlanMaintenance::kReplanEachRound) {
+      stats.maintenance_evals = incremental.evaluations() - evals_before;
+      evals_before = incremental.evaluations();
+    }
+    stats.groups = plan->size();
+
+    // --- New objects this round.
+    Delta delta;
+    for (size_t i = 0; i < config.inserts_per_round; ++i) {
+      Point p;
+      if (!hotspots.empty() &&
+          rng.Bernoulli(config.object_clustered_fraction)) {
+        const Point& c = hotspots[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(hotspots.size()) - 1))];
+        p.x = std::clamp(rng.Normal(c.x, spread), config.domain.x_lo(),
+                         config.domain.x_hi());
+        p.y = std::clamp(rng.Normal(c.y, spread), config.domain.y_lo(),
+                         config.domain.y_hi());
+      } else {
+        p.x = rng.UniformDouble(config.domain.x_lo(), config.domain.x_hi());
+        p.y = rng.UniformDouble(config.domain.y_lo(), config.domain.y_hi());
+      }
+      delta.points.push_back(p);
+    }
+
+    // --- Delta dissemination per merged group. Continuous queries
+    // receive only this round's new objects; one message per merged
+    // query, extractor = original rectangle (Section 3.1).
+    for (const QueryGroup& group : *plan) {
+      for (const MergedQuery& merged : procedure.Merge(queries, group)) {
+        ++stats.messages;
+        // Payload: delta points inside the merged region.
+        std::vector<const Point*> payload;
+        for (const Point& p : delta.points) {
+          for (const Rect& piece : merged.region) {
+            if (piece.Contains(p)) {
+              payload.push_back(&p);
+              break;
+            }
+          }
+        }
+        stats.delta_rows += payload.size();
+        // Extraction + verification per member query.
+        for (QueryId member : merged.members) {
+          const Rect& rect = queries.rect(member);
+          size_t extracted = 0;
+          for (const Point* p : payload) {
+            if (rect.Contains(*p)) ++extracted;
+          }
+          stats.irrelevant_rows += payload.size() - extracted;
+          if (extracted != delta.CountIn(rect)) {
+            outcome.all_deltas_correct = false;
+          }
+        }
+      }
+    }
+
+    outcome.total_messages += stats.messages;
+    outcome.total_delta_rows += stats.delta_rows;
+    outcome.total_irrelevant_rows += stats.irrelevant_rows;
+    outcome.total_maintenance_evals += stats.maintenance_evals;
+    outcome.rounds.push_back(stats);
+  }
+  return outcome;
+}
+
+}  // namespace qsp

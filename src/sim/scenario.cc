@@ -1,0 +1,50 @@
+#include "sim/scenario.h"
+
+namespace qsp {
+
+Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
+  if (config.rounds <= 0) {
+    return Status::InvalidArgument("rounds must be positive");
+  }
+  if (config.num_clients == 0) {
+    return Status::InvalidArgument("need at least one client");
+  }
+  Rng rng(config.seed);
+
+  TableGeneratorConfig objects = config.objects;
+  Table table = GenerateTable(objects, &rng);
+
+  QueryGenConfig workload = config.workload;
+  workload.domain = objects.domain;
+  const std::vector<Rect> rects = GenerateQueries(workload, &rng);
+
+  SubscriptionService service(std::move(table), objects.domain,
+                              config.service);
+  // Register clients, then mirror AssignClients' strategy through the
+  // service so subscriptions and client ids stay consistent.
+  QuerySet staging(rects);
+  ClientSet assignment =
+      AssignClients(staging, config.num_clients, config.assignment, &rng);
+  for (size_t c = 0; c < config.num_clients; ++c) service.AddClient();
+  for (ClientId c = 0; c < config.num_clients; ++c) {
+    for (QueryId q : assignment.QueriesOf(c)) {
+      service.Subscribe(c, rects[q]);
+    }
+  }
+
+  ScenarioResult result;
+  auto plan = service.Plan();
+  if (!plan.ok()) return plan.status();
+  result.plan = std::move(plan).value();
+
+  result.all_correct = true;
+  for (int round = 0; round < config.rounds; ++round) {
+    auto stats = service.RunRound();
+    if (!stats.ok()) return stats.status();
+    if (!stats->all_answers_correct) result.all_correct = false;
+    result.rounds.push_back(*stats);
+  }
+  return result;
+}
+
+}  // namespace qsp

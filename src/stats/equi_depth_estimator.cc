@@ -1,0 +1,76 @@
+#include "stats/equi_depth_estimator.h"
+
+#include <algorithm>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace qsp {
+namespace {
+
+std::vector<double> BuildBoundaries(std::vector<double> values,
+                                    int buckets) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> boundaries;
+  boundaries.reserve(static_cast<size_t>(buckets) + 1);
+  const size_t n = values.size();
+  for (int b = 0; b <= buckets; ++b) {
+    const size_t index = std::min(
+        n - 1, static_cast<size_t>(static_cast<double>(b) *
+                                   static_cast<double>(n) / buckets));
+    boundaries.push_back(values[b == buckets ? n - 1 : index]);
+  }
+  return boundaries;
+}
+
+}  // namespace
+
+EquiDepthEstimator::EquiDepthEstimator(const Table& table, int buckets,
+                                       double record_size)
+    : total_(static_cast<double>(table.num_rows())),
+      record_size_(record_size) {
+  QSP_CHECK(buckets >= 1);
+  if (table.num_rows() == 0) return;
+  std::vector<double> xs, ys;
+  xs.reserve(table.num_rows());
+  ys.reserve(table.num_rows());
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    const Point p = table.PositionOf(id);
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  boundaries_x_ = BuildBoundaries(std::move(xs), buckets);
+  boundaries_y_ = BuildBoundaries(std::move(ys), buckets);
+}
+
+double EquiDepthEstimator::MarginalFraction(
+    const std::vector<double>& boundaries, double lo, double hi) {
+  if (boundaries.empty() || hi < lo) return 0.0;
+  const size_t buckets = boundaries.size() - 1;
+  const double per_bucket = 1.0 / static_cast<double>(buckets);
+
+  // Cumulative fraction of values <= v, linear inside buckets.
+  auto cdf = [&](double v) {
+    if (v <= boundaries.front()) return 0.0;
+    if (v >= boundaries.back()) return 1.0;
+    const auto it =
+        std::upper_bound(boundaries.begin(), boundaries.end(), v);
+    const size_t bucket =
+        static_cast<size_t>(it - boundaries.begin()) - 1;
+    const double b_lo = boundaries[bucket];
+    const double b_hi = boundaries[bucket + 1];
+    const double within =
+        b_hi > b_lo ? (v - b_lo) / (b_hi - b_lo) : 1.0;
+    return (static_cast<double>(bucket) + within) * per_bucket;
+  };
+  return std::max(0.0, cdf(hi) - cdf(lo));
+}
+
+double EquiDepthEstimator::EstimateSize(const Rect& rect) const {
+  if (rect.IsEmpty() || total_ == 0.0) return 0.0;
+  const double fx = MarginalFraction(boundaries_x_, rect.x_lo(), rect.x_hi());
+  const double fy = MarginalFraction(boundaries_y_, rect.y_lo(), rect.y_hi());
+  return total_ * fx * fy * record_size_;
+}
+
+}  // namespace qsp

@@ -1,0 +1,16 @@
+#include "stats/exact_estimator.h"
+
+#include "util/status.h"
+
+namespace qsp {
+
+ExactEstimator::ExactEstimator(const SpatialIndex* index, double record_size)
+    : index_(index), record_size_(record_size) {
+  QSP_CHECK(index != nullptr);
+}
+
+double ExactEstimator::EstimateSize(const Rect& rect) const {
+  return static_cast<double>(index_->Count(rect)) * record_size_;
+}
+
+}  // namespace qsp

@@ -1,0 +1,68 @@
+#include "stats/histogram_estimator.h"
+
+#include <algorithm>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace qsp {
+
+HistogramEstimator::HistogramEstimator(const Table& table, const Rect& domain,
+                                       int buckets_x, int buckets_y,
+                                       double record_size)
+    : domain_(domain),
+      buckets_x_(std::max(1, buckets_x)),
+      buckets_y_(std::max(1, buckets_y)),
+      record_size_(record_size) {
+  QSP_CHECK(!domain.IsEmpty());
+  counts_.assign(
+      static_cast<size_t>(buckets_x_) * static_cast<size_t>(buckets_y_), 0.0);
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    const Point p = table.PositionOf(id);
+    int bx = static_cast<int>((p.x - domain_.x_lo()) / domain_.Width() *
+                              buckets_x_);
+    int by = static_cast<int>((p.y - domain_.y_lo()) / domain_.Height() *
+                              buckets_y_);
+    bx = std::clamp(bx, 0, buckets_x_ - 1);
+    by = std::clamp(by, 0, buckets_y_ - 1);
+    counts_[static_cast<size_t>(by) * buckets_x_ + bx] += 1.0;
+  }
+}
+
+Rect HistogramEstimator::BucketRect(int bx, int by) const {
+  const double w = domain_.Width() / buckets_x_;
+  const double h = domain_.Height() / buckets_y_;
+  return Rect(domain_.x_lo() + bx * w, domain_.y_lo() + by * h,
+              domain_.x_lo() + (bx + 1) * w, domain_.y_lo() + (by + 1) * h);
+}
+
+double HistogramEstimator::EstimateSize(const Rect& rect) const {
+  if (rect.IsEmpty()) return 0.0;
+  const Rect clipped = rect.Intersection(domain_);
+  if (clipped.IsEmpty()) return 0.0;
+  const double w = domain_.Width() / buckets_x_;
+  const double h = domain_.Height() / buckets_y_;
+  int bx_lo = std::clamp(
+      static_cast<int>((clipped.x_lo() - domain_.x_lo()) / w), 0,
+      buckets_x_ - 1);
+  int bx_hi = std::clamp(
+      static_cast<int>((clipped.x_hi() - domain_.x_lo()) / w), 0,
+      buckets_x_ - 1);
+  int by_lo = std::clamp(
+      static_cast<int>((clipped.y_lo() - domain_.y_lo()) / h), 0,
+      buckets_y_ - 1);
+  int by_hi = std::clamp(
+      static_cast<int>((clipped.y_hi() - domain_.y_lo()) / h), 0,
+      buckets_y_ - 1);
+  double total = 0.0;
+  for (int by = by_lo; by <= by_hi; ++by) {
+    for (int bx = bx_lo; bx <= bx_hi; ++bx) {
+      const Rect bucket = BucketRect(bx, by);
+      const double frac = OverlapArea(bucket, clipped) / bucket.Area();
+      total += counts_[static_cast<size_t>(by) * buckets_x_ + bx] * frac;
+    }
+  }
+  return total * record_size_;
+}
+
+}  // namespace qsp

@@ -1,0 +1,27 @@
+#include "stats/sampling_estimator.h"
+
+#include <algorithm>
+
+namespace qsp {
+
+SamplingEstimator::SamplingEstimator(const Table& table, double rate,
+                                     uint64_t seed, double record_size)
+    : record_size_(record_size) {
+  rate = std::clamp(rate, 1e-6, 1.0);
+  inverse_rate_ = 1.0 / rate;
+  Rng rng(seed);
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    if (rng.Bernoulli(rate)) sample_.push_back(table.PositionOf(id));
+  }
+}
+
+double SamplingEstimator::EstimateSize(const Rect& rect) const {
+  if (rect.IsEmpty()) return 0.0;
+  size_t hits = 0;
+  for (const Point& p : sample_) {
+    if (rect.Contains(p)) ++hits;
+  }
+  return static_cast<double>(hits) * inverse_rate_ * record_size_;
+}
+
+}  // namespace qsp

@@ -1,0 +1,60 @@
+#include "util/bell.h"
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace qsp {
+namespace {
+
+constexpr uint64_t kSaturated = std::numeric_limits<uint64_t>::max();
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return (a > kSaturated - b) ? kSaturated : a + b;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+}  // namespace
+
+uint64_t BellNumber(int n) {
+  if (n <= 0) return 1;
+  // Bell triangle.
+  std::vector<uint64_t> row = {1};
+  for (int i = 1; i <= n; ++i) {
+    std::vector<uint64_t> next;
+    next.reserve(row.size() + 1);
+    next.push_back(row.back());
+    for (uint64_t v : row) next.push_back(SatAdd(next.back(), v));
+    row = std::move(next);
+  }
+  return row.front();
+}
+
+uint64_t PartitionsIntoAtMost(int n, int k) {
+  if (n <= 0) return 1;
+  if (k <= 0) return 0;
+  // Stirling numbers of the second kind, rolling row:
+  // S(i, j) = j*S(i-1, j) + S(i-1, j-1).
+  std::vector<uint64_t> s(static_cast<size_t>(n) + 1, 0);
+  s[0] = 1;  // Represents S(0, 0); shifted usage below.
+  std::vector<uint64_t> prev(static_cast<size_t>(n) + 1, 0);
+  prev[0] = 1;
+  std::vector<uint64_t> cur(static_cast<size_t>(n) + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    cur.assign(cur.size(), 0);
+    for (int j = 1; j <= i; ++j) {
+      cur[j] = SatAdd(SatMul(static_cast<uint64_t>(j), prev[j]), prev[j - 1]);
+    }
+    prev = cur;
+  }
+  uint64_t total = 0;
+  for (int j = 1; j <= k && j <= n; ++j) total = SatAdd(total, prev[j]);
+  return total;
+}
+
+}  // namespace qsp

@@ -1,0 +1,21 @@
+#ifndef QSP_UTIL_BELL_H_
+#define QSP_UTIL_BELL_H_
+
+#include <cstdint>
+
+namespace qsp {
+
+/// Exact n-th Bell number (number of set partitions of n elements), the
+/// search-space size of the Partition Algorithm (Section 6.1.1 of the
+/// paper). Saturates to UINT64_MAX on overflow (n >= 26).
+uint64_t BellNumber(int n);
+
+/// Number of partitions of n elements into at most k non-empty unlabeled
+/// parts: sum of Stirling numbers of the second kind S(n, 1..k). This is
+/// the search-space size of the exhaustive channel-allocation algorithm
+/// with k channels (Section 8.1). Saturates on overflow.
+uint64_t PartitionsIntoAtMost(int n, int k);
+
+}  // namespace qsp
+
+#endif  // QSP_UTIL_BELL_H_

@@ -1,0 +1,20 @@
+#ifndef QSP_UTIL_FLOAT_COMPARE_H_
+#define QSP_UTIL_FLOAT_COMPARE_H_
+
+#include <cmath>
+
+namespace qsp {
+
+/// True when `delta` is a real improvement rather than floating-point
+/// noise, judged relative to the magnitude of the quantities it was
+/// derived from. All local-search loops in the library (hill climbing,
+/// directed search, incremental repair) must gate their moves on this:
+/// a cost delta of ~1e-14 can be "positive" in both directions of the
+/// same move, which turns steepest descent into an infinite oscillation.
+inline bool IsImprovement(double delta, double scale) {
+  return delta > 1e-9 * (std::abs(scale) + 1.0);
+}
+
+}  // namespace qsp
+
+#endif  // QSP_UTIL_FLOAT_COMPARE_H_

@@ -1,0 +1,43 @@
+#ifndef QSP_UTIL_SUMMARY_H_
+#define QSP_UTIL_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qsp {
+
+/// Streaming summary statistics (Welford). Used by the benchmark harnesses
+/// to report the per-figure aggregates the paper quotes (means, extrema).
+class Summary {
+ public:
+  /// Folds one observation into the summary.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// "mean=… min=… max=… n=…" for log lines.
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation.
+/// Copies and sorts; intended for end-of-run reporting, not hot paths.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace qsp
+
+#endif  // QSP_UTIL_SUMMARY_H_

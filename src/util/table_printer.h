@@ -1,0 +1,37 @@
+#ifndef QSP_UTIL_TABLE_PRINTER_H_
+#define QSP_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace qsp {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// text table (for terminal output of the figure-reproduction harnesses) or
+/// as CSV (for downstream plotting).
+class TablePrinter {
+ public:
+  /// Sets the column headers; call before adding rows.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the width bookkeeping.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows: formats each value with %.*g.
+  void AddNumericRow(const std::vector<double>& values, int precision = 6);
+
+  /// Aligned, pipe-separated rendering with a header underline.
+  std::string ToText() const;
+
+  /// RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,50 @@
+#include "workload/client_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qsp {
+
+ClientSet AssignClients(const QuerySet& queries, size_t num_clients,
+                        ClientAssignment mode, Rng* rng) {
+  QSP_CHECK(num_clients > 0);
+  ClientSet clients;
+  for (size_t i = 0; i < num_clients; ++i) clients.AddClient();
+
+  std::vector<QueryId> order = queries.AllIds();
+  switch (mode) {
+    case ClientAssignment::kRoundRobin:
+      break;
+    case ClientAssignment::kRandom:
+      for (QueryId q : order) {
+        clients.Subscribe(
+            static_cast<ClientId>(rng->UniformInt(
+                0, static_cast<int64_t>(num_clients) - 1)),
+            q);
+      }
+      return clients;
+    case ClientAssignment::kLocality:
+      std::sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
+        const Point ca = queries.rect(a).Center();
+        const Point cb = queries.rect(b).Center();
+        if (ca.x != cb.x) return ca.x < cb.x;
+        return ca.y < cb.y;
+      });
+      // Contiguous chunks of the position-sorted order, so each client's
+      // subscriptions are neighbours.
+      for (size_t i = 0; i < order.size(); ++i) {
+        clients.Subscribe(
+            static_cast<ClientId>(i * num_clients / order.size()), order[i]);
+      }
+      return clients;
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    clients.Subscribe(static_cast<ClientId>(i % num_clients), order[i]);
+  }
+  return clients;
+}
+
+}  // namespace qsp

@@ -1,0 +1,30 @@
+#ifndef QSP_WORKLOAD_CLIENT_GEN_H_
+#define QSP_WORKLOAD_CLIENT_GEN_H_
+
+#include "channel/client_set.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace qsp {
+
+/// How queries are handed out to clients.
+enum class ClientAssignment {
+  /// Query i goes to client i % num_clients (even spread).
+  kRoundRobin,
+  /// Each query goes to a uniformly random client.
+  kRandom,
+  /// Queries are sorted by center position before round-robin so each
+  /// client's subscriptions are geographically coherent (an operational
+  /// unit asks about its own area — the BADD pattern).
+  kLocality,
+};
+
+/// Builds a ClientSet of `num_clients` clients subscribing to all queries
+/// of `queries` per `mode`. Every client gets at least one query when
+/// num_clients <= queries.size().
+ClientSet AssignClients(const QuerySet& queries, size_t num_clients,
+                        ClientAssignment mode, Rng* rng);
+
+}  // namespace qsp
+
+#endif  // QSP_WORKLOAD_CLIENT_GEN_H_

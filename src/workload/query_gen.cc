@@ -1,0 +1,73 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace qsp {
+namespace {
+
+Rect ClampedQuery(const Point& center, double width, double height,
+                  const Rect& domain) {
+  Rect r = Rect::FromCenter(center, width, height);
+  r = r.Intersection(domain);
+  if (r.IsEmpty()) {
+    // Center fell outside the domain; snap it to the nearest corner area.
+    const double cx = std::clamp(center.x, domain.x_lo(), domain.x_hi());
+    const double cy = std::clamp(center.y, domain.y_lo(), domain.y_hi());
+    r = Rect::FromCenter({cx, cy}, width, height).Intersection(domain);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Rect> GenerateQueries(const QueryGenConfig& config, Rng* rng) {
+  QSP_CHECK(!config.domain.IsEmpty());
+  QSP_CHECK(config.min_extent <= config.max_extent);
+  const Rect& domain = config.domain;
+  const double w = domain.Width();
+  const double h = domain.Height();
+
+  const size_t num_clustered = static_cast<size_t>(
+      std::llround(config.cf * static_cast<double>(config.num_queries)));
+  const size_t per_cluster = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             config.sf * static_cast<double>(num_clustered))));
+
+  std::vector<Rect> queries;
+  queries.reserve(config.num_queries);
+
+  // Clustered queries: draw a fresh uniform origin every `per_cluster`
+  // queries; each query center is Normal(origin, df * width).
+  Point origin{0, 0};
+  const double spread = config.df * w;
+  for (size_t i = 0; i < num_clustered; ++i) {
+    if (i % per_cluster == 0) {
+      origin = {rng->UniformDouble(domain.x_lo(), domain.x_hi()),
+                rng->UniformDouble(domain.y_lo(), domain.y_hi())};
+    }
+    const Point center{rng->Normal(origin.x, spread),
+                       rng->Normal(origin.y, spread)};
+    const double qw = rng->UniformDouble(config.min_extent, config.max_extent) * w;
+    const double qh = rng->UniformDouble(config.min_extent, config.max_extent) * h;
+    queries.push_back(ClampedQuery(center, qw, qh, domain));
+  }
+
+  // Random queries: uniform centers.
+  while (queries.size() < config.num_queries) {
+    const Point center{rng->UniformDouble(domain.x_lo(), domain.x_hi()),
+                       rng->UniformDouble(domain.y_lo(), domain.y_hi())};
+    const double qw = rng->UniformDouble(config.min_extent, config.max_extent) * w;
+    const double qh = rng->UniformDouble(config.min_extent, config.max_extent) * h;
+    queries.push_back(ClampedQuery(center, qw, qh, domain));
+  }
+
+  // Interleave so truncating a prefix still mixes both kinds.
+  rng->Shuffle(&queries);
+  return queries;
+}
+
+}  // namespace qsp

@@ -1,0 +1,47 @@
+#ifndef QSP_WORKLOAD_QUERY_GEN_H_
+#define QSP_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/rng.h"
+
+namespace qsp {
+
+/// The input-generation model of Section 9.1: a hybrid of random and
+/// clustered range queries over the two-dimensional database.
+struct QueryGenConfig {
+  /// Domain of the two attributes.
+  Rect domain = Rect(0, 0, 1000, 1000);
+
+  /// Number of queries to generate.
+  size_t num_queries = 10;
+
+  /// cf: fraction of queries generated using clustering (the rest are
+  /// uniformly random over the domain).
+  double cf = 0.6;
+
+  /// sf: fraction of the *clustered* queries that belong to one cluster;
+  /// i.e. each cluster holds ceil(sf * cf * num_queries) queries, so the
+  /// number of clusters is about 1/sf.
+  double sf = 0.5;
+
+  /// df: cluster density — the standard deviation of the Normal(0, df)
+  /// displacement of a clustered query's center from its cluster origin,
+  /// expressed as a fraction of the domain width.
+  double df = 0.05;
+
+  /// Query extents are drawn uniformly from these ranges (fractions of
+  /// the domain width/height).
+  double min_extent = 0.01;
+  double max_extent = 0.10;
+};
+
+/// Generates query rectangles per `config`, deterministic in `rng`.
+/// Cluster origins are uniform over the domain; every rectangle is clamped
+/// into the domain.
+std::vector<Rect> GenerateQueries(const QueryGenConfig& config, Rng* rng);
+
+}  // namespace qsp
+
+#endif  // QSP_WORKLOAD_QUERY_GEN_H_

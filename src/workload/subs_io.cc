@@ -1,0 +1,75 @@
+#include "workload/subs_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace qsp {
+
+Result<std::vector<SubscriptionRow>> ParseSubscriptionsCsv(
+    std::istream& in) {
+  std::vector<SubscriptionRow> rows;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 5 comma-separated fields");
+    }
+    char* end = nullptr;
+    const long client = std::strtol(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str() || client < 0) {
+      if (rows.empty() && line_no == 1) continue;  // Header line.
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad client id '" + fields[0] + "'");
+    }
+    double coords[4];
+    for (int i = 0; i < 4; ++i) {
+      end = nullptr;
+      const std::string& text = fields[static_cast<size_t>(i) + 1];
+      coords[i] = std::strtod(text.c_str(), &end);
+      if (end == text.c_str()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad number '" + text + "'");
+      }
+    }
+    const Rect rect(coords[0], coords[1], coords[2], coords[3]);
+    if (rect.IsEmpty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": empty rectangle");
+    }
+    rows.push_back({static_cast<ClientId>(client), rect});
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no subscription rows found");
+  }
+  return rows;
+}
+
+Result<std::vector<SubscriptionRow>> LoadSubscriptionsCsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return ParseSubscriptionsCsv(in);
+}
+
+std::string SubscriptionsToCsv(const std::vector<SubscriptionRow>& rows) {
+  std::string out = "client,x_lo,y_lo,x_hi,y_hi\n";
+  for (const SubscriptionRow& row : rows) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%u,%.17g,%.17g,%.17g,%.17g\n",
+                  row.client, row.rect.x_lo(), row.rect.y_lo(),
+                  row.rect.x_hi(), row.rect.y_hi());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace qsp

@@ -1,0 +1,37 @@
+#ifndef QSP_WORKLOAD_SUBS_IO_H_
+#define QSP_WORKLOAD_SUBS_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "channel/client_set.h"
+#include "geom/rect.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// One subscription row: which client asked for which rectangle.
+struct SubscriptionRow {
+  ClientId client = 0;
+  Rect rect;
+};
+
+/// Parses subscriptions from CSV text with rows
+///   client,x_lo,y_lo,x_hi,y_hi
+/// Empty lines and '#' comments are skipped; a single leading header
+/// line is tolerated. Fails with a line-numbered message on malformed
+/// rows, empty rectangles, or an empty file.
+Result<std::vector<SubscriptionRow>> ParseSubscriptionsCsv(
+    std::istream& in);
+
+/// Convenience: reads `path` and parses it.
+Result<std::vector<SubscriptionRow>> LoadSubscriptionsCsv(
+    const std::string& path);
+
+/// Renders rows back to CSV (with header), the inverse of the parser.
+std::string SubscriptionsToCsv(const std::vector<SubscriptionRow>& rows);
+
+}  // namespace qsp
+
+#endif  // QSP_WORKLOAD_SUBS_IO_H_

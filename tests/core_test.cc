@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/subscription_service.h"
+#include "relation/generator.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+Table MakeWorldTable(uint64_t seed, size_t objects = 1000) {
+  Rng rng(seed);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = objects;
+  config.payload_fields = 1;
+  config.payload_bytes = 16;
+  return GenerateTable(config, &rng);
+}
+
+ServiceConfig BasicConfig() {
+  ServiceConfig config;
+  config.cost_model = {2.0, 1.0, 1.0, 0.0};
+  config.estimator = EstimatorKind::kExact;
+  return config;
+}
+
+TEST(SubscriptionServiceTest, PlanRequiresSubscriptions) {
+  SubscriptionService service(MakeWorldTable(1), Rect(0, 0, 100, 100),
+                              BasicConfig());
+  EXPECT_FALSE(service.Plan().ok());
+}
+
+TEST(SubscriptionServiceTest, RoundRequiresPlan) {
+  SubscriptionService service(MakeWorldTable(1), Rect(0, 0, 100, 100),
+                              BasicConfig());
+  const ClientId c = service.AddClient();
+  service.Subscribe(c, Rect(0, 0, 10, 10));
+  EXPECT_FALSE(service.RunRound().ok());
+}
+
+TEST(SubscriptionServiceTest, SingleChannelPlanAndRound) {
+  SubscriptionService service(MakeWorldTable(2), Rect(0, 0, 100, 100),
+                              BasicConfig());
+  const ClientId a = service.AddClient();
+  const ClientId b = service.AddClient();
+  service.Subscribe(a, Rect(10, 10, 30, 30));
+  service.Subscribe(a, Rect(12, 12, 32, 32));
+  service.Subscribe(b, Rect(70, 70, 90, 90));
+
+  auto report = service.Plan();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->initial_cost, 0.0);
+  EXPECT_LE(report->estimated_cost, report->initial_cost + 1e-9);
+  ASSERT_EQ(report->plan.allocation.size(), 1u);
+  EXPECT_EQ(report->plan.allocation[0].size(), 2u);
+
+  auto stats = service.RunRound();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->all_answers_correct);
+  EXPECT_EQ(stats->num_messages, report->num_groups);
+}
+
+TEST(SubscriptionServiceTest, OverlappingQueriesGetMerged) {
+  SubscriptionService service(MakeWorldTable(3), Rect(0, 0, 100, 100),
+                              BasicConfig());
+  const ClientId a = service.AddClient();
+  // Two nearly identical queries: merging is clearly beneficial.
+  service.Subscribe(a, Rect(10, 10, 30, 30));
+  service.Subscribe(a, Rect(11, 11, 31, 31));
+  auto report = service.Plan();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_groups, 1u);
+}
+
+TEST(SubscriptionServiceTest, SubscribingInvalidatesPlan) {
+  SubscriptionService service(MakeWorldTable(4), Rect(0, 0, 100, 100),
+                              BasicConfig());
+  const ClientId a = service.AddClient();
+  service.Subscribe(a, Rect(0, 0, 10, 10));
+  ASSERT_TRUE(service.Plan().ok());
+  service.Subscribe(a, Rect(5, 5, 15, 15));
+  EXPECT_FALSE(service.RunRound().ok());  // Stale plan rejected.
+  ASSERT_TRUE(service.Plan().ok());
+  EXPECT_TRUE(service.RunRound().ok());
+}
+
+TEST(SubscriptionServiceTest, MultiChannelPlanUsesAtMostConfiguredChannels) {
+  ServiceConfig config = BasicConfig();
+  config.num_channels = 3;
+  SubscriptionService service(MakeWorldTable(5), Rect(0, 0, 100, 100),
+                              config);
+  for (int c = 0; c < 6; ++c) {
+    const ClientId id = service.AddClient();
+    const double x = 15.0 * c;
+    service.Subscribe(id, Rect(x, x, x + 10, x + 10));
+  }
+  auto report = service.Plan();
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->plan.allocation.size(), 3u);
+  auto stats = service.RunRound();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->all_answers_correct);
+  EXPECT_LE(stats->channels_used, 3u);
+}
+
+TEST(SubscriptionServiceTest, SubscribeWhereParsesGeographicPredicate) {
+  SubscriptionService service(MakeWorldTable(8), Rect(0, 0, 100, 100),
+                              BasicConfig());
+  const ClientId a = service.AddClient();
+  auto id = service.SubscribeWhere(
+      a, "longitude BETWEEN 10 AND 30 AND latitude BETWEEN 20 AND 40");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(service.queries().rect(id.value()), Rect(10, 20, 30, 40));
+
+  // Disjunctions and payload columns cannot become one range query.
+  EXPECT_FALSE(service.SubscribeWhere(a, "longitude < 5 OR latitude < 5")
+                   .ok());
+  EXPECT_FALSE(service.SubscribeWhere(a, "attr0 = 'tank'").ok());
+  EXPECT_FALSE(service.SubscribeWhere(a, "not valid ((").ok());
+}
+
+TEST(SubscriptionServiceTest, RTreeIndexProducesSameRoundResults) {
+  auto run = [](IndexKind index) {
+    ServiceConfig config = BasicConfig();
+    config.index = index;
+    SubscriptionService service(MakeWorldTable(9), Rect(0, 0, 100, 100),
+                                config);
+    const ClientId a = service.AddClient();
+    service.Subscribe(a, Rect(10, 10, 40, 40));
+    service.Subscribe(a, Rect(30, 30, 60, 60));
+    EXPECT_TRUE(service.Plan().ok());
+    auto stats = service.RunRound();
+    EXPECT_TRUE(stats.ok());
+    return *stats;
+  };
+  const RoundStats grid = run(IndexKind::kGrid);
+  const RoundStats rtree = run(IndexKind::kRTree);
+  EXPECT_TRUE(grid.all_answers_correct);
+  EXPECT_TRUE(rtree.all_answers_correct);
+  EXPECT_EQ(grid.payload_rows, rtree.payload_rows);
+  EXPECT_EQ(grid.num_messages, rtree.num_messages);
+}
+
+TEST(SubscriptionServiceTest, FactoriesCoverAllKinds) {
+  EXPECT_NE(MakeProcedure(ProcedureKind::kBoundingRect), nullptr);
+  EXPECT_NE(MakeProcedure(ProcedureKind::kBoundingPolygon), nullptr);
+  EXPECT_NE(MakeProcedure(ProcedureKind::kExactCover), nullptr);
+  EXPECT_NE(MakeMerger(MergerKind::kPairMerging, 1), nullptr);
+  EXPECT_NE(MakeMerger(MergerKind::kDirectedSearch, 1), nullptr);
+  EXPECT_NE(MakeMerger(MergerKind::kClustering, 1), nullptr);
+  EXPECT_NE(MakeMerger(MergerKind::kPartitionExact, 1), nullptr);
+}
+
+/// Property sweep over the full configuration matrix: every combination
+/// plans successfully and delivers exact answers.
+class ServiceMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<MergerKind, ProcedureKind, EstimatorKind, int>> {};
+
+TEST_P(ServiceMatrix, PlansAndDeliversCorrectly) {
+  ServiceConfig config = BasicConfig();
+  config.merger = std::get<0>(GetParam());
+  config.procedure = std::get<1>(GetParam());
+  config.estimator = std::get<2>(GetParam());
+  config.num_channels = std::get<3>(GetParam());
+
+  SubscriptionService service(MakeWorldTable(7), Rect(0, 0, 100, 100),
+                              config);
+  Rng rng(99);
+  for (int c = 0; c < 4; ++c) {
+    const ClientId id = service.AddClient();
+    for (int q = 0; q < 2; ++q) {
+      const double x = rng.UniformDouble(0, 70);
+      const double y = rng.UniformDouble(0, 70);
+      service.Subscribe(id, Rect(x, y, x + rng.UniformDouble(5, 25),
+                                 y + rng.UniformDouble(5, 25)));
+    }
+  }
+  auto report = service.Plan();
+  ASSERT_TRUE(report.ok());
+  auto stats = service.RunRound();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->all_answers_correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ServiceMatrix,
+    ::testing::Combine(
+        ::testing::Values(MergerKind::kPairMerging,
+                          MergerKind::kDirectedSearch,
+                          MergerKind::kClustering,
+                          MergerKind::kPartitionExact),
+        ::testing::Values(ProcedureKind::kBoundingRect,
+                          ProcedureKind::kBoundingPolygon,
+                          ProcedureKind::kExactCover),
+        ::testing::Values(EstimatorKind::kUniform, EstimatorKind::kHistogram,
+                          EstimatorKind::kExact),
+        ::testing::Values(1, 2)));
+
+/// Second matrix over the runtime dimensions: index structure x
+/// extractor implementation x channels, all with the pair merger.
+class RuntimeMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<IndexKind, ExtractionMode, int>> {};
+
+TEST_P(RuntimeMatrix, PlansAndDeliversCorrectly) {
+  ServiceConfig config = BasicConfig();
+  config.index = std::get<0>(GetParam());
+  config.extraction = std::get<1>(GetParam());
+  config.num_channels = std::get<2>(GetParam());
+  config.cost_model.k_check = 0.5;
+
+  SubscriptionService service(MakeWorldTable(21), Rect(0, 0, 100, 100),
+                              config);
+  Rng rng(55);
+  for (int c = 0; c < 5; ++c) {
+    const ClientId id = service.AddClient();
+    for (int q = 0; q < 2; ++q) {
+      const double x = rng.UniformDouble(0, 70);
+      const double y = rng.UniformDouble(0, 70);
+      service.Subscribe(id, Rect(x, y, x + rng.UniformDouble(5, 25),
+                                 y + rng.UniformDouble(5, 25)));
+    }
+  }
+  ASSERT_TRUE(service.Plan().ok());
+  auto stats = service.RunRound();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->all_answers_correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RuntimeMatrix,
+    ::testing::Combine(
+        ::testing::Values(IndexKind::kGrid, IndexKind::kRTree),
+        ::testing::Values(ExtractionMode::kSelfExtract,
+                          ExtractionMode::kServerTags),
+        ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace qsp

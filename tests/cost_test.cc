@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "query/query.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+/// The 3-query arrangement of Figure 6, scaled by the unit size S = 1:
+/// q1 (top bar) and q2 (right bar) have size 2, q3 (corner square) size 1;
+/// every merge — any pair or all three — has bounding-rectangle size 4.
+QuerySet FigureSixQueries() {
+  return QuerySet({Rect(0, 1, 2, 2),    // q1, area 2
+                   Rect(1, 0, 2, 2),    // q2, area 2
+                   Rect(0, 0, 1, 1)});  // q3, area 1
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : queries_(FigureSixQueries()),
+        estimator_(1.0),
+        ctx_(&queries_, &estimator_, &procedure_) {}
+
+  QuerySet queries_;
+  UniformDensityEstimator estimator_;
+  BoundingRectProcedure procedure_;
+  MergeContext ctx_;
+};
+
+TEST_F(CostModelTest, FigureSixGeometryHasPaperSizes) {
+  EXPECT_DOUBLE_EQ(ctx_.Size(0), 2.0);
+  EXPECT_DOUBLE_EQ(ctx_.Size(1), 2.0);
+  EXPECT_DOUBLE_EQ(ctx_.Size(2), 1.0);
+  EXPECT_DOUBLE_EQ(ctx_.Stats({0, 1}).size, 4.0);
+  EXPECT_DOUBLE_EQ(ctx_.Stats({0, 2}).size, 4.0);
+  EXPECT_DOUBLE_EQ(ctx_.Stats({1, 2}).size, 4.0);
+  EXPECT_DOUBLE_EQ(ctx_.Stats({0, 1, 2}).size, 4.0);
+}
+
+TEST_F(CostModelTest, AppendixOneCosts) {
+  // The paper's example constants: S=1, K_M=10, K_T=9, K_U=4.
+  const CostModel model{10, 9, 4, 0};
+  // Not merging: 3*K_M + 5*K_T*S = 75.
+  EXPECT_DOUBLE_EQ(model.PartitionCost(ctx_, SingletonPartition(3)), 75.0);
+  // Merging q1,q2: 2*K_M + 5*K_T*S + 4*K_U*S = 81.
+  EXPECT_DOUBLE_EQ(model.PartitionCost(ctx_, {{0, 1}, {2}}), 81.0);
+  // Merging all: K_M + 4*K_T*S + 7*K_U*S = 74.
+  EXPECT_DOUBLE_EQ(model.PartitionCost(ctx_, {{0, 1, 2}}), 74.0);
+}
+
+TEST_F(CostModelTest, MergingAllIsOptimalButNoPairIs) {
+  // Section 5.1's headline example: local (pairwise) decisions say
+  // "don't merge", yet the global optimum merges everything.
+  const CostModel model{10, 9, 4, 0};
+  const double none = model.PartitionCost(ctx_, SingletonPartition(3));
+  const double all = model.PartitionCost(ctx_, {{0, 1, 2}});
+  EXPECT_LT(all, none);
+  EXPECT_LE(model.MergeBenefit(ctx_, {0}, {1}), 0.0);
+  EXPECT_LE(model.MergeBenefit(ctx_, {0}, {2}), 0.0);
+  EXPECT_LE(model.MergeBenefit(ctx_, {1}, {2}), 0.0);
+}
+
+TEST_F(CostModelTest, SatisfiabilityConditionsOfEquationOne) {
+  // S > K_M / (4 K_U) with the paper's constants: 1 > 10/16? No — the
+  // paper's appendix derives the conditions from its own (slightly
+  // inconsistent) cost lines; what must actually hold for our geometry is
+  // just the ordering asserted above. Verify the two orderings implied by
+  // equations (1) that are consistent with the geometry:
+  const CostModel model{10, 9, 4, 0};
+  const double none = model.PartitionCost(ctx_, SingletonPartition(3));
+  const double pair12 = model.PartitionCost(ctx_, {{0, 1}, {2}});
+  const double all = model.PartitionCost(ctx_, {{0, 1, 2}});
+  EXPECT_LT(none, pair12);  // No pair merge is beneficial.
+  EXPECT_LT(all, none);     // Merging all is.
+}
+
+TEST(CostModelBasicsTest, FromComponentsDerivation) {
+  // K_M = k1 + k6*num_clients + k4, K_T = k2 + k3, K_U = k5.
+  const CostModel model = CostModel::FromComponents(1, 2, 3, 4, 5, 6, 10);
+  EXPECT_DOUBLE_EQ(model.k_m, 1 + 6 * 10 + 4);
+  EXPECT_DOUBLE_EQ(model.k_t, 5.0);
+  EXPECT_DOUBLE_EQ(model.k_u, 5.0);
+  EXPECT_DOUBLE_EQ(model.k_d, 0.0);
+}
+
+TEST(CostModelBasicsTest, TwoQueryDecisionRule) {
+  const CostModel model{1, 1, 1, 0};
+  // Identical queries (s3 == s1 == s2): always merge (saves K_M).
+  EXPECT_TRUE(model.TwoQueryMergeBeneficial(5, 5, 5));
+  // Disjoint far queries: merged size dominates.
+  EXPECT_FALSE(model.TwoQueryMergeBeneficial(1, 1, 100));
+  // Boundary: K_M + K_T*(s1+s2-s3) + K_U*(s1+s2-2*s3) == 0 is "don't".
+  // s1=s2=2, s3=3: 1 + 1*1 + 1*(-2) = 0.
+  EXPECT_FALSE(model.TwoQueryMergeBeneficial(2, 2, 3));
+  // Slightly smaller s3 flips it.
+  EXPECT_TRUE(model.TwoQueryMergeBeneficial(2, 2, 2.9));
+}
+
+TEST(CostModelBasicsTest, KTZeroKUZeroMergesEverything) {
+  // Section 5.2: with K_T = K_U = 0 the problem is trivial — merge all.
+  QuerySet qs({Rect(0, 0, 1, 1), Rect(50, 50, 51, 51), Rect(90, 0, 91, 1)});
+  UniformDensityEstimator est(1.0);
+  BoundingRectProcedure proc;
+  MergeContext ctx(&qs, &est, &proc);
+  const CostModel model{1, 0, 0, 0};
+  EXPECT_LT(model.PartitionCost(ctx, OneGroupPartition(3)),
+            model.PartitionCost(ctx, SingletonPartition(3)));
+  EXPECT_GT(model.MergeBenefit(ctx, {0}, {1}), 0.0);
+}
+
+TEST(CostModelBasicsTest, InitialCostIsSingletonCost) {
+  QuerySet qs({Rect(0, 0, 2, 2), Rect(5, 5, 6, 6)});
+  UniformDensityEstimator est(1.0);
+  BoundingRectProcedure proc;
+  MergeContext ctx(&qs, &est, &proc);
+  const CostModel model{3, 2, 7, 0};
+  EXPECT_DOUBLE_EQ(model.InitialCost(ctx),
+                   model.PartitionCost(ctx, SingletonPartition(2)));
+  // = 2*K_M + K_T*(4+1).
+  EXPECT_DOUBLE_EQ(model.InitialCost(ctx), 6 + 2 * 5);
+}
+
+TEST(CostModelBasicsTest, CoMergeBenefitBound) {
+  const CostModel model{10, 1, 2, 0};
+  // Identical queries (r == s1 == s2): bound = K_M + K_T*s > 0.
+  EXPECT_GT(model.CoMergeBenefitBound(4, 4, 4), 0.0);
+  // Far queries: r >> s1+s2 makes the bound negative.
+  EXPECT_LT(model.CoMergeBenefitBound(1, 1, 100), 0.0);
+}
+
+/// Property: the Section 6.2.1 benefit formula (implemented as group-cost
+/// differences) must equal the partition-cost difference obtained by
+/// actually performing the merge, for random geometry and constants.
+class BenefitConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BenefitConsistency, BenefitEqualsCostDelta) {
+  Rng rng(GetParam());
+  QueryGenConfig config;
+  config.num_queries = 8;
+  QuerySet qs(GenerateQueries(config, &rng));
+  UniformDensityEstimator est(0.01);
+  BoundingRectProcedure proc;
+  MergeContext ctx(&qs, &est, &proc);
+  const CostModel model{rng.UniformDouble(0.1, 20),
+                        rng.UniformDouble(0.1, 5),
+                        rng.UniformDouble(0.1, 5), 0};
+
+  // Random partition of the 8 queries into 3 groups.
+  Partition partition(3);
+  for (QueryId q = 0; q < 8; ++q) {
+    partition[static_cast<size_t>(rng.UniformInt(0, 2))].push_back(q);
+  }
+  CanonicalizePartition(&partition);
+  if (partition.size() < 2) GTEST_SKIP();
+
+  const double before = model.PartitionCost(ctx, partition);
+  const double benefit = model.MergeBenefit(ctx, partition[0], partition[1]);
+  Partition merged = partition;
+  merged[0] = UnionGroups(partition[0], partition[1]);
+  merged.erase(merged.begin() + 1);
+  const double after = model.PartitionCost(ctx, merged);
+  EXPECT_NEAR(before - after, benefit, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenefitConsistency,
+                         ::testing::Range<uint64_t>(1000, 1012));
+
+/// Property: the closed-form pair-merging benefit of Section 6.2.1
+/// (K_M + K_T(Ra+Rb-Rm) + K_U(p*Ra + r*Rb - (p+r)*Rm)) matches
+/// MergeBenefit for bounding-rect merging, where Ra/Rb/Rm are merged
+/// sizes and p/r the group arities.
+class ClosedFormBenefit : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosedFormBenefit, MatchesPaperFormula) {
+  Rng rng(GetParam());
+  QueryGenConfig config;
+  config.num_queries = 6;
+  QuerySet qs(GenerateQueries(config, &rng));
+  UniformDensityEstimator est(0.01);
+  BoundingRectProcedure proc;
+  MergeContext ctx(&qs, &est, &proc);
+  const CostModel model{5, 2, 3, 0};
+
+  const QueryGroup a = {0, 1, 2};
+  const QueryGroup b = {3, 4};
+  const double ra = ctx.Stats(a).size;
+  const double rb = ctx.Stats(b).size;
+  const double rm = ctx.Stats(UnionGroups(a, b)).size;
+  double sa = 0, sb = 0;
+  for (QueryId q : a) sa += ctx.Size(q);
+  for (QueryId q : b) sb += ctx.Size(q);
+  const double p = static_cast<double>(a.size());
+  const double r = static_cast<double>(b.size());
+
+  // Cost_old - Cost_new from the paper's derivation. Note the formula's
+  // S_a/S_b terms cancel; they are retained in the intermediate
+  // expressions only.
+  const double closed_form =
+      model.k_m + model.k_t * (ra + rb - rm) +
+      model.k_u * (p * ra + r * rb - (p + r) * rm);
+  EXPECT_NEAR(model.MergeBenefit(ctx, a, b), closed_form, 1e-9)
+      << "sa=" << sa << " sb=" << sb;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedFormBenefit,
+                         ::testing::Range<uint64_t>(2000, 2010));
+
+}  // namespace
+}  // namespace qsp

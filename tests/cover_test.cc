@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "merge/cover_refiner.h"
+#include "merge/pair_merger.h"
+#include "net/server.h"
+#include "net/sim_client.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "workload/client_gen.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+/// The paper's own Section 11 example, lifted to 2-D: three x-ranges
+/// 0<x<3, 0<x<4, x-in-[1,4]; after merging the first two into [0,4]
+/// (say), the third is coverable by existing merged ranges.
+struct SplitExample {
+  QuerySet queries;
+  UniformDensityEstimator estimator{1.0};
+  BoundingRectProcedure procedure;
+  std::unique_ptr<MergeContext> ctx;
+
+  SplitExample() {
+    // Two fat side-by-side queries and a thin one spanning their seam.
+    queries.Add(Rect(0, 0, 4, 10));   // q0: left block
+    queries.Add(Rect(4, 0, 8, 10));   // q1: right block
+    queries.Add(Rect(3, 4, 5, 6));    // q2: straddles the seam
+    ctx = std::make_unique<MergeContext>(&queries, &estimator, &procedure);
+  }
+};
+
+TEST(CoverRefinerTest, AbsorbsStraddlingQueryIntoTwoCovers) {
+  SplitExample ex;
+  // K_M large: dropping q2's own message is clearly worth the extra
+  // irrelevant data its client receives from the two big messages.
+  const CostModel model{200.0, 1.0, 0.1, 0.0};
+  const Partition partition = {{0}, {1}, {2}};
+  CoverRefiner refiner;
+  const CoverPlan plan = refiner.Refine(*ex.ctx, model, partition);
+  EXPECT_EQ(plan.merged.size(), 2u);
+  EXPECT_EQ(plan.absorbed, 1u);
+  // q2 must now be a member of both remaining merged queries.
+  int memberships = 0;
+  for (const MergedQuery& m : plan.merged) {
+    if (std::find(m.members.begin(), m.members.end(), 2u) !=
+        m.members.end()) {
+      ++memberships;
+    }
+  }
+  EXPECT_EQ(memberships, 2);
+  // And the refined cost must beat the partition cost.
+  EXPECT_LT(plan.cost, model.PartitionCost(*ex.ctx, partition));
+}
+
+TEST(CoverRefinerTest, NoAbsorptionWhenIrrelevantDataTooExpensive) {
+  SplitExample ex;
+  const CostModel model{1.0, 1.0, 50.0, 0.0};  // K_U dominates.
+  const Partition partition = {{0}, {1}, {2}};
+  CoverRefiner refiner;
+  const CoverPlan plan = refiner.Refine(*ex.ctx, model, partition);
+  EXPECT_EQ(plan.merged.size(), 3u);
+  EXPECT_EQ(plan.absorbed, 0u);
+}
+
+TEST(CoverRefinerTest, SingleCoverPreferredWhenQueryNested) {
+  QuerySet queries;
+  queries.Add(Rect(0, 0, 10, 10));  // Big query.
+  queries.Add(Rect(2, 2, 4, 4));    // Nested query.
+  UniformDensityEstimator estimator(1.0);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{50.0, 1.0, 0.1, 0.0};
+  CoverRefiner refiner;
+  const CoverPlan plan = refiner.Refine(ctx, model, {{0}, {1}});
+  ASSERT_EQ(plan.merged.size(), 1u);
+  EXPECT_EQ(plan.merged[0].members, (QueryGroup{0, 1}));
+}
+
+TEST(CoverRefinerTest, RespectsMaxCoverSizeOne) {
+  SplitExample ex;
+  const CostModel model{200.0, 1.0, 0.1, 0.0};
+  CoverRefiner pairs_forbidden(/*max_cover_size=*/1);
+  const CoverPlan plan =
+      pairs_forbidden.Refine(*ex.ctx, model, {{0}, {1}, {2}});
+  // q2 needs two covers, so nothing can be absorbed.
+  EXPECT_EQ(plan.merged.size(), 3u);
+  EXPECT_EQ(plan.absorbed, 0u);
+}
+
+TEST(CoverRefinerTest, PlanCostMatchesPartitionCostWhenNothingAbsorbed) {
+  SplitExample ex;
+  const CostModel model{1.0, 1.0, 50.0, 0.0};
+  const Partition partition = {{0, 1}, {2}};
+  CoverRefiner refiner;
+  const CoverPlan plan = refiner.Refine(*ex.ctx, model, partition);
+  EXPECT_NEAR(plan.cost, model.PartitionCost(*ex.ctx, partition), 1e-9);
+}
+
+/// Property: on random clustered workloads the refined plan (a) never
+/// costs more than the partition plan, (b) always serves every query.
+class CoverRefinementProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoverRefinementProperty, NeverWorseAlwaysComplete) {
+  Rng rng(GetParam());
+  QueryGenConfig config;
+  config.num_queries = 14;
+  config.cf = 0.8;
+  config.df = 0.03;
+  QuerySet queries(GenerateQueries(config, &rng));
+  UniformDensityEstimator estimator(0.001);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{30.0, 1.0, 0.2, 0.0};
+
+  PairMerger merger;
+  auto outcome = merger.Merge(ctx, model);
+  ASSERT_TRUE(outcome.ok());
+
+  CoverRefiner refiner;
+  const CoverPlan plan = refiner.Refine(ctx, model, outcome->partition);
+  EXPECT_LE(plan.cost, outcome->cost + 1e-9);
+
+  std::set<QueryId> served;
+  for (const MergedQuery& m : plan.merged) {
+    served.insert(m.members.begin(), m.members.end());
+  }
+  EXPECT_EQ(served.size(), queries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverRefinementProperty,
+                         ::testing::Range<uint64_t>(800, 816));
+
+/// End-to-end: clients served by split covers still reconstruct their
+/// exact answers by combining partial extractions.
+class CoverEndToEnd : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoverEndToEnd, ClientsRecoverExactAnswersFromCovers) {
+  Rng rng(GetParam());
+  const Rect domain(0, 0, 100, 100);
+  TableGeneratorConfig tconfig;
+  tconfig.domain = domain;
+  tconfig.num_objects = 1200;
+  tconfig.payload_fields = 0;
+  Table table = GenerateTable(tconfig, &rng);
+  GridIndex index(table, domain);
+
+  QueryGenConfig qconfig;
+  qconfig.domain = domain;
+  qconfig.num_queries = 12;
+  qconfig.cf = 0.8;
+  qconfig.df = 0.03;
+  qconfig.max_extent = 0.25;
+  QuerySet queries(GenerateQueries(qconfig, &rng));
+  ClientSet clients =
+      AssignClients(queries, 4, ClientAssignment::kLocality, &rng);
+
+  UniformDensityEstimator estimator(0.12);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{100.0, 1.0, 0.1, 0.0};
+
+  PairMerger merger;
+  auto outcome = merger.Merge(ctx, model);
+  ASSERT_TRUE(outcome.ok());
+  CoverRefiner refiner;
+  const CoverPlan plan = refiner.Refine(ctx, model, outcome->partition);
+
+  Server server(&table, &index, &queries, &clients);
+  const Allocation allocation = {clients.AllClients()};
+  const auto messages =
+      server.ExecuteRoundMerged(allocation, {plan.merged});
+
+  // Run the client side directly.
+  std::vector<SimClient> sims;
+  for (ClientId c = 0; c < clients.num_clients(); ++c) {
+    sims.emplace_back(c, 0, &queries, clients.QueriesOf(c));
+    sims.back().StartRound();
+  }
+  for (const Message& msg : messages) {
+    for (SimClient& sim : sims) sim.Receive(msg, table);
+  }
+  for (const SimClient& sim : sims) {
+    for (QueryId q : sim.subscriptions()) {
+      EXPECT_EQ(sim.AnswerFor(q), index.Query(queries.rect(q)))
+          << "client " << sim.id() << " query " << q << " (absorbed="
+          << plan.absorbed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverEndToEnd,
+                         ::testing::Range<uint64_t>(900, 910));
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,110 @@
+// Regression guards for the figure-reproduction pipelines: miniature
+// versions of each experiment with loose thresholds, so a change that
+// silently breaks an experiment harness (not just a library function)
+// fails CI. Full-size runs live in bench/.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/channel_cost.h"
+#include "channel/exhaustive_allocator.h"
+#include "channel/hill_climb_allocator.h"
+#include "cost/cost_model.h"
+#include "merge/pair_merger.h"
+#include "merge/partition_merger.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "workload/client_gen.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+/// The bench_common.h experiment setup, duplicated intentionally: if the
+/// bench helper drifts, these tests still pin the paper's setting.
+QueryGenConfig PaperWorkload(size_t n) {
+  QueryGenConfig config;
+  config.domain = Rect(0, 0, 1000, 1000);
+  config.num_queries = n;
+  config.cf = 0.8;
+  config.sf = 0.5;
+  config.df = 0.03;
+  config.min_extent = 0.02;
+  config.max_extent = 0.10;
+  return config;
+}
+
+constexpr double kDensity = 0.001;
+const CostModel kModel{10.0, 9.0, 4.0, 0.0};
+
+TEST(Fig16Regression, PairMergingMostlyOptimalOnSmallInstances) {
+  const PairMerger pair;
+  const PartitionMerger exact;
+  int optimal = 0, trials = 0;
+  for (int n = 4; n <= 8; n += 2) {
+    for (uint64_t t = 0; t < 12; ++t) {
+      Rng rng(1000 * static_cast<uint64_t>(n) + t);
+      QuerySet queries(GenerateQueries(PaperWorkload(static_cast<size_t>(n)),
+                                       &rng));
+      UniformDensityEstimator estimator(kDensity);
+      BoundingRectProcedure procedure;
+      MergeContext ctx(&queries, &estimator, &procedure);
+      auto greedy = pair.Merge(ctx, kModel);
+      auto optimum = exact.Merge(ctx, kModel);
+      ASSERT_TRUE(greedy.ok());
+      ASSERT_TRUE(optimum.ok());
+      ++trials;
+      if (greedy->cost <= optimum->cost + 1e-9) ++optimal;
+      // Fig 17 metric must stay in [0, 1] by construction.
+      const double initial = kModel.InitialCost(ctx);
+      EXPECT_GE(initial + 1e-9, greedy->cost);
+      EXPECT_GE(greedy->cost + 1e-9, optimum->cost);
+    }
+  }
+  // Paper: ~97%. Anything under 80% on these easy sizes is a regression.
+  EXPECT_GE(static_cast<double>(optimal) / trials, 0.8);
+}
+
+TEST(Fig18Regression, AllocationHeuristicMostlyOptimal) {
+  CostModel model = kModel;
+  model.k_check = 3.0;
+  int optimal = 0, trials = 0;
+  for (uint64_t t = 0; t < 12; ++t) {
+    Rng rng(5000 + t);
+    QuerySet queries(GenerateQueries(PaperWorkload(12), &rng));
+    UniformDensityEstimator estimator(kDensity);
+    BoundingRectProcedure procedure;
+    MergeContext ctx(&queries, &estimator, &procedure);
+    ClientSet clients =
+        AssignClients(queries, 6, ClientAssignment::kRandom, &rng);
+    ChannelCostEvaluator evaluator(&ctx, model, &clients);
+    ExhaustiveAllocator exact;
+    HillClimbAllocator heuristic(StartPolicy::kBestOfBoth, t);
+    auto optimum = exact.Allocate(evaluator, 2);
+    auto result = heuristic.Allocate(evaluator, 2);
+    ASSERT_TRUE(optimum.ok());
+    ASSERT_TRUE(result.ok());
+    ++trials;
+    if (result->cost <= optimum->cost + 1e-9) ++optimal;
+    EXPECT_GE(result->cost + 1e-9, optimum->cost);
+  }
+  // Paper: 88.6% for best-of-both. Alert under 50%.
+  EXPECT_GE(static_cast<double>(optimal) / trials, 0.5);
+}
+
+TEST(AppendixRegression, ThreeQueryExampleNumbersPinned) {
+  QuerySet queries({Rect(0, 1, 2, 2), Rect(1, 0, 2, 2), Rect(0, 0, 1, 1)});
+  UniformDensityEstimator estimator(1.0);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{10, 9, 4, 0};
+  EXPECT_DOUBLE_EQ(model.PartitionCost(ctx, SingletonPartition(3)), 75.0);
+  EXPECT_DOUBLE_EQ(model.PartitionCost(ctx, {{0, 1}, {2}}), 81.0);
+  EXPECT_DOUBLE_EQ(model.PartitionCost(ctx, {{0, 1, 2}}), 74.0);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,175 @@
+// Fuzz-lite robustness tests: random and mutated inputs must produce
+// clean errors, never crashes, hangs, or UB. These run fast enough for
+// every CI invocation; real deployments would hook the same entry points
+// up to a coverage-guided fuzzer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "geom/region.h"
+#include "net/wire.h"
+#include "query/predicate.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+// ------------------------------------------------------ Predicate parser
+
+/// Random strings over the parser's alphabet: either parse or fail, and
+/// successful parses must render and re-parse.
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomTokenSoup) {
+  Rng rng(GetParam());
+  static const char* kTokens[] = {
+      "a",  "bb",  "longitude", "AND", "OR",   "NOT", "BETWEEN", "(",
+      ")",  "<=",  ">=",        "<",   ">",    "=",   "!=",      "1",
+      "-2", "3.5", "'s'",       "'",   "TRUE", " ",   "5e3",     "_x",
+  };
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input;
+    const int len = static_cast<int>(rng.UniformInt(0, 12));
+    for (int i = 0; i < len; ++i) {
+      input += kTokens[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(kTokens)) - 1)];
+      input += ' ';
+    }
+    auto parsed = ParsePredicate(input);
+    if (parsed.ok()) {
+      const std::string rendered = parsed.value()->ToString();
+      auto reparsed = ParsePredicate(rendered);
+      ASSERT_TRUE(reparsed.ok()) << "render not reparseable: " << rendered;
+      EXPECT_EQ(reparsed.value()->ToString(), rendered);
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomBytes) {
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const int len = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < len; ++i) {
+      input += static_cast<char>(rng.UniformInt(1, 127));
+    }
+    // Must terminate and not crash; ok() either way is acceptable.
+    ParsePredicate(input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(1, 2, 3, 4));
+
+// ------------------------------------------------------------------ Wire
+
+Table FuzzTable() {
+  Table table(Schema::Geographic(1));
+  EXPECT_TRUE(table.Insert({1.0, 2.0, std::string("abc")}).ok());
+  EXPECT_TRUE(table.Insert({3.0, 4.0, std::string("defgh")}).ok());
+  return table;
+}
+
+Message FuzzMessage() {
+  Message msg;
+  msg.channel = 1;
+  msg.recipients = {0, 2};
+  msg.extractors = {{0, {0, Rect(0, 0, 5, 5)}}, {2, {1, Rect(1, 1, 6, 6)}}};
+  msg.payload = {0, 1};
+  msg.members = {0, 1};
+  msg.payload_tags = {1, 2};
+  return msg;
+}
+
+/// Random byte flips anywhere in a valid frame: decode must return
+/// (error or success) without crashing, and never misreport sizes.
+class WireFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzz, SingleByteFlips) {
+  const Table table = FuzzTable();
+  auto frame = EncodeMessage(FuzzMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    auto corrupted = frame.value();
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+    corrupted[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    auto decoded = DecodeMessage(corrupted, table.schema());
+    if (decoded.ok()) {
+      // A flip that decodes must still be internally consistent.
+      EXPECT_EQ(decoded->tags.size(), decoded->tuples.size());
+    }
+  }
+}
+
+TEST_P(WireFuzz, RandomGarbageFrames) {
+  const Table table = FuzzTable();
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> garbage(
+        static_cast<size_t>(rng.UniformInt(0, 200)));
+    for (auto& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    DecodeMessage(garbage, table.schema());  // Must not crash.
+  }
+}
+
+TEST_P(WireFuzz, LengthFieldsCannotCauseHugeAllocations) {
+  // A frame claiming 2^31 recipients must fail on bounds, not try to
+  // allocate: every element read is bounds-checked before use.
+  WireWriter writer;
+  writer.PutU32(0x51535031);              // Magic.
+  writer.PutU32(0);                        // Channel.
+  writer.PutU32(0x7FFFFFFF);               // Claimed recipients.
+  const Table table = FuzzTable();
+  auto decoded = DecodeMessage(writer.buffer(), table.schema());
+  EXPECT_FALSE(decoded.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(10, 20, 30));
+
+// ------------------------------------------------------------- Geometry
+
+/// Metamorphic checks on random rectangle algebra.
+class GeometryFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeometryFuzz, RectAlgebraLaws) {
+  Rng rng(GetParam());
+  auto random_rect = [&]() {
+    if (rng.Bernoulli(0.1)) return Rect::Empty();
+    const double x = rng.UniformDouble(-50, 50);
+    const double y = rng.UniformDouble(-50, 50);
+    return Rect(x, y, x + rng.UniformDouble(0, 40),
+                y + rng.UniformDouble(0, 40));
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Rect a = random_rect();
+    const Rect b = random_rect();
+    // Commutativity.
+    EXPECT_EQ(a.Intersection(b), b.Intersection(a));
+    EXPECT_EQ(a.BoundingUnion(b), b.BoundingUnion(a));
+    // Containment relations.
+    EXPECT_TRUE(a.BoundingUnion(b).Contains(a));
+    EXPECT_TRUE(a.Contains(a.Intersection(b)));
+    // Area monotonicity.
+    EXPECT_LE(a.Intersection(b).Area(), std::min(a.Area(), b.Area()) + 1e-9);
+    EXPECT_GE(a.BoundingUnion(b).Area(), std::max(a.Area(), b.Area()) - 1e-9);
+    // Union area never exceeds bounding-box area and never undercounts
+    // the larger operand.
+    const double union_area = UnionArea({a, b});
+    EXPECT_LE(union_area, a.BoundingUnion(b).Area() + 1e-9);
+    EXPECT_GE(union_area, std::max(a.Area(), b.Area()) - 1e-9);
+    // Inclusion-exclusion for two rects is exact.
+    EXPECT_NEAR(union_area, a.Area() + b.Area() - OverlapArea(a, b), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryFuzz, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace qsp

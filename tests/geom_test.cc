@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "geom/hull.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/region.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+// ------------------------------------------------------------------ Rect
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Width(), 0.0);
+  EXPECT_EQ(r.Height(), 0.0);
+}
+
+TEST(RectTest, BasicGeometry) {
+  Rect r(1, 2, 4, 6);
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_EQ(r.Center().x, 2.5);
+  EXPECT_EQ(r.Center().y, 4.0);
+}
+
+TEST(RectTest, FromCornersNormalizes) {
+  Rect r = Rect::FromCorners({4, 6}, {1, 2});
+  EXPECT_EQ(r, Rect(1, 2, 4, 6));
+}
+
+TEST(RectTest, FromCenter) {
+  Rect r = Rect::FromCenter({5, 5}, 2, 4);
+  EXPECT_EQ(r, Rect(4, 3, 6, 7));
+}
+
+TEST(RectTest, ContainsPointClosedBounds) {
+  Rect r(0, 0, 10, 10);
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{10, 10}));
+  EXPECT_TRUE(r.Contains(Point{5, 5}));
+  EXPECT_FALSE(r.Contains(Point{10.0001, 5}));
+  EXPECT_FALSE(r.Contains(Point{-0.0001, 5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(2, 2, 8, 8)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(2, 2, 11, 8)));
+  EXPECT_TRUE(outer.Contains(Rect::Empty()));
+  EXPECT_FALSE(Rect::Empty().Contains(outer));
+}
+
+TEST(RectTest, IntersectsAndIntersection) {
+  Rect a(0, 0, 5, 5);
+  Rect b(3, 3, 8, 8);
+  Rect c(6, 6, 9, 9);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.Intersection(b), Rect(3, 3, 5, 5));
+  EXPECT_TRUE(a.Intersection(c).IsEmpty());
+}
+
+TEST(RectTest, TouchingRectsIntersectOnBoundary) {
+  Rect a(0, 0, 5, 5);
+  Rect b(5, 0, 10, 5);
+  EXPECT_TRUE(a.Intersects(b));  // Closed rects share the x=5 edge.
+  EXPECT_EQ(a.Intersection(b).Area(), 0.0);
+}
+
+TEST(RectTest, BoundingUnion) {
+  Rect a(0, 0, 2, 2);
+  Rect b(5, 5, 6, 8);
+  EXPECT_EQ(a.BoundingUnion(b), Rect(0, 0, 6, 8));
+  EXPECT_EQ(a.BoundingUnion(Rect::Empty()), a);
+  EXPECT_EQ(Rect::Empty().BoundingUnion(b), b);
+}
+
+TEST(RectTest, OverlapArea) {
+  EXPECT_DOUBLE_EQ(OverlapArea(Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)), 4.0);
+  EXPECT_DOUBLE_EQ(OverlapArea(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)), 0.0);
+}
+
+TEST(RectTest, EmptyRectsCompareEqual) {
+  EXPECT_EQ(Rect::Empty(), Rect(3, 3, 2, 2));
+}
+
+TEST(RectTest, ToStringRenders) {
+  EXPECT_EQ(Rect::Empty().ToString(), "[empty]");
+  EXPECT_EQ(Rect(1, 2, 3, 4).ToString(), "[1,2..3,4]");
+}
+
+// ---------------------------------------------------------------- Region
+
+TEST(RegionTest, EmptyRegion) {
+  RectilinearRegion region;
+  EXPECT_TRUE(region.IsEmpty());
+  EXPECT_EQ(region.Area(), 0.0);
+  EXPECT_TRUE(region.BoundingBox().IsEmpty());
+}
+
+TEST(RegionTest, SingleRect) {
+  auto region = RectilinearRegion::UnionOf({Rect(0, 0, 4, 3)});
+  EXPECT_DOUBLE_EQ(region.Area(), 12.0);
+  EXPECT_EQ(region.pieces().size(), 1u);
+}
+
+TEST(RegionTest, DisjointRects) {
+  auto region =
+      RectilinearRegion::UnionOf({Rect(0, 0, 1, 1), Rect(5, 5, 7, 6)});
+  EXPECT_DOUBLE_EQ(region.Area(), 3.0);
+}
+
+TEST(RegionTest, OverlapCountedOnce) {
+  auto region =
+      RectilinearRegion::UnionOf({Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)});
+  EXPECT_DOUBLE_EQ(region.Area(), 16 + 16 - 4);
+}
+
+TEST(RegionTest, NestedRect) {
+  auto region =
+      RectilinearRegion::UnionOf({Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)});
+  EXPECT_DOUBLE_EQ(region.Area(), 100.0);
+}
+
+TEST(RegionTest, IdenticalRects) {
+  auto region =
+      RectilinearRegion::UnionOf({Rect(1, 1, 3, 3), Rect(1, 1, 3, 3)});
+  EXPECT_DOUBLE_EQ(region.Area(), 4.0);
+}
+
+TEST(RegionTest, PiecesAreInteriorDisjoint) {
+  auto region = RectilinearRegion::UnionOf(
+      {Rect(0, 0, 4, 4), Rect(2, 2, 6, 6), Rect(3, -1, 5, 1)});
+  const auto& pieces = region.pieces();
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    for (size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_DOUBLE_EQ(OverlapArea(pieces[i], pieces[j]), 0.0)
+          << pieces[i].ToString() << " vs " << pieces[j].ToString();
+    }
+  }
+}
+
+TEST(RegionTest, ContainsPoint) {
+  auto region =
+      RectilinearRegion::UnionOf({Rect(0, 0, 2, 2), Rect(4, 4, 6, 6)});
+  EXPECT_TRUE(region.Contains(Point{1, 1}));
+  EXPECT_TRUE(region.Contains(Point{5, 5}));
+  EXPECT_FALSE(region.Contains(Point{3, 3}));
+}
+
+TEST(RegionTest, CoversInputRects) {
+  const std::vector<Rect> rects = {Rect(0, 0, 4, 4), Rect(2, 2, 6, 6),
+                                   Rect(5, 0, 7, 3)};
+  auto region = RectilinearRegion::UnionOf(rects);
+  for (const Rect& r : rects) EXPECT_TRUE(region.Covers(r));
+  EXPECT_FALSE(region.Covers(Rect(-1, -1, 1, 1)));
+}
+
+TEST(RegionTest, IntersectionOfRegions) {
+  auto a = RectilinearRegion::UnionOf({Rect(0, 0, 4, 4)});
+  auto b = RectilinearRegion::UnionOf({Rect(2, 2, 6, 6), Rect(0, 3, 1, 5)});
+  auto c = a.IntersectWith(b);
+  EXPECT_DOUBLE_EQ(c.Area(), 4.0 + 1.0);
+}
+
+TEST(RegionTest, OverlapAreaWithRect) {
+  auto region =
+      RectilinearRegion::UnionOf({Rect(0, 0, 2, 2), Rect(4, 0, 6, 2)});
+  EXPECT_DOUBLE_EQ(region.OverlapArea(Rect(1, 0, 5, 2)), 2.0 + 2.0);
+}
+
+TEST(RegionTest, BoundingBox) {
+  auto region =
+      RectilinearRegion::UnionOf({Rect(0, 0, 1, 1), Rect(5, 5, 7, 6)});
+  EXPECT_EQ(region.BoundingBox(), Rect(0, 0, 7, 6));
+}
+
+TEST(RegionTest, IgnoresEmptyInputs) {
+  auto region = RectilinearRegion::UnionOf(
+      {Rect::Empty(), Rect(0, 0, 1, 1), Rect::Empty()});
+  EXPECT_DOUBLE_EQ(region.Area(), 1.0);
+}
+
+/// Property: the sweep-decomposed union area must match Monte-Carlo
+/// estimation on random rectangle sets.
+class RegionAreaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionAreaProperty, MatchesMonteCarlo) {
+  Rng rng(GetParam());
+  std::vector<Rect> rects;
+  const int n = static_cast<int>(rng.UniformInt(2, 8));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble(0, 80);
+    const double y = rng.UniformDouble(0, 80);
+    rects.emplace_back(x, y, x + rng.UniformDouble(1, 20),
+                       y + rng.UniformDouble(1, 20));
+  }
+  auto region = RectilinearRegion::UnionOf(rects);
+
+  Rng sampler(GetParam() ^ 0xABCDEF);
+  const int samples = 200000;
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    const Point p{sampler.UniformDouble(0, 100),
+                  sampler.UniformDouble(0, 100)};
+    bool inside = false;
+    for (const Rect& r : rects) {
+      if (r.Contains(p)) {
+        inside = true;
+        break;
+      }
+    }
+    if (inside) ++hits;
+    // Decomposition must agree with the raw rect list pointwise.
+    EXPECT_EQ(inside, region.Contains(p));
+  }
+  const double mc_area = 100.0 * 100.0 * hits / samples;
+  EXPECT_NEAR(region.Area(), mc_area, 0.05 * 100.0 * 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionAreaProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(UnionAreaTest, FreeFunctionMatchesRegion) {
+  const std::vector<Rect> rects = {Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)};
+  EXPECT_DOUBLE_EQ(UnionArea(rects),
+                   RectilinearRegion::UnionOf(rects).Area());
+}
+
+// ------------------------------------------------------------------ Hull
+
+TEST(HullTest, SingleRectIsItself) {
+  auto hull = BoundingPolygon({Rect(1, 1, 4, 5)});
+  EXPECT_DOUBLE_EQ(hull.Area(), 12.0);
+  EXPECT_EQ(hull.BoundingBox(), Rect(1, 1, 4, 5));
+}
+
+TEST(HullTest, LShapeKeepsNotchOpen) {
+  // Two rects forming an L: the bounding box has area 16, the union 12.
+  // The orthogonal hull of an L equals the union (an L is orthogonally
+  // convex... only vertically; horizontal fill adds nothing here).
+  const std::vector<Rect> rects = {Rect(0, 0, 2, 4), Rect(2, 0, 4, 2)};
+  auto hull = BoundingPolygon(rects);
+  EXPECT_DOUBLE_EQ(hull.Area(), 12.0);
+}
+
+TEST(HullTest, DiagonalRectsGetFilledBetween) {
+  // Two diagonal squares: the hull must contain both but can undercut
+  // the bounding box corners.
+  const std::vector<Rect> rects = {Rect(0, 0, 2, 2), Rect(4, 4, 6, 6)};
+  auto hull = BoundingPolygon(rects);
+  const double union_area = UnionArea(rects);
+  const double bbox_area = Rect(0, 0, 6, 6).Area();
+  EXPECT_GT(hull.Area(), union_area - 1e-9);
+  EXPECT_LT(hull.Area(), bbox_area + 1e-9);
+  for (const Rect& r : rects) EXPECT_TRUE(hull.Covers(r));
+}
+
+/// Property sweep: union ⊆ hull ⊆ bounding box on random inputs.
+class HullContainmentProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HullContainmentProperty, SandwichedBetweenUnionAndBox) {
+  Rng rng(GetParam());
+  std::vector<Rect> rects;
+  const int n = static_cast<int>(rng.UniformInt(1, 7));
+  Rect box = Rect::Empty();
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble(0, 90);
+    const double y = rng.UniformDouble(0, 90);
+    rects.emplace_back(x, y, x + rng.UniformDouble(0.5, 15),
+                       y + rng.UniformDouble(0.5, 15));
+    box = box.BoundingUnion(rects.back());
+  }
+  auto hull = BoundingPolygon(rects);
+  const double union_area = UnionArea(rects);
+  EXPECT_GE(hull.Area(), union_area - 1e-9);
+  EXPECT_LE(hull.Area(), box.Area() + 1e-9);
+  for (const Rect& r : rects) {
+    EXPECT_TRUE(hull.Covers(r)) << "hull misses " << r.ToString();
+  }
+  EXPECT_TRUE(box.Contains(hull.BoundingBox()));
+  // The fills alone must each cover the union too.
+  EXPECT_GE(VerticalFill(rects).Area(), union_area - 1e-9);
+  EXPECT_GE(HorizontalFill(rects).Area(), union_area - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullContainmentProperty,
+                         ::testing::Range<uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace qsp

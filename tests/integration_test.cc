@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "channel/channel_cost.h"
+#include "channel/hill_climb_allocator.h"
+#include "core/subscription_service.h"
+#include "cost/cost_model.h"
+#include "merge/pair_merger.h"
+#include "net/simulator.h"
+#include "query/merge_context.h"
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "stats/exact_estimator.h"
+#include "util/rng.h"
+#include "workload/client_gen.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+/// Cross-module consistency: with the exact estimator and bounding-rect
+/// merging, the planner's estimated size(M) and U(Q,M) must equal the
+/// tuple counts the simulator actually measures on the wire.
+class PlannerVsWire : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerVsWire, EstimatedCostTermsMatchMeasuredTraffic) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  const Rect domain(0, 0, 100, 100);
+  TableGeneratorConfig tconfig;
+  tconfig.domain = domain;
+  tconfig.num_objects = 1500;
+  tconfig.clustered_fraction = 0.4;
+  tconfig.payload_fields = 0;
+  Table table = GenerateTable(tconfig, &rng);
+  GridIndex index(table, domain);
+
+  QueryGenConfig qconfig;
+  qconfig.domain = domain;
+  qconfig.num_queries = 12;
+  qconfig.cf = 0.7;
+  QuerySet queries(GenerateQueries(qconfig, &rng));
+  ClientSet clients =
+      AssignClients(queries, 4, ClientAssignment::kLocality, &rng);
+
+  ExactEstimator estimator(&index);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{3.0, 1.0, 1.0, 0.0};
+
+  PairMerger merger;
+  auto outcome = merger.Merge(ctx, model);
+  ASSERT_TRUE(outcome.ok());
+
+  DisseminationPlan plan;
+  plan.allocation.push_back(clients.AllClients());
+  plan.channel_partitions.push_back(outcome->partition);
+
+  MulticastSimulator sim(&table, &index, &queries, &clients);
+  const RoundStats stats = sim.RunRound(plan, procedure);
+  ASSERT_TRUE(stats.all_answers_correct);
+
+  // |M|: one message per merged group under bounding-rect.
+  EXPECT_EQ(stats.num_messages, outcome->partition.size());
+
+  // size(M): sum of estimated merged sizes == payload rows on the wire.
+  double estimated_size = 0.0;
+  double estimated_u = 0.0;
+  for (const QueryGroup& group : outcome->partition) {
+    const GroupStats& gs = ctx.Stats(group);
+    estimated_size += gs.size;
+    estimated_u += gs.irrelevant;
+  }
+  EXPECT_EQ(static_cast<size_t>(estimated_size + 0.5), stats.payload_rows);
+
+  // U(Q,M): the planner charges (R - S_q) per member query q. On the
+  // wire, the same row can be irrelevant to a client once per message,
+  // and a client subscribed to several queries in one group examines the
+  // payload once per extractor. Recompute the planner's U the way the
+  // simulator counts it (per client-message, rows outside the union of
+  // that client's member queries) and compare exactly.
+  size_t expected_irrelevant = 0;
+  for (const QueryGroup& group : outcome->partition) {
+    Rect bbox = Rect::Empty();
+    for (QueryId q : group) bbox = bbox.BoundingUnion(queries.rect(q));
+    const auto payload = index.Query(bbox);
+    for (ClientId c = 0; c < clients.num_clients(); ++c) {
+      // Rows in the message payload that serve none of c's queries in
+      // this group.
+      bool is_recipient = false;
+      for (QueryId q : group) {
+        const auto& subs = clients.QueriesOf(c);
+        if (std::binary_search(subs.begin(), subs.end(), q)) {
+          is_recipient = true;
+        }
+      }
+      if (!is_recipient) continue;
+      for (RowId row : payload) {
+        bool used = false;
+        for (QueryId q : group) {
+          const auto& subs = clients.QueriesOf(c);
+          if (!std::binary_search(subs.begin(), subs.end(), q)) continue;
+          if (queries.rect(q).Contains(table.PositionOf(row))) {
+            used = true;
+            break;
+          }
+        }
+        if (!used) ++expected_irrelevant;
+      }
+    }
+  }
+  EXPECT_EQ(stats.irrelevant_rows, expected_irrelevant);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerVsWire,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+/// Merging must never break correctness while reducing message count, on
+/// a spread of workload shapes.
+class WorkloadSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(WorkloadSweep, MergingReducesMessagesKeepsCorrectness) {
+  const double cf = std::get<0>(GetParam());
+  const double df = std::get<1>(GetParam());
+  const int num_channels = std::get<2>(GetParam());
+
+  Rng rng(4242);
+  TableGeneratorConfig tconfig;
+  tconfig.domain = Rect(0, 0, 100, 100);
+  tconfig.num_objects = 1000;
+  tconfig.payload_fields = 0;
+  Table table = GenerateTable(tconfig, &rng);
+
+  ServiceConfig config;
+  config.cost_model = {3.0, 1.0, 0.5, 0.0};
+  config.estimator = EstimatorKind::kExact;
+  config.num_channels = num_channels;
+  SubscriptionService service(std::move(table), tconfig.domain, config);
+
+  QueryGenConfig qconfig;
+  qconfig.domain = tconfig.domain;
+  qconfig.num_queries = 18;
+  qconfig.cf = cf;
+  qconfig.df = df;
+  const auto rects = GenerateQueries(qconfig, &rng);
+  for (size_t i = 0; i < 6; ++i) service.AddClient();
+  for (size_t i = 0; i < rects.size(); ++i) {
+    service.Subscribe(static_cast<ClientId>(i % 6), rects[i]);
+  }
+
+  auto report = service.Plan();
+  ASSERT_TRUE(report.ok());
+  auto stats = service.RunRound();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->all_answers_correct);
+  EXPECT_LE(report->estimated_cost, report->initial_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WorkloadSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(0.01, 0.1),
+                       ::testing::Values(1, 2)));
+
+/// The headline end-to-end claim of the paper: on clustered workloads,
+/// merging lowers actual transmitted data + message count relative to the
+/// unmerged baseline.
+TEST(HeadlineResult, MergingBeatsUnmergedOnClusteredWorkload) {
+  Rng rng(777);
+  const Rect domain(0, 0, 100, 100);
+  TableGeneratorConfig tconfig;
+  tconfig.domain = domain;
+  tconfig.num_objects = 2000;
+  tconfig.payload_fields = 0;
+  Table table = GenerateTable(tconfig, &rng);
+  GridIndex index(table, domain);
+
+  QueryGenConfig qconfig;
+  qconfig.domain = domain;
+  qconfig.num_queries = 30;
+  qconfig.cf = 0.9;
+  qconfig.sf = 0.2;
+  qconfig.df = 0.02;
+  QuerySet queries(GenerateQueries(qconfig, &rng));
+  ClientSet clients =
+      AssignClients(queries, 6, ClientAssignment::kLocality, &rng);
+
+  ExactEstimator estimator(&index);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  const CostModel model{5.0, 1.0, 0.2, 0.0};
+
+  PairMerger merger;
+  auto outcome = merger.Merge(ctx, model);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_LT(outcome->partition.size(), queries.size());  // Merged something.
+
+  DisseminationPlan merged_plan;
+  merged_plan.allocation.push_back(clients.AllClients());
+  merged_plan.channel_partitions.push_back(outcome->partition);
+
+  DisseminationPlan unmerged_plan;
+  unmerged_plan.allocation.push_back(clients.AllClients());
+  unmerged_plan.channel_partitions.push_back(
+      SingletonPartition(queries.size()));
+
+  MulticastSimulator sim(&table, &index, &queries, &clients);
+  const RoundStats merged = sim.RunRound(merged_plan, procedure);
+  const RoundStats unmerged = sim.RunRound(unmerged_plan, procedure);
+
+  EXPECT_TRUE(merged.all_answers_correct);
+  EXPECT_TRUE(unmerged.all_answers_correct);
+  EXPECT_LT(merged.num_messages, unmerged.num_messages);
+  EXPECT_LT(merged.payload_rows, unmerged.payload_rows);
+  EXPECT_LT(merged.headers_checked, unmerged.headers_checked);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "geom/region.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "query/query.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+QuerySet OverlappingPair() {
+  return QuerySet({Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)});
+}
+
+// ---------------------------------------------------------- BoundingRect
+
+TEST(BoundingRectTest, ProducesSingleBoundingBox) {
+  QuerySet qs = OverlappingPair();
+  BoundingRectProcedure proc;
+  const auto merged = proc.Merge(qs, {0, 1});
+  ASSERT_EQ(merged.size(), 1u);
+  ASSERT_EQ(merged[0].region.size(), 1u);
+  EXPECT_EQ(merged[0].region[0], Rect(0, 0, 6, 6));
+  EXPECT_EQ(merged[0].members, (QueryGroup{0, 1}));
+}
+
+TEST(BoundingRectTest, SingletonGroupIsIdentity) {
+  QuerySet qs = OverlappingPair();
+  BoundingRectProcedure proc;
+  const auto merged = proc.Merge(qs, {1});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].region[0], Rect(2, 2, 6, 6));
+}
+
+TEST(BoundingRectTest, MatchesPaperSectionOneExample) {
+  // Section 1: sigma_{2<=A<=40} and sigma_{3<=A<=41} merge into
+  // sigma_{2<=A<=41} (here lifted to 2-D with a full y range).
+  QuerySet qs({Rect(2, 0, 40, 10), Rect(3, 0, 41, 10)});
+  BoundingRectProcedure proc;
+  const auto merged = proc.Merge(qs, {0, 1});
+  EXPECT_EQ(merged[0].region[0], Rect(2, 0, 41, 10));
+}
+
+// ------------------------------------------------------- BoundingPolygon
+
+TEST(BoundingPolygonTest, SingleMergedQueryCoveringInputs) {
+  QuerySet qs({Rect(0, 0, 2, 2), Rect(4, 4, 6, 6)});
+  BoundingPolygonProcedure proc;
+  const auto merged = proc.Merge(qs, {0, 1});
+  ASSERT_EQ(merged.size(), 1u);
+  RectilinearRegion region = RectilinearRegion::UnionOf(merged[0].region);
+  EXPECT_TRUE(region.Covers(qs.rect(0)));
+  EXPECT_TRUE(region.Covers(qs.rect(1)));
+  // Tighter than the bounding rectangle for this diagonal arrangement.
+  EXPECT_LT(region.Area(), Rect(0, 0, 6, 6).Area());
+  EXPECT_GE(region.Area(), 8.0);  // At least the union.
+}
+
+// ------------------------------------------------------------ ExactCover
+
+TEST(ExactCoverTest, PiecesPartitionTheUnion) {
+  QuerySet qs = OverlappingPair();
+  ExactCoverProcedure proc;
+  const auto merged = proc.Merge(qs, {0, 1});
+  EXPECT_GT(merged.size(), 1u);
+  double total_area = 0.0;
+  std::vector<Rect> all_pieces;
+  for (const auto& m : merged) {
+    ASSERT_EQ(m.region.size(), 1u);
+    total_area += m.region[0].Area();
+    all_pieces.push_back(m.region[0]);
+  }
+  EXPECT_NEAR(total_area, 28.0, 1e-9);  // Union area, no double counting.
+  for (size_t i = 0; i < all_pieces.size(); ++i) {
+    for (size_t j = i + 1; j < all_pieces.size(); ++j) {
+      EXPECT_DOUBLE_EQ(OverlapArea(all_pieces[i], all_pieces[j]), 0.0);
+    }
+  }
+}
+
+TEST(ExactCoverTest, EachPieceLiesInsideAllItsMembers) {
+  QuerySet qs({Rect(0, 0, 4, 4), Rect(2, 2, 6, 6), Rect(3, 0, 5, 2)});
+  ExactCoverProcedure proc;
+  for (const auto& m : proc.Merge(qs, {0, 1, 2})) {
+    for (QueryId member : m.members) {
+      EXPECT_TRUE(qs.rect(member).Contains(m.region[0]))
+          << "piece " << m.region[0].ToString() << " outside query "
+          << member;
+    }
+  }
+}
+
+TEST(ExactCoverTest, EveryQueryExactlyCoveredByItsPieces) {
+  QuerySet qs({Rect(0, 0, 4, 4), Rect(2, 2, 6, 6), Rect(3, 0, 5, 2)});
+  ExactCoverProcedure proc;
+  const auto merged = proc.Merge(qs, {0, 1, 2});
+  for (QueryId q : {0u, 1u, 2u}) {
+    std::vector<Rect> pieces_of_q;
+    for (const auto& m : merged) {
+      for (QueryId member : m.members) {
+        if (member == q) pieces_of_q.push_back(m.region[0]);
+      }
+    }
+    EXPECT_NEAR(UnionArea(pieces_of_q), qs.rect(q).Area(), 1e-9)
+        << "query " << q;
+  }
+}
+
+TEST(ExactCoverTest, DisjointQueriesStaySeparatePieces) {
+  QuerySet qs({Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)});
+  ExactCoverProcedure proc;
+  const auto merged = proc.Merge(qs, {0, 1});
+  ASSERT_EQ(merged.size(), 2u);
+  for (const auto& m : merged) EXPECT_EQ(m.members.size(), 1u);
+}
+
+TEST(ExactCoverTest, IdenticalQueriesCollapseToOnePiece) {
+  QuerySet qs({Rect(1, 1, 3, 3), Rect(1, 1, 3, 3)});
+  ExactCoverProcedure proc;
+  const auto merged = proc.Merge(qs, {0, 1});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].members, (QueryGroup{0, 1}));
+  EXPECT_EQ(merged[0].region[0], Rect(1, 1, 3, 3));
+}
+
+// --------------------------------------- Cross-procedure size ordering
+
+/// Property (the Figure 5 trade-off): for any group,
+///   union <= exact-cover size == union <= polygon size <= bbox size,
+/// and irrelevant data is 0 for exact cover, and no larger for the
+/// polygon than for the rectangle.
+class ProcedureOrdering : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProcedureOrdering, SizeAndIrrelevanceOrdering) {
+  Rng rng(GetParam());
+  QueryGenConfig config;
+  config.num_queries = 6;
+  config.cf = 0.7;
+  config.max_extent = 0.2;
+  QuerySet qs(GenerateQueries(config, &rng));
+  UniformDensityEstimator est(0.01);
+
+  BoundingRectProcedure rect_proc;
+  BoundingPolygonProcedure poly_proc;
+  ExactCoverProcedure cover_proc;
+  MergeContext rect_ctx(&qs, &est, &rect_proc);
+  MergeContext poly_ctx(&qs, &est, &poly_proc);
+  MergeContext cover_ctx(&qs, &est, &cover_proc);
+
+  const QueryGroup group = {0, 1, 2, 3, 4, 5};
+  const GroupStats& rect = rect_ctx.Stats(group);
+  const GroupStats& poly = poly_ctx.Stats(group);
+  const GroupStats& cover = cover_ctx.Stats(group);
+
+  const double union_size =
+      est.EstimateRegionSize(
+          RectilinearRegion::UnionOf(qs.RectsOf(group)).pieces());
+
+  EXPECT_NEAR(cover.size, union_size, 1e-9);
+  EXPECT_GE(poly.size, union_size - 1e-9);
+  EXPECT_GE(rect.size, poly.size - 1e-9);
+  EXPECT_NEAR(cover.irrelevant, 0.0, 1e-9);
+  EXPECT_LE(poly.irrelevant, rect.irrelevant + 1e-9);
+  EXPECT_EQ(rect.messages, 1.0);
+  EXPECT_EQ(poly.messages, 1.0);
+  EXPECT_GE(cover.messages, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcedureOrdering,
+                         ::testing::Range<uint64_t>(500, 516));
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "channel/channel_cost.h"
+#include "channel/client_set.h"
+#include "channel/hill_climb_allocator.h"
+#include "cost/cost_model.h"
+#include "net/message.h"
+#include "net/server.h"
+#include "net/sim_client.h"
+#include "net/simulator.h"
+#include "net/wire.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "workload/client_gen.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+/// Small end-to-end world: table + index + queries + clients.
+struct World {
+  Rect domain{0, 0, 100, 100};
+  Table table;
+  std::unique_ptr<GridIndex> index;
+  QuerySet queries;
+  ClientSet clients;
+
+  explicit World(uint64_t seed, size_t num_objects = 500,
+                 size_t num_queries = 6, size_t num_clients = 3)
+      : table(Schema::Geographic(0)) {
+    Rng rng(seed);
+    TableGeneratorConfig tconfig;
+    tconfig.domain = domain;
+    tconfig.num_objects = num_objects;
+    tconfig.payload_fields = 0;
+    table = GenerateTable(tconfig, &rng);
+    index = std::make_unique<GridIndex>(table, domain);
+    QueryGenConfig qconfig;
+    qconfig.domain = domain;
+    qconfig.num_queries = num_queries;
+    qconfig.max_extent = 0.3;
+    queries = QuerySet(GenerateQueries(qconfig, &rng));
+    clients = AssignClients(queries, num_clients,
+                            ClientAssignment::kLocality, &rng);
+  }
+
+  /// All clients on one channel, each query its own group.
+  DisseminationPlan UnmergedPlan() const {
+    DisseminationPlan plan;
+    plan.allocation.push_back(clients.AllClients());
+    plan.channel_partitions.push_back(SingletonPartition(queries.size()));
+    return plan;
+  }
+};
+
+// --------------------------------------------------------------- Message
+
+TEST(MessageTest, ByteAccounting) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({1.0, 1.0}).ok());
+  ASSERT_TRUE(table.Insert({2.0, 2.0}).ok());
+  Message msg;
+  msg.recipients = {0, 1};
+  msg.extractors = {{0, {0, Rect(0, 0, 5, 5)}}, {1, {1, Rect(0, 0, 5, 5)}}};
+  msg.payload = {0, 1};
+  EXPECT_EQ(msg.HeaderBytes(), 8 + 4 * 2 + 40 * 2);
+  EXPECT_EQ(msg.PayloadBytes(table), 32u);
+}
+
+// ---------------------------------------------------------------- Server
+
+TEST(ServerTest, UnmergedPlanProducesOneMessagePerQuery) {
+  World world(1);
+  Server server(&world.table, world.index.get(), &world.queries,
+                &world.clients);
+  BoundingRectProcedure proc;
+  const auto messages = server.ExecuteRound(world.UnmergedPlan(), proc);
+  EXPECT_EQ(messages.size(), world.queries.size());
+  for (const Message& msg : messages) {
+    EXPECT_EQ(msg.channel, 0u);
+    EXPECT_FALSE(msg.recipients.empty());
+  }
+}
+
+TEST(ServerTest, PayloadMatchesDirectAnswerForSingletons) {
+  World world(2);
+  Server server(&world.table, world.index.get(), &world.queries,
+                &world.clients);
+  BoundingRectProcedure proc;
+  const auto messages = server.ExecuteRound(world.UnmergedPlan(), proc);
+  ASSERT_EQ(messages.size(), world.queries.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    // Plan order is query order for singleton partitions.
+    const QueryId q = world.UnmergedPlan().channel_partitions[0][i][0];
+    EXPECT_EQ(messages[i].payload, server.DirectAnswer(q));
+  }
+}
+
+TEST(ServerTest, MergedGroupProducesSupersetPayload) {
+  World world(3);
+  Server server(&world.table, world.index.get(), &world.queries,
+                &world.clients);
+  BoundingRectProcedure proc;
+  DisseminationPlan plan;
+  plan.allocation.push_back(world.clients.AllClients());
+  plan.channel_partitions.push_back(
+      {QueryGroup{0, 1}, QueryGroup{2, 3, 4}, QueryGroup{5}});
+  const auto messages = server.ExecuteRound(plan, proc);
+  ASSERT_EQ(messages.size(), 3u);
+  // Every direct answer row of a member query appears in its message.
+  for (QueryId q : {0u, 1u}) {
+    for (RowId row : server.DirectAnswer(q)) {
+      EXPECT_TRUE(std::binary_search(messages[0].payload.begin(),
+                                     messages[0].payload.end(), row));
+    }
+  }
+}
+
+TEST(ServerTest, RecipientsOnlyListSubscribedChannelClients) {
+  World world(4);
+  Server server(&world.table, world.index.get(), &world.queries,
+                &world.clients);
+  BoundingRectProcedure proc;
+  const auto messages = server.ExecuteRound(world.UnmergedPlan(), proc);
+  for (const Message& msg : messages) {
+    for (const HeaderEntry& entry : msg.extractors) {
+      const auto& subs = world.clients.QueriesOf(entry.client);
+      EXPECT_TRUE(std::binary_search(subs.begin(), subs.end(),
+                                     entry.spec.query));
+    }
+  }
+}
+
+// ------------------------------------------------------------- SimClient
+
+TEST(SimClientTest, IgnoresMessagesNotAddressedToIt) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({1.0, 1.0}).ok());
+  QuerySet queries({Rect(0, 0, 5, 5)});
+  SimClient client(7, 0, &queries, {0});
+  client.StartRound();
+  Message msg;
+  msg.channel = 0;
+  msg.recipients = {3};  // Someone else.
+  msg.payload = {0};
+  client.Receive(msg, table);
+  EXPECT_EQ(client.stats().headers_checked, 1u);
+  EXPECT_EQ(client.stats().messages_processed, 0u);
+  EXPECT_TRUE(client.AnswerFor(0).empty());
+}
+
+TEST(SimClientTest, ExtractsOwnAnswer) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({1.0, 1.0}).ok());
+  ASSERT_TRUE(table.Insert({9.0, 9.0}).ok());
+  QuerySet queries({Rect(0, 0, 5, 5)});
+  SimClient client(0, 0, &queries, {0});
+  client.StartRound();
+  Message msg;
+  msg.channel = 0;
+  msg.recipients = {0};
+  msg.extractors = {{0, {0, queries.rect(0)}}};
+  msg.payload = {0, 1};
+  client.Receive(msg, table);
+  EXPECT_EQ(client.AnswerFor(0), (std::vector<RowId>{0}));
+  EXPECT_EQ(client.stats().rows_examined, 2u);
+  EXPECT_EQ(client.stats().rows_irrelevant, 1u);
+}
+
+TEST(SimClientTest, CacheCountsRepeatedRows) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({1.0, 1.0}).ok());
+  QuerySet queries({Rect(0, 0, 5, 5)});
+  SimClient client(0, 0, &queries, {0}, /*enable_cache=*/true);
+  client.StartRound();
+  Message msg;
+  msg.channel = 0;
+  msg.recipients = {0};
+  msg.extractors = {{0, {0, queries.rect(0)}}};
+  msg.payload = {0};
+  client.Receive(msg, table);
+  EXPECT_EQ(client.stats().cache_hits, 0u);
+  client.StartRound();  // New round; cache persists.
+  client.Receive(msg, table);
+  EXPECT_EQ(client.stats().cache_hits, 1u);
+}
+
+// ------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, UnmergedRoundDeliversExactAnswers) {
+  World world(5);
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients);
+  BoundingRectProcedure proc;
+  const RoundStats stats = sim.RunRound(world.UnmergedPlan(), proc);
+  EXPECT_TRUE(stats.all_answers_correct);
+  EXPECT_EQ(stats.num_messages, world.queries.size());
+  EXPECT_EQ(stats.channels_used, 1u);
+  EXPECT_EQ(stats.irrelevant_rows, 0u);  // No merging => nothing foreign.
+}
+
+TEST(SimulatorTest, MergedRoundStillCorrectButCarriesIrrelevantRows) {
+  World world(6);
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients);
+  BoundingRectProcedure proc;
+  DisseminationPlan plan;
+  plan.allocation.push_back(world.clients.AllClients());
+  plan.channel_partitions.push_back(
+      {QueryGroup{0, 1, 2}, QueryGroup{3, 4, 5}});
+  const RoundStats stats = sim.RunRound(plan, proc);
+  EXPECT_TRUE(stats.all_answers_correct);
+  EXPECT_EQ(stats.num_messages, 2u);
+  EXPECT_GT(stats.rows_examined, 0u);
+}
+
+TEST(SimulatorTest, FewerMessagesAfterMergingThanUnmerged) {
+  World world(7);
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients);
+  BoundingRectProcedure proc;
+  const RoundStats unmerged = sim.RunRound(world.UnmergedPlan(), proc);
+  DisseminationPlan merged;
+  merged.allocation.push_back(world.clients.AllClients());
+  merged.channel_partitions.push_back(OneGroupPartition(6));
+  const RoundStats stats = sim.RunRound(merged, proc);
+  EXPECT_LT(stats.num_messages, unmerged.num_messages);
+  EXPECT_TRUE(stats.all_answers_correct);
+}
+
+TEST(ServerTest, ServerTagsMarkMembershipBits) {
+  World world(9);
+  Server server(&world.table, world.index.get(), &world.queries,
+                &world.clients);
+  BoundingRectProcedure proc;
+  DisseminationPlan plan;
+  plan.allocation.push_back(world.clients.AllClients());
+  plan.channel_partitions.push_back({QueryGroup{0, 1, 2}, QueryGroup{3, 4, 5}});
+  const auto messages =
+      server.ExecuteRound(plan, proc, ExtractionMode::kServerTags);
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(msg.HasTags());
+    ASSERT_EQ(msg.payload_tags.size(), msg.payload.size());
+    for (size_t i = 0; i < msg.payload.size(); ++i) {
+      for (size_t k = 0; k < msg.members.size(); ++k) {
+        const bool tagged = (msg.payload_tags[i] & (1u << k)) != 0;
+        const bool inside = world.queries.rect(msg.members[k])
+                                .Contains(world.table.PositionOf(
+                                    msg.payload[i]));
+        EXPECT_EQ(tagged, inside);
+      }
+    }
+  }
+}
+
+TEST(SimulatorTest, TagExtractionMatchesSelfExtraction) {
+  World world(10, 800, 8, 3);
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients);
+  BoundingRectProcedure proc;
+  DisseminationPlan plan;
+  plan.allocation.push_back(world.clients.AllClients());
+  plan.channel_partitions.push_back(
+      {QueryGroup{0, 1, 2, 3}, QueryGroup{4, 5, 6, 7}});
+  const RoundStats self_stats =
+      sim.RunRound(plan, proc, ExtractionMode::kSelfExtract);
+  const RoundStats tag_stats =
+      sim.RunRound(plan, proc, ExtractionMode::kServerTags);
+  EXPECT_TRUE(self_stats.all_answers_correct);
+  EXPECT_TRUE(tag_stats.all_answers_correct);
+  EXPECT_EQ(self_stats.payload_rows, tag_stats.payload_rows);
+  // Tags cost 4 bytes per payload row on the wire.
+  EXPECT_EQ(tag_stats.payload_bytes,
+            self_stats.payload_bytes + 4 * tag_stats.payload_rows);
+}
+
+TEST(WireMessageTaggedTest, TaggedFrameRoundTrips) {
+  World world(11);
+  Server server(&world.table, world.index.get(), &world.queries,
+                &world.clients);
+  BoundingRectProcedure proc;
+  DisseminationPlan plan;
+  plan.allocation.push_back(world.clients.AllClients());
+  plan.channel_partitions.push_back({QueryGroup{0, 1, 2}});
+  const auto messages =
+      server.ExecuteRound(plan, proc, ExtractionMode::kServerTags);
+  ASSERT_FALSE(messages.empty());
+  for (const Message& msg : messages) {
+    auto frame = EncodeMessage(msg, world.table);
+    ASSERT_TRUE(frame.ok());
+    auto decoded = DecodeMessage(frame.value(), world.table.schema());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->members, msg.members);
+    EXPECT_EQ(decoded->tags, msg.payload_tags);
+  }
+}
+
+TEST(SimulatorTest, WireVerificationRoundTripsEveryMessage) {
+  World world(8);
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients, /*enable_client_cache=*/false,
+                         /*verify_wire=*/true);
+  BoundingRectProcedure proc;
+  const RoundStats stats = sim.RunRound(world.UnmergedPlan(), proc);
+  EXPECT_TRUE(stats.all_answers_correct);
+  EXPECT_TRUE(stats.wire_round_trip_ok);
+  EXPECT_GT(stats.wire_bytes, stats.payload_bytes / 2);
+}
+
+TEST(SimulatorTest, WireBytesZeroWhenVerificationOff) {
+  World world(8);
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients);
+  BoundingRectProcedure proc;
+  const RoundStats stats = sim.RunRound(world.UnmergedPlan(), proc);
+  EXPECT_TRUE(stats.wire_round_trip_ok);
+  EXPECT_EQ(stats.wire_bytes, 0u);
+}
+
+/// Property: every (procedure, plan shape, seed) combination delivers
+/// exactly correct answers to every client — the library's core
+/// correctness contract end to end.
+class EndToEndCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(EndToEndCorrectness, AllClientsRecoverExactAnswers) {
+  const int proc_kind = std::get<0>(GetParam());
+  World world(std::get<1>(GetParam()), 800, 10, 4);
+
+  BoundingRectProcedure rect_proc;
+  BoundingPolygonProcedure poly_proc;
+  ExactCoverProcedure cover_proc;
+  const MergeProcedure* proc =
+      proc_kind == 0 ? static_cast<const MergeProcedure*>(&rect_proc)
+      : proc_kind == 1 ? static_cast<const MergeProcedure*>(&poly_proc)
+                       : static_cast<const MergeProcedure*>(&cover_proc);
+
+  // Two channels, split clients, pair-merged per channel.
+  UniformDensityEstimator estimator(0.05);
+  MergeContext ctx(&world.queries, &estimator, proc);
+  const CostModel model{2.0, 1.0, 1.0, 0.0};
+  ChannelCostEvaluator evaluator(&ctx, model, &world.clients);
+  HillClimbAllocator allocator(StartPolicy::kBestOfBoth, 5);
+  auto allocation = allocator.Allocate(evaluator, 2);
+  ASSERT_TRUE(allocation.ok());
+
+  DisseminationPlan plan;
+  plan.allocation = allocation->allocation;
+  for (const auto& channel_clients : plan.allocation) {
+    plan.channel_partitions.push_back(
+        evaluator.Plan(channel_clients).partition);
+  }
+
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients);
+  const RoundStats stats = sim.RunRound(plan, *proc);
+  EXPECT_TRUE(stats.all_answers_correct) << proc->name();
+  if (proc_kind == 2) {
+    // Exact cover never ships a row no recipient needs... per message;
+    // a row may still be irrelevant to one of several recipients of a
+    // piece only if that piece is outside the recipient's query, which
+    // exact cover forbids.
+    EXPECT_EQ(stats.irrelevant_rows, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProceduresAndSeeds, EndToEndCorrectness,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(11, 22, 33)));
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "relation/generator.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"longitude", ValueType::kDouble},
+                 {"latitude", ValueType::kDouble},
+                 {"name", ValueType::kString},
+                 {"count", ValueType::kInt64}});
+}
+
+std::vector<Value> Row(double lon, double lat, const std::string& name,
+                       int64_t count) {
+  return {lon, lat, name, count};
+}
+
+// ----------------------------------------------------------- AST basics
+
+TEST(PredicateAstTest, ToStringRendersSqlLike) {
+  auto p = Predicate::And(
+      Predicate::Compare("latitude", CompareOp::kGe, 2.0),
+      Predicate::Compare("latitude", CompareOp::kLe, 40.0));
+  EXPECT_EQ(p->ToString(), "(latitude >= 2 AND latitude <= 40)");
+  EXPECT_EQ(Predicate::True()->ToString(), "TRUE");
+  EXPECT_EQ(
+      Predicate::Not(Predicate::Compare("name", CompareOp::kEq,
+                                        std::string("x")))
+          ->ToString(),
+      "NOT name = 'x'");
+}
+
+TEST(PredicateAstTest, BetweenExpandsToConjunction) {
+  auto p = Predicate::Between("longitude", 3.0, 41.0);
+  EXPECT_EQ(p->kind(), Predicate::Kind::kAnd);
+  EXPECT_EQ(p->ToString(), "(longitude >= 3 AND longitude <= 41)");
+}
+
+// ----------------------------------------------------------------- Bind
+
+TEST(BoundPredicateTest, ComparisonsOnEveryType) {
+  const Schema schema = TestSchema();
+  auto bind = [&](PredicateRef p) {
+    auto bound = BoundPredicate::Bind(p, schema);
+    EXPECT_TRUE(bound.ok());
+    return bound.value();
+  };
+  const auto row = Row(10, 20, "bravo", 7);
+
+  EXPECT_TRUE(bind(Predicate::Compare("longitude", CompareOp::kEq, 10.0))
+                  .Matches(row));
+  EXPECT_TRUE(bind(Predicate::Compare("latitude", CompareOp::kGt, 15.0))
+                  .Matches(row));
+  EXPECT_TRUE(bind(Predicate::Compare("name", CompareOp::kGe,
+                                      std::string("alpha")))
+                  .Matches(row));
+  EXPECT_FALSE(bind(Predicate::Compare("name", CompareOp::kLt,
+                                       std::string("alpha")))
+                   .Matches(row));
+  // Int column compared against a double constant: numeric comparison.
+  EXPECT_TRUE(bind(Predicate::Compare("count", CompareOp::kLe, 7.5))
+                  .Matches(row));
+}
+
+TEST(BoundPredicateTest, BooleanConnectives) {
+  const Schema schema = TestSchema();
+  auto p = Predicate::Or(
+      Predicate::And(Predicate::Compare("longitude", CompareOp::kLt, 5.0),
+                     Predicate::Compare("latitude", CompareOp::kLt, 5.0)),
+      Predicate::Not(
+          Predicate::Compare("name", CompareOp::kEq, std::string("x"))));
+  auto bound = BoundPredicate::Bind(p, schema);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->Matches(Row(1, 1, "x", 0)));    // Left arm.
+  EXPECT_TRUE(bound->Matches(Row(10, 10, "y", 0)));  // Right arm.
+  EXPECT_FALSE(bound->Matches(Row(10, 10, "x", 0)));
+}
+
+TEST(BoundPredicateTest, TruePredicateMatchesEverything) {
+  auto bound = BoundPredicate::Bind(Predicate::True(), TestSchema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->Matches(Row(0, 0, "", 0)));
+}
+
+TEST(BoundPredicateTest, RejectsUnknownColumn) {
+  auto bound = BoundPredicate::Bind(
+      Predicate::Compare("altitude", CompareOp::kEq, 1.0), TestSchema());
+  EXPECT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BoundPredicateTest, RejectsTypeMismatch) {
+  auto bound = BoundPredicate::Bind(
+      Predicate::Compare("name", CompareOp::kEq, 5.0), TestSchema());
+  EXPECT_FALSE(bound.ok());
+  auto bound2 = BoundPredicate::Bind(
+      Predicate::Compare("longitude", CompareOp::kEq, std::string("x")),
+      TestSchema());
+  EXPECT_FALSE(bound2.ok());
+}
+
+TEST(BoundPredicateTest, WorksWithTableScanWhere) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({1.0, 1.0}).ok());
+  ASSERT_TRUE(table.Insert({5.0, 5.0}).ok());
+  ASSERT_TRUE(table.Insert({9.0, 9.0}).ok());
+  auto parsed = ParsePredicate("longitude >= 2 AND latitude <= 8");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = BoundPredicate::Bind(parsed.value(), table.schema());
+  ASSERT_TRUE(bound.ok());
+  const auto rows = table.ScanWhere(
+      [&](const std::vector<Value>& row) { return bound->Matches(row); });
+  EXPECT_EQ(rows, (std::vector<RowId>{1}));
+}
+
+// --------------------------------------------------------- ExtractRange
+
+TEST(ExtractRangeTest, PaperSectionOneQueries) {
+  // sigma_{2 <= A <= 40} with A = longitude over an unbounded-ish domain.
+  const Schema schema = Schema::Geographic(0);
+  const Rect domain(0, 0, 100, 100);
+  auto p = ParsePredicate("longitude BETWEEN 2 AND 40");
+  ASSERT_TRUE(p.ok());
+  auto rect = ExtractRange(p.value(), schema, domain);
+  ASSERT_TRUE(rect.ok());
+  EXPECT_EQ(rect.value(), Rect(2, 0, 40, 100));
+}
+
+TEST(ExtractRangeTest, FullGeographicQuery) {
+  const Schema schema = Schema::Geographic(0);
+  auto p = ParsePredicate(
+      "latitude >= 10 AND latitude <= 30 AND longitude >= 5 AND "
+      "longitude <= 25");
+  ASSERT_TRUE(p.ok());
+  auto rect = ExtractRange(p.value(), schema, Rect(0, 0, 100, 100));
+  ASSERT_TRUE(rect.ok());
+  EXPECT_EQ(rect.value(), Rect(5, 10, 25, 30));
+}
+
+TEST(ExtractRangeTest, RedundantConstraintsTighten) {
+  const Schema schema = Schema::Geographic(0);
+  auto p = ParsePredicate("longitude <= 50 AND longitude <= 30");
+  ASSERT_TRUE(p.ok());
+  auto rect = ExtractRange(p.value(), schema, Rect(0, 0, 100, 100));
+  ASSERT_TRUE(rect.ok());
+  EXPECT_DOUBLE_EQ(rect->x_hi(), 30.0);
+}
+
+TEST(ExtractRangeTest, ContradictionYieldsEmptyRect) {
+  const Schema schema = Schema::Geographic(0);
+  auto p = ParsePredicate("longitude >= 60 AND longitude <= 40");
+  ASSERT_TRUE(p.ok());
+  auto rect = ExtractRange(p.value(), schema, Rect(0, 0, 100, 100));
+  ASSERT_TRUE(rect.ok());
+  EXPECT_TRUE(rect->IsEmpty());
+}
+
+TEST(ExtractRangeTest, EqualityPinsAxis) {
+  const Schema schema = Schema::Geographic(0);
+  auto p = ParsePredicate("longitude = 42");
+  ASSERT_TRUE(p.ok());
+  auto rect = ExtractRange(p.value(), schema, Rect(0, 0, 100, 100));
+  ASSERT_TRUE(rect.ok());
+  EXPECT_DOUBLE_EQ(rect->x_lo(), 42.0);
+  EXPECT_DOUBLE_EQ(rect->x_hi(), 42.0);
+}
+
+TEST(ExtractRangeTest, RejectsDisjunctionNegationPayloadColumns) {
+  const Schema schema = Schema::Geographic(1);
+  const Rect domain(0, 0, 100, 100);
+  auto reject = [&](const std::string& text) {
+    auto p = ParsePredicate(text);
+    ASSERT_TRUE(p.ok()) << text;
+    EXPECT_FALSE(ExtractRange(p.value(), schema, domain).ok()) << text;
+  };
+  reject("longitude <= 5 OR latitude <= 5");
+  reject("NOT longitude <= 5");
+  reject("attr0 = 'tank'");
+  reject("longitude != 5");
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(ParsePredicateTest, PrecedenceAndParentheses) {
+  auto p = ParsePredicate("a <= 1 OR b <= 2 AND c <= 3");
+  ASSERT_TRUE(p.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ(p.value()->ToString(), "(a <= 1 OR (b <= 2 AND c <= 3))");
+  auto q = ParsePredicate("(a <= 1 OR b <= 2) AND c <= 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value()->ToString(), "((a <= 1 OR b <= 2) AND c <= 3)");
+}
+
+TEST(ParsePredicateTest, AllOperators) {
+  for (const char* text :
+       {"x = 1", "x != 1", "x <> 1", "x < 1", "x <= 1", "x > 1", "x >= 1"}) {
+    EXPECT_TRUE(ParsePredicate(text).ok()) << text;
+  }
+}
+
+TEST(ParsePredicateTest, CaseInsensitiveKeywords) {
+  auto p = ParsePredicate("x between 1 and 2 or not y = 3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()->kind(), Predicate::Kind::kOr);
+}
+
+TEST(ParsePredicateTest, StringLiteralsAndNumbers) {
+  auto p = ParsePredicate("name = 'hello world' AND count >= -2.5e2");
+  ASSERT_TRUE(p.ok());
+  const auto& compare = p.value()->left();
+  EXPECT_EQ(std::get<std::string>(compare->constant()), "hello world");
+  EXPECT_DOUBLE_EQ(std::get<double>(p.value()->right()->constant()), -250.0);
+}
+
+TEST(ParsePredicateTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParsePredicate("").ok());
+  EXPECT_FALSE(ParsePredicate("x <=").ok());
+  EXPECT_FALSE(ParsePredicate("x <= 1 AND").ok());
+  EXPECT_FALSE(ParsePredicate("(x <= 1").ok());
+  EXPECT_FALSE(ParsePredicate("x <= 1 garbage").ok());
+  EXPECT_FALSE(ParsePredicate("x BETWEEN 1 2").ok());
+  EXPECT_FALSE(ParsePredicate("name = 'unterminated").ok());
+  EXPECT_FALSE(ParsePredicate("= 5").ok());
+}
+
+TEST(ParsePredicateTest, KeywordPrefixIdentifiersAreNotKeywords) {
+  // "ANDy"/"ORder"-style identifiers must not be eaten as keywords.
+  auto p = ParsePredicate("android <= 1 AND order_id <= 2");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()->ToString(), "(android <= 1 AND order_id <= 2)");
+}
+
+/// Property: parse -> ToString -> parse is a fixpoint, and both parses
+/// select the same rows.
+class ParseRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParseRoundTrip, StableUnderReparse) {
+  auto first = ParsePredicate(GetParam());
+  ASSERT_TRUE(first.ok());
+  const std::string rendered = first.value()->ToString();
+  auto second = ParsePredicate(rendered);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value()->ToString(), rendered);
+
+  // Semantic agreement on random rows.
+  const Schema schema = TestSchema();
+  auto b1 = BoundPredicate::Bind(first.value(), schema);
+  auto b2 = BoundPredicate::Bind(second.value(), schema);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto row = Row(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10),
+                         rng.Bernoulli(0.5) ? "x" : "y",
+                         rng.UniformInt(0, 5));
+    EXPECT_EQ(b1->Matches(row), b2->Matches(row));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, ParseRoundTrip,
+    ::testing::Values(
+        "longitude <= 5", "latitude BETWEEN 1 AND 9",
+        "longitude <= 5 AND latitude >= 2",
+        "(longitude <= 5 OR latitude >= 2) AND NOT name = 'x'",
+        "count >= 3 AND count <= 4 OR longitude < 1",
+        "NOT (longitude > 5 AND latitude > 5)"));
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "relation/value.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+Table MakeSmallTable() {
+  Table table(Schema::Geographic(1));
+  const double coords[][2] = {{1, 1}, {2, 3}, {5, 5}, {9, 9}, {5, 1}};
+  for (const auto& c : coords) {
+    auto r = table.Insert({c[0], c[1], std::string("obj")});
+    EXPECT_TRUE(r.ok());
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, GeographicSchemaShape) {
+  Schema s = Schema::Geographic(2);
+  ASSERT_EQ(s.num_fields(), 4u);
+  EXPECT_EQ(s.field(0).name, "longitude");
+  EXPECT_EQ(s.field(0).type, ValueType::kDouble);
+  EXPECT_EQ(s.field(1).name, "latitude");
+  EXPECT_EQ(s.field(2).name, "attr0");
+  EXPECT_EQ(s.field(3).name, "attr1");
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = Schema::Geographic(1);
+  EXPECT_EQ(s.IndexOf("latitude"), 1u);
+  EXPECT_EQ(s.IndexOf("nope"), std::nullopt);
+}
+
+TEST(SchemaTest, ValidateArity) {
+  Schema s = Schema::Geographic(0);
+  EXPECT_TRUE(s.Validate({1.0, 2.0}).ok());
+  EXPECT_FALSE(s.Validate({1.0}).ok());
+  EXPECT_FALSE(s.Validate({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SchemaTest, ValidateTypes) {
+  Schema s = Schema::Geographic(1);
+  EXPECT_TRUE(s.Validate({1.0, 2.0, std::string("x")}).ok());
+  EXPECT_FALSE(s.Validate({int64_t{1}, 2.0, std::string("x")}).ok());
+  EXPECT_FALSE(s.Validate({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(Schema::Geographic(0).ToString(),
+            "longitude:DOUBLE, latitude:DOUBLE");
+}
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, TypeOfAndWireSize) {
+  EXPECT_EQ(TypeOf(Value{int64_t{5}}), ValueType::kInt64);
+  EXPECT_EQ(TypeOf(Value{2.5}), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value{std::string("ab")}), ValueType::kString);
+  EXPECT_EQ(WireSize(Value{int64_t{5}}), 8u);
+  EXPECT_EQ(WireSize(Value{2.5}), 8u);
+  EXPECT_EQ(WireSize(Value{std::string("ab")}), 6u);
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, InsertAndAccess) {
+  Table table = MakeSmallTable();
+  EXPECT_EQ(table.num_rows(), 5u);
+  EXPECT_EQ(table.PositionOf(0).x, 1.0);
+  EXPECT_EQ(table.PositionOf(2).y, 5.0);
+}
+
+TEST(TableTest, InsertRejectsWrongArity) {
+  Table table(Schema::Geographic(0));
+  EXPECT_FALSE(table.Insert({1.0}).ok());
+}
+
+TEST(TableTest, InsertRejectsNonPositionalSchema) {
+  Table table(Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  EXPECT_FALSE(table.Insert({int64_t{1}, int64_t{2}}).ok());
+}
+
+TEST(TableTest, ScanRangeClosedBounds) {
+  Table table = MakeSmallTable();
+  EXPECT_EQ(table.ScanRange(Rect(1, 1, 5, 5)),
+            (std::vector<RowId>{0, 1, 2, 4}));
+  EXPECT_EQ(table.ScanRange(Rect(9, 9, 9, 9)), (std::vector<RowId>{3}));
+  EXPECT_TRUE(table.ScanRange(Rect(100, 100, 200, 200)).empty());
+  EXPECT_TRUE(table.ScanRange(Rect::Empty()).empty());
+}
+
+TEST(TableTest, CountRangeMatchesScan) {
+  Table table = MakeSmallTable();
+  const Rect r(0, 0, 6, 6);
+  EXPECT_EQ(table.CountRange(r), table.ScanRange(r).size());
+}
+
+TEST(TableTest, WireSizes) {
+  Table table = MakeSmallTable();
+  // 2 doubles (16) + "obj" string (3+4).
+  EXPECT_EQ(table.RowWireSize(0), 23u);
+  EXPECT_DOUBLE_EQ(table.MeanRowWireSize(), 23.0);
+}
+
+// ------------------------------------------------------------- GridIndex
+
+TEST(GridIndexTest, MatchesFullScanOnSmallTable) {
+  Table table = MakeSmallTable();
+  GridIndex index(table, Rect(0, 0, 10, 10), 4, 4);
+  const Rect queries[] = {Rect(0, 0, 10, 10), Rect(1, 1, 5, 5),
+                          Rect(4, 0, 6, 2),   Rect(8.5, 8.5, 9.5, 9.5),
+                          Rect(3, 3, 3, 3),   Rect::Empty()};
+  for (const Rect& q : queries) {
+    EXPECT_EQ(index.Query(q), table.ScanRange(q)) << q.ToString();
+    EXPECT_EQ(index.Count(q), table.CountRange(q)) << q.ToString();
+  }
+}
+
+TEST(GridIndexTest, RowsOutsideDomainAreClamped) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({-5.0, -5.0}).ok());
+  ASSERT_TRUE(table.Insert({15.0, 15.0}).ok());
+  GridIndex index(table, Rect(0, 0, 10, 10), 4, 4);
+  // The rows exist in boundary buckets; querying beyond the domain edge
+  // must still find them because containment is re-checked per row.
+  EXPECT_EQ(index.Query(Rect(-10, -10, 20, 20)).size(), 2u);
+  EXPECT_TRUE(index.Query(Rect(0, 0, 10, 10)).empty());
+}
+
+/// Property: index results equal full scans on random data and queries.
+class GridIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridIndexProperty, EquivalentToScan) {
+  Rng rng(GetParam());
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = 500;
+  config.clustered_fraction = 0.5;
+  config.num_clusters = 3;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  GridIndex index(table, config.domain, 8, 8);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.UniformDouble(0, 90);
+    const double y = rng.UniformDouble(0, 90);
+    const Rect q(x, y, x + rng.UniformDouble(0, 30),
+                 y + rng.UniformDouble(0, 30));
+    ASSERT_EQ(index.Query(q), table.ScanRange(q)) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, ProducesRequestedRows) {
+  Rng rng(5);
+  TableGeneratorConfig config;
+  config.num_objects = 1000;
+  config.payload_fields = 2;
+  config.payload_bytes = 8;
+  Table table = GenerateTable(config, &rng);
+  EXPECT_EQ(table.num_rows(), 1000u);
+  EXPECT_EQ(table.schema().num_fields(), 4u);
+}
+
+TEST(GeneratorTest, AllPointsInsideDomain) {
+  Rng rng(6);
+  TableGeneratorConfig config;
+  config.domain = Rect(10, 20, 30, 40);
+  config.num_objects = 2000;
+  config.clustered_fraction = 0.8;
+  Table table = GenerateTable(config, &rng);
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    EXPECT_TRUE(config.domain.Contains(table.PositionOf(id)));
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  TableGeneratorConfig config;
+  config.num_objects = 50;
+  Rng rng1(77), rng2(77);
+  Table t1 = GenerateTable(config, &rng1);
+  Table t2 = GenerateTable(config, &rng2);
+  ASSERT_EQ(t1.num_rows(), t2.num_rows());
+  for (RowId id = 0; id < t1.num_rows(); ++id) {
+    EXPECT_EQ(t1.PositionOf(id).x, t2.PositionOf(id).x);
+    EXPECT_EQ(t1.PositionOf(id).y, t2.PositionOf(id).y);
+  }
+}
+
+TEST(GeneratorTest, ClusteredDataIsDenserNearCenters) {
+  // With full clustering and small spread, the average pairwise distance
+  // is far below the uniform expectation.
+  TableGeneratorConfig clustered;
+  clustered.num_objects = 400;
+  clustered.clustered_fraction = 1.0;
+  clustered.num_clusters = 2;
+  clustered.cluster_spread = 0.01;
+  TableGeneratorConfig uniform = clustered;
+  uniform.clustered_fraction = 0.0;
+
+  auto mean_min_neighbor = [](const Table& t) {
+    double total = 0;
+    for (RowId i = 0; i < t.num_rows(); ++i) {
+      double best = 1e18;
+      for (RowId j = 0; j < t.num_rows(); ++j) {
+        if (i == j) continue;
+        const Point a = t.PositionOf(i), b = t.PositionOf(j);
+        const double d2 =
+            (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y);
+        best = std::min(best, d2);
+      }
+      total += std::sqrt(best);
+    }
+    return total / static_cast<double>(t.num_rows());
+  };
+
+  Rng rng1(9), rng2(9);
+  const double clustered_nn = mean_min_neighbor(GenerateTable(clustered, &rng1));
+  const double uniform_nn = mean_min_neighbor(GenerateTable(uniform, &rng2));
+  EXPECT_LT(clustered_nn, uniform_nn * 0.5);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "relation/rtree.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+Table ClusteredTable(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = n;
+  config.clustered_fraction = 0.6;
+  config.num_clusters = 3;
+  config.payload_fields = 0;
+  return GenerateTable(config, &rng);
+}
+
+TEST(RTreeTest, EmptyTable) {
+  Table table(Schema::Geographic(0));
+  RTree tree(table);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.Query(Rect(0, 0, 100, 100)).empty());
+  EXPECT_EQ(tree.Count(Rect(0, 0, 100, 100)), 0u);
+}
+
+TEST(RTreeTest, SingleRow) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({5.0, 5.0}).ok());
+  RTree tree(table);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.Query(Rect(0, 0, 10, 10)), (std::vector<RowId>{0}));
+  EXPECT_TRUE(tree.Query(Rect(6, 6, 10, 10)).empty());
+}
+
+TEST(RTreeTest, EmptyQueryRect) {
+  Table table = ClusteredTable(1, 100);
+  RTree tree(table);
+  EXPECT_TRUE(tree.Query(Rect::Empty()).empty());
+  EXPECT_EQ(tree.Count(Rect::Empty()), 0u);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  // fanout 4: 100 rows -> 25 leaves -> 7 -> 2 -> 1; height 4.
+  Table table = ClusteredTable(2, 100);
+  RTree tree(table, 4);
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 5);
+  EXPECT_GT(tree.num_nodes(), 25u);
+}
+
+TEST(RTreeTest, FullDomainReturnsEverything) {
+  Table table = ClusteredTable(3, 500);
+  RTree tree(table);
+  EXPECT_EQ(tree.Query(Rect(0, 0, 100, 100)).size(), 500u);
+  EXPECT_EQ(tree.Count(Rect(0, 0, 100, 100)), 500u);
+}
+
+TEST(RTreeTest, CoveredSubtreeCountFastPathIsExact) {
+  Table table = ClusteredTable(4, 2000);
+  RTree tree(table, 8);
+  // A rect covering most of the domain exercises the whole-subtree
+  // counting path; compare against the scan.
+  const Rect big(5, 5, 95, 95);
+  EXPECT_EQ(tree.Count(big), table.CountRange(big));
+}
+
+/// Property: Query/Count agree with the full scan and the grid index on
+/// random workloads, data distributions and fanouts.
+class RTreeEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(RTreeEquivalence, MatchesScanAndGrid) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int fanout = std::get<1>(GetParam());
+  Table table = ClusteredTable(seed, 800);
+  RTree tree(table, fanout);
+  GridIndex grid(table, Rect(0, 0, 100, 100));
+
+  Rng rng(seed ^ 0xFEED);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.UniformDouble(-10, 95);
+    const double y = rng.UniformDouble(-10, 95);
+    const Rect q(x, y, x + rng.UniformDouble(0, 40),
+                 y + rng.UniformDouble(0, 40));
+    const auto scan = table.ScanRange(q);
+    ASSERT_EQ(tree.Query(q), scan) << q.ToString() << " fanout " << fanout;
+    ASSERT_EQ(tree.Count(q), scan.size());
+    ASSERT_EQ(grid.Query(q), scan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFanouts, RTreeEquivalence,
+    ::testing::Combine(::testing::Values(11, 22, 33),
+                       ::testing::Values(2, 4, 16, 64)));
+
+TEST(RTreeTest, DuplicatePositionsAllFound) {
+  Table table(Schema::Geographic(0));
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(table.Insert({5.0, 5.0}).ok());
+  RTree tree(table, 4);
+  EXPECT_EQ(tree.Query(Rect(5, 5, 5, 5)).size(), 20u);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace qsp {
+namespace {
+
+ScenarioConfig SmallScenario(uint64_t seed) {
+  ScenarioConfig config;
+  config.objects.domain = Rect(0, 0, 100, 100);
+  config.objects.num_objects = 800;
+  config.objects.payload_fields = 0;
+  config.workload.num_queries = 12;
+  config.workload.cf = 0.7;
+  config.num_clients = 4;
+  config.service.cost_model = {3.0, 1.0, 0.5, 0.0};
+  config.service.estimator = EstimatorKind::kExact;
+  config.rounds = 1;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ScenarioTest, RejectsBadConfigs) {
+  ScenarioConfig config = SmallScenario(1);
+  config.rounds = 0;
+  EXPECT_FALSE(RunScenario(config).ok());
+  config = SmallScenario(1);
+  config.num_clients = 0;
+  EXPECT_FALSE(RunScenario(config).ok());
+}
+
+TEST(ScenarioTest, RunsEndToEndCorrectly) {
+  auto result = RunScenario(SmallScenario(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->all_correct);
+  ASSERT_EQ(result->rounds.size(), 1u);
+  EXPECT_GT(result->rounds[0].num_messages, 0u);
+  EXPECT_LE(result->plan.estimated_cost, result->plan.initial_cost + 1e-9);
+}
+
+TEST(ScenarioTest, DeterministicInSeed) {
+  auto a = RunScenario(SmallScenario(3));
+  auto b = RunScenario(SmallScenario(3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rounds[0].num_messages, b->rounds[0].num_messages);
+  EXPECT_EQ(a->rounds[0].payload_rows, b->rounds[0].payload_rows);
+  EXPECT_DOUBLE_EQ(a->plan.estimated_cost, b->plan.estimated_cost);
+}
+
+TEST(ScenarioTest, MultiRoundRunsStably) {
+  ScenarioConfig config = SmallScenario(4);
+  config.rounds = 3;
+  auto result = RunScenario(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rounds.size(), 3u);
+  EXPECT_TRUE(result->all_correct);
+  // Static data + static plan => identical traffic per round.
+  EXPECT_EQ(result->rounds[0].payload_rows, result->rounds[2].payload_rows);
+}
+
+TEST(ScenarioTest, ClientCacheHitsAppearInLaterRounds) {
+  ScenarioConfig config = SmallScenario(5);
+  config.rounds = 3;
+  config.service.client_cache = true;
+  auto result = RunScenario(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rounds[0].cache_hits, 0u);
+  // Static data: every row a client sees in round 2+ was already cached.
+  EXPECT_GT(result->rounds[1].cache_hits, 0u);
+  EXPECT_EQ(result->rounds[1].cache_hits, result->rounds[1].rows_examined);
+}
+
+TEST(ScenarioTest, MultiChannelScenario) {
+  ScenarioConfig config = SmallScenario(6);
+  config.service.num_channels = 2;
+  config.service.cost_model.k_check = 1.0;
+  config.num_clients = 5;
+  auto result = RunScenario(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->all_correct);
+  EXPECT_LE(result->rounds[0].channels_used, 2u);
+}
+
+TEST(ScenarioTest, TagExtractionScenario) {
+  ScenarioConfig config = SmallScenario(7);
+  config.service.extraction = ExtractionMode::kServerTags;
+  auto result = RunScenario(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->all_correct);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "stats/equi_depth_estimator.h"
+#include "stats/exact_estimator.h"
+#include "stats/sampling_estimator.h"
+#include "stats/histogram_estimator.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+// ------------------------------------------------- UniformDensityEstimator
+
+TEST(UniformEstimatorTest, SizeIsDensityTimesArea) {
+  UniformDensityEstimator est(2.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect(0, 0, 3, 4)), 24.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect::Empty()), 0.0);
+}
+
+TEST(UniformEstimatorTest, DensityFromObjectCount) {
+  UniformDensityEstimator est(1000.0, Rect(0, 0, 100, 100));
+  EXPECT_DOUBLE_EQ(est.density(), 0.1);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect(0, 0, 10, 10)), 10.0);
+}
+
+TEST(UniformEstimatorTest, RecordSizeScales) {
+  UniformDensityEstimator est(1000.0, Rect(0, 0, 100, 100), 50.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect(0, 0, 10, 10)), 500.0);
+}
+
+TEST(UniformEstimatorTest, RegionSizeSumsDisjointPieces) {
+  UniformDensityEstimator est(1.0);
+  const std::vector<Rect> pieces = {Rect(0, 0, 1, 1), Rect(2, 0, 3, 2)};
+  EXPECT_DOUBLE_EQ(est.EstimateRegionSize(pieces), 1.0 + 2.0);
+}
+
+// ----------------------------------------------------- HistogramEstimator
+
+TEST(HistogramEstimatorTest, FullDomainQueryCountsEverything) {
+  Rng rng(1);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = 1000;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  HistogramEstimator est(table, config.domain, 10, 10);
+  EXPECT_NEAR(est.EstimateSize(config.domain), 1000.0, 1e-9);
+}
+
+TEST(HistogramEstimatorTest, BucketAlignedQueryIsExact) {
+  Table table(Schema::Geographic(0));
+  // 4 points, one per quadrant of a 2x2 histogram over [0,10]^2.
+  ASSERT_TRUE(table.Insert({2.0, 2.0}).ok());
+  ASSERT_TRUE(table.Insert({7.0, 2.0}).ok());
+  ASSERT_TRUE(table.Insert({2.0, 7.0}).ok());
+  ASSERT_TRUE(table.Insert({7.0, 7.0}).ok());
+  HistogramEstimator est(table, Rect(0, 0, 10, 10), 2, 2);
+  EXPECT_NEAR(est.EstimateSize(Rect(0, 0, 5, 5)), 1.0, 1e-9);
+  EXPECT_NEAR(est.EstimateSize(Rect(5, 0, 10, 10)), 2.0, 1e-9);
+}
+
+TEST(HistogramEstimatorTest, FractionalOverlapInterpolates) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({5.0, 5.0}).ok());
+  HistogramEstimator est(table, Rect(0, 0, 10, 10), 1, 1);
+  // Query covers half the single bucket -> estimate 0.5 tuples.
+  EXPECT_NEAR(est.EstimateSize(Rect(0, 0, 5, 10)), 0.5, 1e-9);
+}
+
+TEST(HistogramEstimatorTest, QueryOutsideDomainIsZero) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({5.0, 5.0}).ok());
+  HistogramEstimator est(table, Rect(0, 0, 10, 10), 4, 4);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect(20, 20, 30, 30)), 0.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect::Empty()), 0.0);
+}
+
+TEST(HistogramEstimatorTest, RecordSizeScales) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({5.0, 5.0}).ok());
+  HistogramEstimator est(table, Rect(0, 0, 10, 10), 1, 1, 32.0);
+  EXPECT_NEAR(est.EstimateSize(Rect(0, 0, 10, 10)), 32.0, 1e-9);
+}
+
+/// Property: on uniform data, fine histograms approach the exact count;
+/// on clustered data, the histogram beats the uniform estimator.
+class HistogramAccuracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracy, BeatsUniformOnClusteredData) {
+  Rng rng(GetParam());
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = 5000;
+  config.clustered_fraction = 0.9;
+  config.num_clusters = 4;
+  config.cluster_spread = 0.02;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  GridIndex index(table, config.domain);
+  ExactEstimator exact(&index);
+  HistogramEstimator hist(table, config.domain, 32, 32);
+  UniformDensityEstimator uniform(5000.0, config.domain);
+
+  double hist_err = 0, uniform_err = 0;
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.UniformDouble(0, 80);
+    const double y = rng.UniformDouble(0, 80);
+    const Rect q(x, y, x + rng.UniformDouble(5, 20),
+                 y + rng.UniformDouble(5, 20));
+    const double truth = exact.EstimateSize(q);
+    hist_err += std::abs(hist.EstimateSize(q) - truth);
+    uniform_err += std::abs(uniform.EstimateSize(q) - truth);
+  }
+  EXPECT_LT(hist_err, uniform_err);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy,
+                         ::testing::Values(21, 42, 63));
+
+// ----------------------------------------------------- EquiDepthEstimator
+
+TEST(EquiDepthEstimatorTest, FullDomainCountsEverything) {
+  Rng rng(3);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = 2000;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  EquiDepthEstimator est(table, 16);
+  EXPECT_NEAR(est.EstimateSize(Rect(-10, -10, 110, 110)), 2000.0, 1.0);
+}
+
+TEST(EquiDepthEstimatorTest, EmptyTableAndEmptyQuery) {
+  Table table(Schema::Geographic(0));
+  EquiDepthEstimator est(table, 8);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect(0, 0, 10, 10)), 0.0);
+  ASSERT_TRUE(table.Insert({1.0, 1.0}).ok());
+  EquiDepthEstimator est2(table, 8);
+  EXPECT_DOUBLE_EQ(est2.EstimateSize(Rect::Empty()), 0.0);
+}
+
+TEST(EquiDepthEstimatorTest, HalfSplitOnUniformAxis) {
+  // Uniform x in [0,100]: the marginal fraction of [0,50] must be ~0.5.
+  Table table(Schema::Geographic(0));
+  Rng rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(
+        table.Insert({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)})
+            .ok());
+  }
+  EquiDepthEstimator est(table, 32);
+  EXPECT_NEAR(est.EstimateSize(Rect(0, 0, 50, 100)), 2000.0, 120.0);
+}
+
+TEST(EquiDepthEstimatorTest, AdaptsToSkewOnOneAxis) {
+  // 90% of mass at x in [0,10]: an equi-depth marginal resolves the
+  // dense region far better than uniform-density would.
+  Table table(Schema::Geographic(0));
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Bernoulli(0.9) ? rng.UniformDouble(0, 10)
+                                        : rng.UniformDouble(10, 100);
+    ASSERT_TRUE(table.Insert({x, rng.UniformDouble(0, 100)}).ok());
+  }
+  EquiDepthEstimator est(table, 32);
+  UniformDensityEstimator uniform(5000.0, Rect(0, 0, 100, 100));
+  const Rect dense(0, 0, 10, 100);
+  const double truth = static_cast<double>(table.CountRange(dense));
+  EXPECT_LT(std::abs(est.EstimateSize(dense) - truth),
+            std::abs(uniform.EstimateSize(dense) - truth));
+  EXPECT_NEAR(est.EstimateSize(dense), truth, 0.05 * truth);
+}
+
+// ------------------------------------------------------ SamplingEstimator
+
+TEST(SamplingEstimatorTest, FullRateIsExact) {
+  Rng rng(6);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = 500;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  SamplingEstimator est(table, 1.0);
+  EXPECT_EQ(est.sample_size(), 500u);
+  const Rect q(20, 20, 70, 70);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(q),
+                   static_cast<double>(table.CountRange(q)));
+}
+
+TEST(SamplingEstimatorTest, UnbiasedWithinTolerance) {
+  Rng rng(7);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = 20000;
+  config.clustered_fraction = 0.5;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  const Rect q(10, 10, 60, 60);
+  const double truth = static_cast<double>(table.CountRange(q));
+  // Average across seeds to damp sampling noise.
+  double total = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    SamplingEstimator est(table, 0.05, seed);
+    total += est.EstimateSize(q);
+  }
+  EXPECT_NEAR(total / 10.0, truth, 0.1 * truth);
+}
+
+TEST(SamplingEstimatorTest, DeterministicInSeed) {
+  Rng rng(8);
+  TableGeneratorConfig config;
+  config.num_objects = 1000;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  SamplingEstimator a(table, 0.1, 99), b(table, 0.1, 99);
+  EXPECT_EQ(a.sample_size(), b.sample_size());
+  EXPECT_DOUBLE_EQ(a.EstimateSize(Rect(0, 0, 500, 500)),
+                   b.EstimateSize(Rect(0, 0, 500, 500)));
+}
+
+// --------------------------------------------------------- ExactEstimator
+
+TEST(ExactEstimatorTest, MatchesIndexCount) {
+  Rng rng(2);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 50, 50);
+  config.num_objects = 300;
+  config.payload_fields = 0;
+  Table table = GenerateTable(config, &rng);
+  GridIndex index(table, config.domain);
+  ExactEstimator est(&index);
+  const Rect q(10, 10, 30, 40);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(q),
+                   static_cast<double>(table.CountRange(q)));
+}
+
+TEST(ExactEstimatorTest, RecordSizeScales) {
+  Table table(Schema::Geographic(0));
+  ASSERT_TRUE(table.Insert({1.0, 1.0}).ok());
+  ASSERT_TRUE(table.Insert({2.0, 2.0}).ok());
+  GridIndex index(table, Rect(0, 0, 10, 10));
+  ExactEstimator est(&index, 10.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSize(Rect(0, 0, 10, 10)), 20.0);
+}
+
+}  // namespace
+}  // namespace qsp

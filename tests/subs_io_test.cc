@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/subs_io.h"
+
+namespace qsp {
+namespace {
+
+Result<std::vector<SubscriptionRow>> Parse(const std::string& text) {
+  std::istringstream in(text);
+  return ParseSubscriptionsCsv(in);
+}
+
+TEST(SubsIoTest, ParsesPlainRows) {
+  auto rows = Parse("0,10,10,30,30\n1,70,70,90,90\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].client, 0u);
+  EXPECT_EQ((*rows)[0].rect, Rect(10, 10, 30, 30));
+  EXPECT_EQ((*rows)[1].client, 1u);
+}
+
+TEST(SubsIoTest, ToleratesHeaderCommentsAndBlankLines) {
+  auto rows = Parse(
+      "client,x_lo,y_lo,x_hi,y_hi\n"
+      "# a comment\n"
+      "\n"
+      "2,0,0,5,5\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].client, 2u);
+}
+
+TEST(SubsIoTest, RejectsMalformedRows) {
+  EXPECT_FALSE(Parse("").ok());                        // Empty file.
+  EXPECT_FALSE(Parse("0,1,2,3\n").ok());               // Too few fields.
+  EXPECT_FALSE(Parse("0,1,2,3,4,5\n").ok());           // Too many fields.
+  EXPECT_FALSE(Parse("0,a,2,3,4\n").ok());             // Bad number.
+  EXPECT_FALSE(Parse("0,5,5,1,1\n").ok());             // Empty rectangle.
+  EXPECT_FALSE(Parse("0,0,0,1,1\nx,0,0,1,1\n").ok());  // Bad id mid-file.
+  EXPECT_FALSE(Parse("-3,0,0,1,1\n").ok());            // Negative id.
+}
+
+TEST(SubsIoTest, ErrorsCarryLineNumbers) {
+  auto rows = Parse("0,0,0,1,1\n0,zzz,0,1,1\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SubsIoTest, RoundTripsThroughCsv) {
+  const std::vector<SubscriptionRow> rows = {
+      {0, Rect(10.5, -2.25, 30, 30)},
+      {7, Rect(0, 0, 0.125, 1e6)},
+  };
+  auto parsed = Parse(SubscriptionsToCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].client, rows[i].client);
+    EXPECT_EQ((*parsed)[i].rect, rows[i].rect);
+  }
+}
+
+TEST(SubsIoTest, LoadFromMissingFileFails) {
+  auto rows = LoadSubscriptionsCsv("/no/such/file.csv");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qsp

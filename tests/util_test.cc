@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/bell.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rect");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rect");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad rect");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, FunctionReturnIdiom) {
+  EXPECT_TRUE(Half(4).ok());
+  EXPECT_EQ(Half(4).value(), 2);
+  EXPECT_FALSE(Half(3).ok());
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble(-5.0, 11.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 11.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsCentered) {
+  Rng rng(99);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.UniformDouble());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const int64_t v = rng.UniformInt(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  Summary s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(17);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+// --------------------------------------------------------------- Summary
+
+TEST(SummaryTest, EmptySummary) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, KnownValues) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, ToStringMentionsAllFields) {
+  Summary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("mean="), std::string::npos);
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(QuantileTest, EmptyIsZero) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignedText) {
+  TablePrinter t({"n", "value"});
+  t.AddRow({"1", "alpha"});
+  t.AddRow({"22", "b"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("n  | value"), std::string::npos);
+  EXPECT_NE(text.find("22 | b"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter t({"a", "b"});
+  t.AddNumericRow({1.5, 0.25});
+  const std::string csv = t.ToCsv();
+  EXPECT_EQ(csv, "a,b\n1.5,0.25\n");
+}
+
+TEST(TablePrinterTest, CsvEscaping) {
+  TablePrinter t({"x"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_FATAL_FAILURE(t.ToText());
+}
+
+// ------------------------------------------------------------------ Bell
+
+TEST(BellTest, KnownBellNumbers) {
+  // OEIS A000110.
+  const uint64_t expected[] = {1,    1,    2,     5,     15,     52,
+                               203,  877,  4140,  21147, 115975, 678570,
+                               4213597};
+  for (int n = 0; n <= 12; ++n) {
+    EXPECT_EQ(BellNumber(n), expected[n]) << "n=" << n;
+  }
+}
+
+TEST(BellTest, PaperQuotedValues) {
+  // Section 9.3 quotes B(12) = 4,213,597 and B(15) = 1,382,958,545.
+  EXPECT_EQ(BellNumber(12), 4213597u);
+  EXPECT_EQ(BellNumber(15), 1382958545u);
+}
+
+TEST(BellTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(BellNumber(64), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(BellTest, PartitionsIntoAtMostMatchesStirlingSums) {
+  // S(4,1)=1, S(4,2)=7, S(4,3)=6, S(4,4)=1.
+  EXPECT_EQ(PartitionsIntoAtMost(4, 1), 1u);
+  EXPECT_EQ(PartitionsIntoAtMost(4, 2), 8u);
+  EXPECT_EQ(PartitionsIntoAtMost(4, 3), 14u);
+  EXPECT_EQ(PartitionsIntoAtMost(4, 4), 15u);
+  // k >= n degenerates to the Bell number.
+  EXPECT_EQ(PartitionsIntoAtMost(4, 10), BellNumber(4));
+}
+
+TEST(BellTest, PartitionsEdgeCases) {
+  EXPECT_EQ(PartitionsIntoAtMost(0, 3), 1u);
+  EXPECT_EQ(PartitionsIntoAtMost(5, 0), 0u);
+}
+
+class BellConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(BellConsistency, AtMostNEqualsBell) {
+  const int n = GetParam();
+  EXPECT_EQ(PartitionsIntoAtMost(n, n), BellNumber(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallN, BellConsistency,
+                         ::testing::Range(1, 15));
+
+}  // namespace
+}  // namespace qsp

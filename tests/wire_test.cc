@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "relation/generator.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+// -------------------------------------------------------- Writer/Reader
+
+TEST(WireTest, PrimitivesRoundTrip) {
+  WireWriter writer;
+  writer.PutU8(0xAB);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(0x0123456789ABCDEFULL);
+  writer.PutDouble(-3.25);
+  writer.PutString("hello");
+  writer.PutString("");
+
+  const auto frame = writer.buffer();
+  WireReader reader(frame);
+  EXPECT_EQ(reader.GetU8().value(), 0xAB);
+  EXPECT_EQ(reader.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.GetDouble().value(), -3.25);
+  EXPECT_EQ(reader.GetString().value(), "hello");
+  EXPECT_EQ(reader.GetString().value(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireTest, ReaderRejectsTruncation) {
+  WireWriter writer;
+  writer.PutU32(42);
+  auto frame = writer.Take();
+  frame.pop_back();
+  WireReader reader(frame);
+  auto value = reader.GetU32();
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireTest, ReaderRejectsTruncatedStringBody) {
+  WireWriter writer;
+  writer.PutU32(100);  // Claims 100 bytes follow; none do.
+  WireReader reader(writer.buffer());
+  EXPECT_FALSE(reader.GetString().ok());
+}
+
+TEST(WireTest, SpecialDoubles) {
+  WireWriter writer;
+  writer.PutDouble(0.0);
+  writer.PutDouble(-0.0);
+  writer.PutDouble(1e308);
+  WireReader reader(writer.buffer());
+  EXPECT_EQ(reader.GetDouble().value(), 0.0);
+  EXPECT_EQ(reader.GetDouble().value(), -0.0);
+  EXPECT_EQ(reader.GetDouble().value(), 1e308);
+}
+
+// ------------------------------------------------------ Message framing
+
+Table SmallTable() {
+  Table table(Schema::Geographic(1));
+  EXPECT_TRUE(table.Insert({1.5, 2.5, std::string("alpha")}).ok());
+  EXPECT_TRUE(table.Insert({3.5, 4.5, std::string("beta")}).ok());
+  return table;
+}
+
+Message SampleMessage() {
+  Message msg;
+  msg.channel = 2;
+  msg.recipients = {7, 9};
+  msg.extractors = {{7, {0, Rect(0, 0, 2, 3)}}, {9, {1, Rect(1, 1, 4, 5)}}};
+  msg.payload = {0, 1};
+  return msg;
+}
+
+TEST(WireMessageTest, EncodeDecodeRoundTrip) {
+  const Table table = SmallTable();
+  auto frame = EncodeMessage(SampleMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  auto decoded = DecodeMessage(frame.value(), table.schema());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->channel, 2u);
+  EXPECT_EQ(decoded->recipients, (std::vector<ClientId>{7, 9}));
+  ASSERT_EQ(decoded->extractors.size(), 2u);
+  EXPECT_EQ(decoded->extractors[0].client, 7u);
+  EXPECT_EQ(decoded->extractors[0].spec.query, 0u);
+  EXPECT_EQ(decoded->extractors[0].spec.rect, Rect(0, 0, 2, 3));
+  ASSERT_EQ(decoded->tuples.size(), 2u);
+  EXPECT_EQ(std::get<double>(decoded->tuples[0][0]), 1.5);
+  EXPECT_EQ(std::get<std::string>(decoded->tuples[1][2]), "beta");
+}
+
+TEST(WireMessageTest, EmptyPayloadRoundTrips) {
+  const Table table = SmallTable();
+  Message msg = SampleMessage();
+  msg.payload.clear();
+  auto frame = EncodeMessage(msg, table);
+  ASSERT_TRUE(frame.ok());
+  auto decoded = DecodeMessage(frame.value(), table.schema());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->tuples.empty());
+}
+
+TEST(WireMessageTest, RejectsBadRowId) {
+  const Table table = SmallTable();
+  Message msg = SampleMessage();
+  msg.payload = {5};
+  EXPECT_FALSE(EncodeMessage(msg, table).ok());
+}
+
+TEST(WireMessageTest, RejectsBadMagicTruncationAndTrailingBytes) {
+  const Table table = SmallTable();
+  auto frame = EncodeMessage(SampleMessage(), table);
+  ASSERT_TRUE(frame.ok());
+
+  auto corrupted = frame.value();
+  corrupted[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeMessage(corrupted, table.schema()).ok());
+
+  auto truncated = frame.value();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DecodeMessage(truncated, table.schema()).ok());
+
+  auto padded = frame.value();
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeMessage(padded, table.schema()).ok());
+}
+
+TEST(WireMessageTest, TruncationNeverCrashesAtAnyLength) {
+  // Fuzz-lite: decoding every prefix of a valid frame must return an
+  // error (or, at full length, success) without UB.
+  const Table table = SmallTable();
+  auto frame = EncodeMessage(SampleMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  for (size_t len = 0; len < frame->size(); ++len) {
+    std::vector<uint8_t> prefix(frame->begin(),
+                                frame->begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(DecodeMessage(prefix, table.schema()).ok()) << len;
+  }
+}
+
+TEST(WireMessageTest, PayloadBytesApproximatesEncodedSize) {
+  // The planner's byte accounting (Message::PayloadBytes) should track
+  // the real encoded payload within the per-row framing overhead.
+  Rng rng(5);
+  TableGeneratorConfig config;
+  config.num_objects = 50;
+  config.payload_fields = 2;
+  config.payload_bytes = 16;
+  const Table table = GenerateTable(config, &rng);
+  Message msg;
+  msg.channel = 0;
+  for (RowId id = 0; id < table.num_rows(); ++id) msg.payload.push_back(id);
+  auto frame = EncodeMessage(msg, table);
+  ASSERT_TRUE(frame.ok());
+  const size_t accounted = msg.PayloadBytes(table);
+  const size_t actual = frame->size();
+  EXPECT_GT(actual, accounted / 2);
+  EXPECT_LT(actual, accounted * 2);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "workload/client_gen.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+double MeanPairwiseCenterDistance(const std::vector<Rect>& queries) {
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      const Point a = queries[i].Center();
+      const Point b = queries[j].Center();
+      total += std::hypot(a.x - b.x, a.y - b.y);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+TEST(QueryGenTest, ProducesRequestedCount) {
+  Rng rng(1);
+  QueryGenConfig config;
+  config.num_queries = 37;
+  EXPECT_EQ(GenerateQueries(config, &rng).size(), 37u);
+}
+
+TEST(QueryGenTest, AllQueriesInsideDomain) {
+  Rng rng(2);
+  QueryGenConfig config;
+  config.domain = Rect(100, 100, 200, 180);
+  config.num_queries = 200;
+  config.cf = 0.8;
+  for (const Rect& q : GenerateQueries(config, &rng)) {
+    EXPECT_FALSE(q.IsEmpty());
+    EXPECT_TRUE(config.domain.Contains(q)) << q.ToString();
+  }
+}
+
+TEST(QueryGenTest, ExtentBoundsRespected) {
+  Rng rng(3);
+  QueryGenConfig config;
+  config.domain = Rect(0, 0, 1000, 1000);
+  config.num_queries = 300;
+  config.cf = 0.0;  // Uniform only, so no domain clamping near clusters.
+  config.min_extent = 0.02;
+  config.max_extent = 0.05;
+  for (const Rect& q : GenerateQueries(config, &rng)) {
+    // Clamping can shrink but never grow a query.
+    EXPECT_LE(q.Width(), 0.05 * 1000 + 1e-9);
+    EXPECT_LE(q.Height(), 0.05 * 1000 + 1e-9);
+  }
+}
+
+TEST(QueryGenTest, DeterministicInSeed) {
+  QueryGenConfig config;
+  config.num_queries = 25;
+  Rng r1(42), r2(42);
+  EXPECT_EQ(GenerateQueries(config, &r1), GenerateQueries(config, &r2));
+}
+
+TEST(QueryGenTest, HigherCfProducesTighterQueries) {
+  QueryGenConfig clustered;
+  clustered.num_queries = 120;
+  clustered.cf = 1.0;
+  clustered.sf = 1.0;  // One big cluster.
+  clustered.df = 0.02;
+  QueryGenConfig uniform = clustered;
+  uniform.cf = 0.0;
+
+  double clustered_dist = 0, uniform_dist = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng r1(seed), r2(seed);
+    clustered_dist +=
+        MeanPairwiseCenterDistance(GenerateQueries(clustered, &r1));
+    uniform_dist += MeanPairwiseCenterDistance(GenerateQueries(uniform, &r2));
+  }
+  EXPECT_LT(clustered_dist, uniform_dist * 0.5);
+}
+
+TEST(QueryGenTest, SmallerSfMeansMoreClusters) {
+  // sf = 0.25 -> ~4 clusters; queries should spread more than sf = 1.0.
+  QueryGenConfig few;
+  few.num_queries = 100;
+  few.cf = 1.0;
+  few.sf = 1.0;
+  few.df = 0.01;
+  QueryGenConfig many = few;
+  many.sf = 0.25;
+
+  double few_dist = 0, many_dist = 0;
+  for (uint64_t seed = 10; seed < 15; ++seed) {
+    Rng r1(seed), r2(seed);
+    few_dist += MeanPairwiseCenterDistance(GenerateQueries(few, &r1));
+    many_dist += MeanPairwiseCenterDistance(GenerateQueries(many, &r2));
+  }
+  EXPECT_GT(many_dist, few_dist);
+}
+
+TEST(QueryGenTest, LargerDfSpreadsClusters) {
+  QueryGenConfig tight;
+  tight.num_queries = 100;
+  tight.cf = 1.0;
+  tight.sf = 1.0;
+  tight.df = 0.005;
+  QueryGenConfig loose = tight;
+  loose.df = 0.2;
+
+  double tight_dist = 0, loose_dist = 0;
+  for (uint64_t seed = 20; seed < 25; ++seed) {
+    Rng r1(seed), r2(seed);
+    tight_dist += MeanPairwiseCenterDistance(GenerateQueries(tight, &r1));
+    loose_dist += MeanPairwiseCenterDistance(GenerateQueries(loose, &r2));
+  }
+  EXPECT_GT(loose_dist, tight_dist * 2);
+}
+
+// ------------------------------------------------------------- ClientGen
+
+TEST(ClientGenTest, RoundRobinSpreadsEvenly) {
+  Rng rng(1);
+  QuerySet qs;
+  for (int i = 0; i < 9; ++i) qs.Add(Rect(i, 0, i + 1, 1));
+  ClientSet clients =
+      AssignClients(qs, 3, ClientAssignment::kRoundRobin, &rng);
+  ASSERT_EQ(clients.num_clients(), 3u);
+  for (ClientId c = 0; c < 3; ++c) {
+    EXPECT_EQ(clients.QueriesOf(c).size(), 3u);
+  }
+  EXPECT_EQ(clients.QueriesOf(0), (std::vector<QueryId>{0, 3, 6}));
+}
+
+TEST(ClientGenTest, EveryQueryAssignedExactlyOnceInAllModes) {
+  Rng rng(2);
+  QuerySet qs;
+  for (int i = 0; i < 20; ++i) qs.Add(Rect(i, 0, i + 1, 1));
+  for (ClientAssignment mode :
+       {ClientAssignment::kRoundRobin, ClientAssignment::kRandom,
+        ClientAssignment::kLocality}) {
+    ClientSet clients = AssignClients(qs, 4, mode, &rng);
+    std::vector<int> seen(20, 0);
+    for (ClientId c = 0; c < clients.num_clients(); ++c) {
+      for (QueryId q : clients.QueriesOf(c)) ++seen[q];
+    }
+    for (int count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(ClientGenTest, LocalityGroupsNeighbours) {
+  Rng rng(3);
+  // Queries in two well-separated bands; locality assignment with two
+  // clients should give each client one band.
+  QuerySet qs;
+  for (int i = 0; i < 5; ++i) qs.Add(Rect(i, 0, i + 1, 1));
+  for (int i = 0; i < 5; ++i) qs.Add(Rect(900 + i, 0, 901 + i, 1));
+  ClientSet clients = AssignClients(qs, 2, ClientAssignment::kLocality, &rng);
+  for (ClientId c = 0; c < 2; ++c) {
+    const auto& subs = clients.QueriesOf(c);
+    ASSERT_EQ(subs.size(), 5u);
+    const double first_x = qs.rect(subs.front()).x_lo();
+    for (QueryId q : subs) {
+      EXPECT_LT(std::abs(qs.rect(q).x_lo() - first_x), 100.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qsp
