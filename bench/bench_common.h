@@ -1,11 +1,16 @@
 #ifndef QSP_BENCH_BENCH_COMMON_H_
 #define QSP_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 
 #include "cost/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "query/merge_context.h"
 #include "query/merge_procedure.h"
 #include "query/query.h"
@@ -36,17 +41,57 @@ struct Instance {
 /// The "distance to optimal" metric of Section 9.2:
 ///   (Cost_heuristic - Cost_optimum) / (Cost_initial - Cost_optimum),
 /// 0 when the optimum leaves no merging headroom.
+///
+/// A genuinely negative distance means the "optimum" was not optimal —
+/// the oracle was misconfigured or ran on a different instance. Roundoff
+/// slack is clamped to 0; anything beyond it returns NaN so downstream
+/// averages are visibly poisoned instead of silently flattered.
 inline double DistanceToOptimal(double heuristic, double optimum,
                                 double initial) {
   const double denom = initial - optimum;
   if (denom <= 1e-12) return 0.0;
-  return (heuristic - optimum) / denom;
+  const double distance = (heuristic - optimum) / denom;
+  if (distance < 0.0) {
+    if (heuristic >= optimum - 1e-9 * (1.0 + std::fabs(optimum))) return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return distance;
 }
 
 /// Prints the banner every figure harness starts with.
 inline void PrintHeader(const std::string& figure,
                         const std::string& description) {
   std::printf("=== %s ===\n%s\n\n", figure.c_str(), description.c_str());
+}
+
+/// Where this bench should write its structured run report, taken from the
+/// QSP_BENCH_REPORT environment variable (set per binary by
+/// scripts/run_benches.sh). Empty means "no report requested", which keeps
+/// default bench stdout byte-identical to a build without telemetry.
+inline std::string ReportPath() {
+  const char* path = std::getenv("QSP_BENCH_REPORT");
+  return path == nullptr ? std::string() : std::string(path);
+}
+
+/// Turns on qsp::obs when a report was requested; returns whether it is
+/// on. Call once at the top of a harness that wants metrics in its report.
+inline bool EnableTelemetryIfReportRequested() {
+  if (!ReportPath().empty()) obs::SetEnabled(true);
+  return obs::Enabled();
+}
+
+/// Writes `report` to ReportPath() when set. Notices go to stderr so that
+/// stdout remains the comparable figure output.
+inline void WriteReportIfRequested(const obs::RunReport& report) {
+  const std::string path = ReportPath();
+  if (path.empty()) return;
+  const Status status = report.WriteFile(path);
+  if (status.ok()) {
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 status.ToString().c_str());
+  }
 }
 
 /// Shared setting of the Figure 16/17 experiments: the paper's

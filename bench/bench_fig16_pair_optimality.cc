@@ -15,6 +15,7 @@ namespace qsp {
 namespace {
 
 void Run() {
+  bench::EnableTelemetryIfReportRequested();
   bench::PrintHeader(
       "Figure 16 — P(pair merging finds the optimal solution) vs |Q|",
       "Workload: Section 9.1 hybrid generator (cf=0.8, sf=0.5, df=0.03); "
@@ -50,6 +51,12 @@ void Run() {
   std::printf("%s\n", table.ToText().c_str());
   std::printf("Average over |Q| points: %.2f%%   (paper: ~97%%)\n",
               overall.mean());
+
+  obs::RunReport report("fig16");
+  report.AddScalar("avg_p_optimal_pct", overall.mean());
+  report.AddTable("p_optimal_vs_q", table);
+  report.AddMetrics(obs::MetricRegistry::Default());
+  bench::WriteReportIfRequested(report);
 }
 
 }  // namespace

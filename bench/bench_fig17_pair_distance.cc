@@ -14,6 +14,7 @@ namespace qsp {
 namespace {
 
 void Run() {
+  bench::EnableTelemetryIfReportRequested();
   bench::PrintHeader(
       "Figure 17 — distance of pair merging to the optimal solution vs |Q|",
       "Metric: (C_heur - C_opt) / (C_init - C_opt); 0% = optimal, "
@@ -51,6 +52,12 @@ void Run() {
   std::printf("%s\n", table.ToText().c_str());
   std::printf("Average over |Q| points: %.4f%%   (paper: ~0.6343%%)\n",
               overall.mean());
+
+  obs::RunReport report("fig17");
+  report.AddScalar("avg_distance_pct", overall.mean());
+  report.AddTable("distance_vs_q", table);
+  report.AddMetrics(obs::MetricRegistry::Default());
+  bench::WriteReportIfRequested(report);
 }
 
 }  // namespace

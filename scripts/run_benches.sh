@@ -1,14 +1,58 @@
 #!/usr/bin/env bash
-# Runs every figure-reproduction and ablation binary, writing the combined
-# output to bench_output.txt (the EXPERIMENTS.md evidence file).
-set -u
+# Runs every figure-reproduction and ablation binary.
+#
+#   - Combined text output -> bench_output.txt (the EXPERIMENTS.md
+#     evidence file), or $1.
+#   - Per-binary structured reports -> bench_reports/<name>.json (each
+#     binary gets QSP_BENCH_REPORT pointed there; see bench/bench_common.h),
+#     merged into bench_report.json, or $2.
+#   - Per-binary wall time is printed and appended to the text output.
+#   - Exits nonzero if any binary fails; `tee` no longer masks exit codes
+#     (pipefail + explicit status checks).
+set -uo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-bench_output.txt}"
+combined="${2:-bench_report.json}"
+report_dir="${QSP_BENCH_REPORT_DIR:-bench_reports}"
 : > "$out"
+mkdir -p "$report_dir"
+
+failures=0
 for b in build/bench/*; do
-  [ -x "$b" ] || continue
-  echo "########## $(basename "$b") ##########" | tee -a "$out"
-  "$b" 2>&1 | tee -a "$out"
-  echo | tee -a "$out"
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "########## $name ##########" | tee -a "$out"
+  start_ns=$(date +%s%N)
+  if QSP_BENCH_REPORT="$report_dir/$name.json" "$b" 2>&1 | tee -a "$out"; then
+    status=0
+  else
+    status=$?
+    failures=$((failures + 1))
+    echo "FAILED: $name (exit $status)" | tee -a "$out"
+  fi
+  end_ns=$(date +%s%N)
+  printf '(wall time: %d.%03d s)\n\n' \
+    $(((end_ns - start_ns) / 1000000000)) \
+    $((((end_ns - start_ns) / 1000000) % 1000)) | tee -a "$out"
 done
+
+# Merge the per-binary reports into one JSON object keyed by bench name.
+{
+  printf '{'
+  first=1
+  for f in "$report_dir"/*.json; do
+    [ -e "$f" ] || continue
+    [ "$first" -eq 1 ] || printf ','
+    first=0
+    printf '"%s":' "$(basename "$f" .json)"
+    tr -d '\n' < "$f"
+  done
+  printf '}\n'
+} > "$combined"
+
 echo "wrote $out"
+echo "wrote $combined (per-bench reports in $report_dir/)"
+if [ "$failures" -ne 0 ]; then
+  echo "$failures bench binary(ies) FAILED" >&2
+  exit 1
+fi

@@ -8,6 +8,8 @@
 #include "merge/directed_search_merger.h"
 #include "merge/pair_merger.h"
 #include "merge/partition_merger.h"
+#include "obs/metrics.h"
+#include "obs/phase_tracer.h"
 #include "relation/grid_index.h"
 #include "relation/rtree.h"
 #include "stats/exact_estimator.h"
@@ -44,6 +46,7 @@ std::unique_ptr<Merger> MakeMerger(MergerKind kind, uint64_t seed) {
 SubscriptionService::SubscriptionService(Table table, const Rect& domain,
                                          ServiceConfig config)
     : table_(std::move(table)), domain_(domain), config_(config) {
+  if (config_.telemetry) obs::SetEnabled(true);
   switch (config_.index) {
     case IndexKind::kGrid:
       index_ = std::make_unique<GridIndex>(table_, domain_);
@@ -96,6 +99,9 @@ Result<PlanReport> SubscriptionService::Plan() {
   if (clients_.num_clients() == 0) {
     return Status::FailedPrecondition("no clients registered");
   }
+  obs::ScopedSpan plan_span("plan");
+  obs::ScopedTimer plan_timer("core.plan.latency_us");
+  obs::Count("core.plan.runs");
   context_ = std::make_unique<MergeContext>(&queries_, estimator_.get(),
                                             procedure_.get());
 
@@ -119,6 +125,7 @@ Result<PlanReport> SubscriptionService::Plan() {
     plan_.channel_partitions.push_back(outcome.value().partition);
     report.estimated_cost = outcome.value().cost;
   } else {
+    obs::ScopedSpan allocate_span("allocate");
     ChannelCostEvaluator evaluator(context_.get(), config_.cost_model,
                                    &clients_);
     HillClimbAllocator allocator(config_.allocation_policy, config_.seed);
@@ -139,6 +146,27 @@ Result<PlanReport> SubscriptionService::Plan() {
   report.plan = plan_;
   has_plan_ = true;
   simulator_.reset();
+
+  if (obs::Enabled()) {
+    // The plan's predicted cost-model terms — the estimated counterparts
+    // of the simulator's measured net.round.* metrics (the Stats() calls
+    // hit the context's memo, so this re-walk is cheap).
+    double est_messages = 0.0, est_size = 0.0, est_irrelevant = 0.0;
+    for (const Partition& partition : plan_.channel_partitions) {
+      for (const QueryGroup& group : partition) {
+        const GroupStats& stats = context_->Stats(group);
+        est_messages += stats.messages;
+        est_size += stats.size;
+        est_irrelevant += stats.irrelevant;
+      }
+    }
+    obs::SetGauge("plan.est.messages", est_messages);
+    obs::SetGauge("plan.est.size", est_size);
+    obs::SetGauge("plan.est.irrelevant", est_irrelevant);
+    obs::SetGauge("plan.est.cost", report.estimated_cost);
+    obs::SetGauge("plan.est.initial_cost", report.initial_cost);
+    obs::SetGauge("plan.num_groups", static_cast<double>(report.num_groups));
+  }
   return report;
 }
 
@@ -152,6 +180,7 @@ Result<RoundStats> SubscriptionService::RunRound() {
     simulator_ = std::make_unique<MulticastSimulator>(
         &table_, index_.get(), &queries_, &clients_, config_.client_cache);
   }
+  obs::ScopedTimer round_timer("core.round.latency_us");
   return simulator_->RunRound(plan_, *procedure_, config_.extraction);
 }
 

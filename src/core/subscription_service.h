@@ -72,6 +72,10 @@ struct ServiceConfig {
   /// Extractor implementation (Section 3.1): clients re-apply their
   /// query, or the server tags payload objects.
   ExtractionMode extraction = ExtractionMode::kSelfExtract;
+  /// Turns on the process-wide qsp::obs telemetry (metrics + phase
+  /// tracing) at construction. Off by default: all instrumentation in the
+  /// planner and simulator then reduces to a flag check.
+  bool telemetry = false;
 };
 
 /// Summary of a planning pass.

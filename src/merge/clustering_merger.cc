@@ -5,6 +5,7 @@
 
 #include "merge/pair_merger.h"
 #include "merge/partition_merger.h"
+#include "obs/metrics.h"
 
 namespace qsp {
 namespace {
@@ -30,11 +31,14 @@ class DisjointSets {
 
 }  // namespace
 
-Result<MergeOutcome> ClusteringMerger::Merge(const MergeContext& ctx,
-                                             const CostModel& model) const {
+Result<MergeOutcome> ClusteringMerger::DoMerge(const MergeContext& ctx,
+                                               const CostModel& model) const {
   const size_t n = ctx.num_queries();
   MergeOutcome outcome;
   if (n == 0) return outcome;
+  uint64_t pairs_pruned = 0;
+  uint64_t subsolves_exact = 0;
+  uint64_t subsolves_greedy = 0;
 
   // Build the "mergeable" graph: connect queries whose best-case co-merge
   // benefit is positive.
@@ -48,6 +52,8 @@ Result<MergeOutcome> ClusteringMerger::Merge(const MergeContext& ctx,
                                     : ctx.Stats({a, b}).size;
       if (model.CoMergeBenefitBound(s1, s2, r) > 0.0) {
         components.Union(a, b);
+      } else {
+        ++pairs_pruned;
       }
     }
   }
@@ -67,12 +73,14 @@ Result<MergeOutcome> ClusteringMerger::Merge(const MergeContext& ctx,
       continue;
     }
     if (static_cast<int>(cluster.size()) <= exact_component_limit_) {
+      ++subsolves_exact;
       MergeOutcome sub = ExactPartitionSearch(ctx, model, cluster);
       outcome.candidates += sub.candidates;
       for (auto& group : sub.partition) {
         outcome.partition.push_back(std::move(group));
       }
     } else {
+      ++subsolves_greedy;
       Partition start;
       start.reserve(cluster.size());
       for (QueryId id : cluster) start.push_back({id});
@@ -85,6 +93,9 @@ Result<MergeOutcome> ClusteringMerger::Merge(const MergeContext& ctx,
   }
   CanonicalizePartition(&outcome.partition);
   outcome.cost = model.PartitionCost(ctx, outcome.partition);
+  obs::Count("merge.clustering.pairs_pruned", pairs_pruned);
+  obs::Count("merge.clustering.subsolves_exact", subsolves_exact);
+  obs::Count("merge.clustering.subsolves_greedy", subsolves_greedy);
   return outcome;
 }
 

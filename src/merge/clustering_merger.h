@@ -24,9 +24,11 @@ class ClusteringMerger : public Merger {
       : exact_component_limit_(exact_component_limit),
         tight_bound_(tight_bound) {}
 
-  Result<MergeOutcome> Merge(const MergeContext& ctx,
-                             const CostModel& model) const override;
   std::string name() const override { return "clustering"; }
+
+ protected:
+  Result<MergeOutcome> DoMerge(const MergeContext& ctx,
+                               const CostModel& model) const override;
 
  private:
   int exact_component_limit_;

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/float_compare.h"
 #include "util/rng.h"
 
@@ -22,12 +23,22 @@ Partition RandomPartition(size_t n, Rng* rng) {
   return groups;
 }
 
+/// Search-effort counters of one restart, flushed into the obs registry
+/// by DoMerge (locals are free; registry lookups are not).
+struct DescentCounters {
+  uint64_t iterations = 0;
+  uint64_t accepted_merges = 0;
+  uint64_t accepted_extracts = 0;
+};
+
 /// Steepest-descent to a local minimum; returns the local cost and the
 /// number of candidate moves evaluated.
 double Descend(const MergeContext& ctx, const CostModel& model,
-               Partition* partition, uint64_t* candidates) {
+               Partition* partition, uint64_t* candidates,
+               DescentCounters* counters) {
   double cost = model.PartitionCost(ctx, *partition);
   while (true) {
+    ++counters->iterations;
     double best_delta = 0.0;
     enum class Kind { kNone, kMerge, kExtract };
     Kind best_kind = Kind::kNone;
@@ -75,12 +86,14 @@ double Descend(const MergeContext& ctx, const CostModel& model,
 
     if (best_kind == Kind::kNone) return cost;
     if (best_kind == Kind::kMerge) {
+      ++counters->accepted_merges;
       QueryGroup merged =
           UnionGroups((*partition)[best_i], (*partition)[best_j]);
       partition->erase(partition->begin() +
                        static_cast<ptrdiff_t>(best_j));
       (*partition)[best_i] = std::move(merged);
     } else {
+      ++counters->accepted_extracts;
       QueryGroup& group = (*partition)[best_i];
       QueryGroup rest;
       for (QueryId other : group) {
@@ -95,7 +108,7 @@ double Descend(const MergeContext& ctx, const CostModel& model,
 
 }  // namespace
 
-Result<MergeOutcome> DirectedSearchMerger::Merge(
+Result<MergeOutcome> DirectedSearchMerger::DoMerge(
     const MergeContext& ctx, const CostModel& model) const {
   const size_t n = ctx.num_queries();
   MergeOutcome best;
@@ -105,17 +118,27 @@ Result<MergeOutcome> DirectedSearchMerger::Merge(
     return best;
   }
   Rng rng(seed_);
+  DescentCounters counters;
   for (int t = 0; t < restarts_; ++t) {
     // Restart 0 descends from the no-merging state; later restarts from
     // random scatters.
     Partition partition =
         (t == 0) ? SingletonPartition(n) : RandomPartition(n, &rng);
-    const double cost = Descend(ctx, model, &partition, &best.candidates);
+    const double cost =
+        Descend(ctx, model, &partition, &best.candidates, &counters);
     if (cost < best.cost) {
       best.cost = cost;
       best.partition = std::move(partition);
     }
   }
+  obs::Count("merge.directed-search.restarts",
+             static_cast<uint64_t>(restarts_));
+  obs::Count("merge.directed-search.descent_iterations",
+             counters.iterations);
+  obs::Count("merge.directed-search.accepted_merges",
+             counters.accepted_merges);
+  obs::Count("merge.directed-search.accepted_extracts",
+             counters.accepted_extracts);
   CanonicalizePartition(&best.partition);
   best.cost = model.PartitionCost(ctx, best.partition);
   return best;

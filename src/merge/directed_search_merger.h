@@ -19,9 +19,11 @@ class DirectedSearchMerger : public Merger {
   explicit DirectedSearchMerger(int restarts = 8, uint64_t seed = 42)
       : restarts_(restarts), seed_(seed) {}
 
-  Result<MergeOutcome> Merge(const MergeContext& ctx,
-                             const CostModel& model) const override;
   std::string name() const override { return "directed-search"; }
+
+ protected:
+  Result<MergeOutcome> DoMerge(const MergeContext& ctx,
+                               const CostModel& model) const override;
 
  private:
   int restarts_;

@@ -16,8 +16,8 @@ QueryGroup MaskToGroup(uint32_t mask) {
 
 }  // namespace
 
-Result<MergeOutcome> ExhaustiveMerger::Merge(const MergeContext& ctx,
-                                             const CostModel& model) const {
+Result<MergeOutcome> ExhaustiveMerger::DoMerge(const MergeContext& ctx,
+                                               const CostModel& model) const {
   const int n = static_cast<int>(ctx.num_queries());
   if (n == 0) return MergeOutcome{};
   if (n > max_queries_) {

@@ -18,9 +18,11 @@ class ExhaustiveMerger : public Merger {
  public:
   explicit ExhaustiveMerger(int max_queries = 4) : max_queries_(max_queries) {}
 
-  Result<MergeOutcome> Merge(const MergeContext& ctx,
-                             const CostModel& model) const override;
   std::string name() const override { return "exhaustive"; }
+
+ protected:
+  Result<MergeOutcome> DoMerge(const MergeContext& ctx,
+                               const CostModel& model) const override;
 
  private:
   int max_queries_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/float_compare.h"
 #include "util/status.h"
 
@@ -16,10 +17,12 @@ IncrementalMerger::IncrementalMerger(const MergeContext* ctx,
 
 double IncrementalMerger::GroupCost(const QueryGroup& group) {
   ++evaluations_;
+  obs::Count("merge.incremental.evaluations");
   return model_.GroupCost(*ctx_, group);
 }
 
 double IncrementalMerger::AddQuery(QueryId id) {
+  obs::Count("merge.incremental.adds");
   // Candidate 0: a new singleton group.
   const double singleton_cost = GroupCost({id});
   double best_delta = singleton_cost;
@@ -48,6 +51,7 @@ double IncrementalMerger::AddQuery(QueryId id) {
 }
 
 double IncrementalMerger::RemoveQuery(QueryId id) {
+  obs::Count("merge.incremental.removes");
   for (size_t i = 0; i < partition_.size(); ++i) {
     auto it = std::find(partition_[i].begin(), partition_[i].end(), id);
     if (it == partition_[i].end()) continue;
@@ -65,6 +69,7 @@ double IncrementalMerger::RemoveQuery(QueryId id) {
 }
 
 double IncrementalMerger::Repair(int max_moves) {
+  obs::Count("merge.incremental.repairs");
   int moves = 0;
   while (max_moves == 0 || moves < max_moves) {
     double best_delta = 0.0;
@@ -125,6 +130,8 @@ double IncrementalMerger::Repair(int max_moves) {
     cost_ -= best_delta;
     ++moves;
   }
+  obs::Count("merge.incremental.repair_moves",
+             static_cast<uint64_t>(moves));
   return cost_;
 }
 

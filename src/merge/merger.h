@@ -32,10 +32,21 @@ class Merger {
   /// queries in `ctx` under `model`. Returns an error only when the
   /// instance exceeds the algorithm's feasibility limits (the exhaustive
   /// searches refuse inputs whose enumeration would not terminate).
-  virtual Result<MergeOutcome> Merge(const MergeContext& ctx,
-                                     const CostModel& model) const = 0;
+  ///
+  /// Non-virtual entry point: when telemetry is on (qsp::obs) it wraps
+  /// the run in a `merge/<name>` span and records the standard per-merger
+  /// metrics — merge.<name>.{runs,candidates,group_evals,latency_us} and
+  /// the merge.<name>.last_{cost,groups} gauges — so every algorithm is
+  /// observable without per-implementation boilerplate.
+  Result<MergeOutcome> Merge(const MergeContext& ctx,
+                             const CostModel& model) const;
 
   virtual std::string name() const = 0;
+
+ protected:
+  /// The actual algorithm; implemented by each merger.
+  virtual Result<MergeOutcome> DoMerge(const MergeContext& ctx,
+                                       const CostModel& model) const = 0;
 };
 
 }  // namespace qsp

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace qsp {
 namespace {
 
@@ -24,6 +26,8 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
                                    const CostModel& model,
                                    Partition start) const {
   MergeOutcome outcome;
+  uint64_t merges_applied = 0;
+  uint64_t stale_heap_pops = 0;
   std::vector<QueryGroup> groups = std::move(start);
   std::vector<bool> alive(groups.size(), true);
   std::vector<double> group_cost(groups.size());
@@ -70,7 +74,10 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
       while (!heap.empty()) {
         const ProfitEntry top = heap.top();
         heap.pop();
-        if (!alive[top.a] || !alive[top.b]) continue;
+        if (!alive[top.a] || !alive[top.b]) {
+          ++stale_heap_pops;
+          continue;
+        }
         best_a = top.a;
         best_b = top.b;
         best_benefit = top.benefit;
@@ -90,6 +97,7 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
     }
 
     // Merge best_a and best_b into a fresh group.
+    ++merges_applied;
     QueryGroup merged = UnionGroups(groups[best_a], groups[best_b]);
     alive[best_a] = false;
     alive[best_b] = false;
@@ -117,11 +125,13 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
   }
   CanonicalizePartition(&outcome.partition);
   outcome.cost = model.PartitionCost(ctx, outcome.partition);
+  obs::Count("merge.pair-merging.merges_applied", merges_applied);
+  obs::Count("merge.pair-merging.stale_heap_pops", stale_heap_pops);
   return outcome;
 }
 
-Result<MergeOutcome> PairMerger::Merge(const MergeContext& ctx,
-                                       const CostModel& model) const {
+Result<MergeOutcome> PairMerger::DoMerge(const MergeContext& ctx,
+                                         const CostModel& model) const {
   return MergeFrom(ctx, model, SingletonPartition(ctx.num_queries()));
 }
 

@@ -19,9 +19,6 @@ class PairMerger : public Merger {
  public:
   explicit PairMerger(bool use_heap = true) : use_heap_(use_heap) {}
 
-  Result<MergeOutcome> Merge(const MergeContext& ctx,
-                             const CostModel& model) const override;
-
   /// Runs the same greedy loop starting from an arbitrary partition
   /// instead of singletons (used by the directed search and the channel
   /// allocator).
@@ -29,6 +26,10 @@ class PairMerger : public Merger {
                          Partition start) const;
 
   std::string name() const override { return "pair-merging"; }
+
+ protected:
+  Result<MergeOutcome> DoMerge(const MergeContext& ctx,
+                               const CostModel& model) const override;
 
  private:
   bool use_heap_;

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace qsp {
 namespace {
 
@@ -78,11 +80,16 @@ MergeOutcome ExactPartitionSearch(const MergeContext& ctx,
   std::vector<QueryId> sorted = ids;
   CanonicalizeGroup(&sorted);
   PartitionSearch search(ctx, model, sorted);
-  return search.Run();
+  MergeOutcome outcome = search.Run();
+  // Also counted when invoked as the clustering algorithm's exact
+  // sub-solver, which bypasses the Merger::Merge instrumentation.
+  obs::Count("merge.partition.searches");
+  obs::Count("merge.partition.leaves", outcome.candidates);
+  return outcome;
 }
 
-Result<MergeOutcome> PartitionMerger::Merge(const MergeContext& ctx,
-                                            const CostModel& model) const {
+Result<MergeOutcome> PartitionMerger::DoMerge(const MergeContext& ctx,
+                                              const CostModel& model) const {
   const int n = static_cast<int>(ctx.num_queries());
   if (n > max_queries_) {
     return Status::ResourceExhausted(

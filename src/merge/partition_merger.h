@@ -24,9 +24,11 @@ class PartitionMerger : public Merger {
   explicit PartitionMerger(int max_queries = 13)
       : max_queries_(max_queries) {}
 
-  Result<MergeOutcome> Merge(const MergeContext& ctx,
-                             const CostModel& model) const override;
   std::string name() const override { return "partition"; }
+
+ protected:
+  Result<MergeOutcome> DoMerge(const MergeContext& ctx,
+                               const CostModel& model) const override;
 
  private:
   int max_queries_;

@@ -1,8 +1,12 @@
 #include "net/simulator.h"
 
+#include <map>
 #include <set>
+#include <string>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/phase_tracer.h"
 #include "util/status.h"
 
 namespace qsp {
@@ -21,9 +25,39 @@ MulticastSimulator::MulticastSimulator(const Table* table,
       verify_wire_(verify_wire),
       server_(table, index, queries, clients) {}
 
+namespace {
+
+/// Folds one round's measurements into the default registry so that the
+/// measured counterparts of the cost-model terms (|M|, size(M), U) are
+/// queryable next to the planner's estimates. Counters accumulate across
+/// rounds; gauges keep the most recent round.
+void RecordRoundMetrics(const RoundStats& stats) {
+  obs::Count("net.round.rounds");
+  obs::Count("net.round.messages", stats.num_messages);
+  obs::Count("net.round.payload_rows", stats.payload_rows);
+  obs::Count("net.round.payload_bytes", stats.payload_bytes);
+  obs::Count("net.round.header_bytes", stats.header_bytes);
+  obs::Count("net.round.irrelevant_rows", stats.irrelevant_rows);
+  obs::Count("net.round.rows_examined", stats.rows_examined);
+  obs::Count("net.round.headers_checked", stats.headers_checked);
+  obs::Count("net.round.cache_hits", stats.cache_hits);
+  obs::Count("net.round.wire_bytes", stats.wire_bytes);
+  obs::SetGauge("net.round.last_messages",
+                static_cast<double>(stats.num_messages));
+  obs::SetGauge("net.round.last_payload_rows",
+                static_cast<double>(stats.payload_rows));
+  obs::SetGauge("net.round.last_irrelevant_rows",
+                static_cast<double>(stats.irrelevant_rows));
+  obs::SetGauge("net.round.last_channels_used",
+                static_cast<double>(stats.channels_used));
+}
+
+}  // namespace
+
 RoundStats MulticastSimulator::RunRound(const DisseminationPlan& plan,
                                         const MergeProcedure& procedure,
                                         ExtractionMode mode) {
+  obs::ScopedSpan round_span("simulate");
   RoundStats stats;
 
   // Build the client processes per the allocation; when the allocation
@@ -42,8 +76,10 @@ RoundStats MulticastSimulator::RunRound(const DisseminationPlan& plan,
   for (SimClient& client : sim_clients_) client.StartRound();
 
   // Server side.
+  obs::PhaseTracer::Default().Begin("execute");
   const std::vector<Message> messages =
       server_.ExecuteRound(plan, procedure, mode);
+  obs::PhaseTracer::Default().End();
   stats.num_messages = messages.size();
   std::set<size_t> used_channels;
   for (const Message& msg : messages) {
@@ -80,14 +116,31 @@ RoundStats MulticastSimulator::RunRound(const DisseminationPlan& plan,
     }
   }
 
-  // Broadcast: every client on a channel sees every message on it.
-  for (const Message& msg : messages) {
-    for (SimClient& client : sim_clients_) {
-      if (client.channel() == msg.channel) client.Receive(msg, *table_);
+  // Broadcast: every client on a channel sees every message on it. Each
+  // client listens to exactly one channel, so delivering channel-by-channel
+  // preserves every client's message order; with tracing on, that grouping
+  // gives one span per channel.
+  if (!obs::Enabled()) {
+    for (const Message& msg : messages) {
+      for (SimClient& client : sim_clients_) {
+        if (client.channel() == msg.channel) client.Receive(msg, *table_);
+      }
+    }
+  } else {
+    std::map<size_t, std::vector<const Message*>> by_channel;
+    for (const Message& msg : messages) by_channel[msg.channel].push_back(&msg);
+    for (const auto& [channel, channel_messages] : by_channel) {
+      obs::ScopedSpan channel_span("broadcast/ch" + std::to_string(channel));
+      for (const Message* msg : channel_messages) {
+        for (SimClient& client : sim_clients_) {
+          if (client.channel() == channel) client.Receive(*msg, *table_);
+        }
+      }
     }
   }
 
   // Client-side accounting + end-to-end verification.
+  obs::PhaseTracer::Default().Begin("extract-verify");
   stats.all_answers_correct = true;
   for (const SimClient& client : sim_clients_) {
     stats.irrelevant_rows += client.stats().rows_irrelevant;
@@ -100,6 +153,9 @@ RoundStats MulticastSimulator::RunRound(const DisseminationPlan& plan,
       }
     }
   }
+  obs::PhaseTracer::Default().End();
+
+  if (obs::Enabled()) RecordRoundMetrics(stats);
   return stats;
 }
 

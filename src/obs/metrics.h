@@ -1,0 +1,205 @@
+#ifndef QSP_OBS_METRICS_H_
+#define QSP_OBS_METRICS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qsp {
+namespace obs {
+
+/// ------------------------------------------------------------------ switch
+///
+/// The telemetry layer is off by default and every instrumentation entry
+/// point (Count/SetGauge/Observe, ScopedTimer, ScopedSpan) first checks
+/// Enabled(), so an instrumented hot path costs one predictable branch
+/// when telemetry is off. Defining QSP_OBS_DISABLED at compile time turns
+/// Enabled() into `constexpr false`, letting the compiler delete the call
+/// sites entirely.
+
+#ifdef QSP_OBS_DISABLED
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#else
+/// Whether telemetry is currently recording (process-global).
+bool Enabled();
+/// Turns recording on/off. ServiceConfig::telemetry and the bench report
+/// helpers flip this; tests flip it around the code under measurement.
+void SetEnabled(bool enabled);
+#endif
+
+/// ----------------------------------------------------------------- metrics
+
+/// Monotonically increasing event count (e.g. estimator calls, candidate
+/// pairs evaluated). Not thread-safe: the library is single-threaded and
+/// the registry documents the same constraint.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-observed value (e.g. estimated plan cost, measured |M| of the most
+/// recent round).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-scale histogram for latencies and sizes: bucket 0 holds values
+/// <= 1, bucket i holds values in (2^(i-1), 2^i]. Tracks exact count,
+/// sum, min, and max alongside the buckets, so means are exact and only
+/// percentiles are bucket-resolution approximations (within a factor of
+/// two, which is all a latency distribution needs).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket containing the p-th percentile
+  /// (p in [0, 100]), clamped to the exact [min, max] envelope. 0 when
+  /// the histogram is empty.
+  double Percentile(double p) const;
+
+  uint64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+
+  void Reset();
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One exported metric, for snapshot-style consumers.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind;
+  /// Counter value / gauge value / histogram count.
+  double value = 0.0;
+};
+
+/// Named metric store. Metrics are created on first use and live for the
+/// registry's lifetime (references returned by counter()/gauge()/
+/// histogram() stay valid). Names follow the dotted scheme documented in
+/// DESIGN.md §5, e.g. "merge.pair-merging.candidates" or
+/// "core.plan.latency_us". Not thread-safe.
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Value of a counter, 0 if it was never touched (does not create it).
+  uint64_t CounterValue(std::string_view name) const;
+  /// Value of a gauge, 0.0 if it was never touched (does not create it).
+  double GaugeValue(std::string_view name) const;
+
+  /// All counters in name order (used by PhaseTracer to diff spans).
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+
+  size_t num_metrics() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every metric but keeps registrations (references stay valid).
+  void Reset();
+
+  /// Aligned text table (name | kind | count | value | p50 | p99 | max),
+  /// rendered with TablePrinter.
+  std::string ToText() const;
+
+  /// JSON object {counters: {...}, gauges: {...}, histograms: {...}}.
+  std::string ToJson() const;
+
+  /// The process-global registry all convenience entry points write to.
+  static MetricRegistry& Default();
+
+ private:
+  // Ordered maps so every export is deterministically sorted by name.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// --------------------------------------------- convenience entry points
+///
+/// The forms instrumented code actually uses. All of them are no-ops
+/// (one branch) when telemetry is disabled; the name lookup only happens
+/// when enabled.
+
+inline void Count(std::string_view name, uint64_t delta = 1) {
+  if (!Enabled() || delta == 0) return;
+  MetricRegistry::Default().counter(name).Add(delta);
+}
+
+inline void SetGauge(std::string_view name, double value) {
+  if (!Enabled()) return;
+  MetricRegistry::Default().gauge(name).Set(value);
+}
+
+inline void Observe(std::string_view name, double value) {
+  if (!Enabled()) return;
+  MetricRegistry::Default().histogram(name).Record(value);
+}
+
+/// Records the wall time (steady_clock, microseconds) of a scope into a
+/// histogram of the default registry. Captures the enabled state at
+/// construction, so toggling mid-scope cannot mismatch start/stop.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name) {
+    if (!Enabled()) return;
+    histogram_ = &MetricRegistry::Default().histogram(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedMicros());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Microseconds since construction (0 when telemetry was disabled).
+  double ElapsedMicros() const {
+    if (histogram_ == nullptr) return 0.0;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::micro>(elapsed).count();
+  }
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace qsp
+
+#endif  // QSP_OBS_METRICS_H_

@@ -1,0 +1,70 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace qsp {
+namespace obs {
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {}
+
+void RunReport::AddScalar(std::string_view key, double value) {
+  JsonWriter json;
+  json.Number(value);
+  AddJson(key, json.str());
+}
+
+void RunReport::AddText(std::string_view key, std::string_view value) {
+  JsonWriter json;
+  json.String(std::string(value));
+  AddJson(key, json.str());
+}
+
+void RunReport::AddBool(std::string_view key, bool value) {
+  AddJson(key, value ? "true" : "false");
+}
+
+void RunReport::AddTable(std::string_view key, const TablePrinter& table) {
+  AddJson(key, table.ToJson());
+}
+
+void RunReport::AddMetrics(const MetricRegistry& registry) {
+  AddJson("metrics", registry.ToJson());
+}
+
+void RunReport::AddTrace(const PhaseTracer& tracer) {
+  AddJson("trace", tracer.ToJson());
+}
+
+void RunReport::AddJson(std::string_view key, std::string json) {
+  entries_.emplace_back(std::string(key), std::move(json));
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String(name_);
+  for (const auto& [key, value] : entries_) {
+    json.Key(key).Raw(value);
+  }
+  json.EndObject();
+  return json.str();
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open report file: " + path);
+  }
+  const std::string doc = ToJson() + "\n";
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != doc.size() || !close_ok) {
+    return Status::Internal("short write to report file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace qsp

@@ -1,0 +1,58 @@
+#ifndef QSP_OBS_RUN_REPORT_H_
+#define QSP_OBS_RUN_REPORT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/phase_tracer.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace obs {
+
+/// Builder for the machine-readable `bench_report.json` every figure
+/// harness emits alongside its text table: a flat JSON object of named
+/// sections — scalars, strings, tables (TablePrinter::ToJson), a metric
+/// registry dump, and a phase trace — in insertion order. The file format
+/// is documented in DESIGN.md §5.
+class RunReport {
+ public:
+  /// `name` identifies the producing harness ("fig16", "fig15", ...).
+  explicit RunReport(std::string name);
+
+  void AddScalar(std::string_view key, double value);
+  void AddText(std::string_view key, std::string_view value);
+  void AddBool(std::string_view key, bool value);
+
+  /// Adds a figure table under `key` as an array of row objects.
+  void AddTable(std::string_view key, const TablePrinter& table);
+
+  /// Dumps `registry` under "metrics".
+  void AddMetrics(const MetricRegistry& registry);
+
+  /// Dumps `tracer`'s completed spans under "trace".
+  void AddTrace(const PhaseTracer& tracer);
+
+  /// Splices a pre-rendered JSON fragment under `key`.
+  void AddJson(std::string_view key, std::string json);
+
+  /// The full report document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() (plus a trailing newline) to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string name_;
+  /// (key, rendered JSON value) in insertion order.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace obs
+}  // namespace qsp
+
+#endif  // QSP_OBS_RUN_REPORT_H_

@@ -14,6 +14,13 @@ MergeContext::MergeContext(const QuerySet* queries,
   QSP_CHECK(procedure != nullptr);
   size_cache_.resize(queries->size(), 0.0);
   size_known_.resize(queries->size(), false);
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricRegistry::Default();
+    size_hits_ = &registry.counter("ctx.size_cache.hits");
+    size_misses_ = &registry.counter("ctx.size_cache.misses");
+    group_hits_ = &registry.counter("ctx.group_cache.hits");
+    group_misses_ = &registry.counter("ctx.group_cache.misses");
+  }
 }
 
 double MergeContext::Size(QueryId id) const {
@@ -23,15 +30,22 @@ double MergeContext::Size(QueryId id) const {
     size_known_.resize(queries_->size(), false);
   }
   if (!size_known_[id]) {
+    if (size_misses_ != nullptr) size_misses_->Add();
     size_cache_[id] = estimator_->EstimateSize(queries_->rect(id));
     size_known_[id] = true;
+  } else if (size_hits_ != nullptr) {
+    size_hits_->Add();
   }
   return size_cache_[id];
 }
 
 const GroupStats& MergeContext::Stats(const QueryGroup& group) const {
   auto it = group_cache_.find(group);
-  if (it != group_cache_.end()) return it->second;
+  if (it != group_cache_.end()) {
+    if (group_hits_ != nullptr) group_hits_->Add();
+    return it->second;
+  }
+  if (group_misses_ != nullptr) group_misses_->Add();
   return group_cache_.emplace(group, Compute(group)).first->second;
 }
 

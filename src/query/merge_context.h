@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/merge_procedure.h"
 #include "query/query.h"
 #include "stats/size_estimator.h"
@@ -84,6 +85,14 @@ class MergeContext {
   mutable std::vector<double> size_cache_;
   mutable std::vector<bool> size_known_;
   mutable std::unordered_map<QueryGroup, GroupStats, GroupHash> group_cache_;
+
+  // Memoization hit/miss counters of the default registry (ctx.*).
+  // Resolved once at construction — null when telemetry was off then, so
+  // the hot lookup paths pay a single null check when disabled.
+  obs::Counter* size_hits_ = nullptr;
+  obs::Counter* size_misses_ = nullptr;
+  obs::Counter* group_hits_ = nullptr;
+  obs::Counter* group_misses_ = nullptr;
 };
 
 }  // namespace qsp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 #include "geom/point.h"
 #include "util/status.h"
 
@@ -67,6 +69,7 @@ double EquiDepthEstimator::MarginalFraction(
 }
 
 double EquiDepthEstimator::EstimateSize(const Rect& rect) const {
+  obs::Count("stats.equi_depth.calls");
   if (rect.IsEmpty() || total_ == 0.0) return 0.0;
   const double fx = MarginalFraction(boundaries_x_, rect.x_lo(), rect.x_hi());
   const double fy = MarginalFraction(boundaries_y_, rect.y_lo(), rect.y_hi());

@@ -1,5 +1,6 @@
 #include "stats/exact_estimator.h"
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace qsp {
@@ -10,6 +11,7 @@ ExactEstimator::ExactEstimator(const SpatialIndex* index, double record_size)
 }
 
 double ExactEstimator::EstimateSize(const Rect& rect) const {
+  obs::Count("stats.exact.calls");
   return static_cast<double>(index_->Count(rect)) * record_size_;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 #include "geom/point.h"
 #include "util/status.h"
 
@@ -37,6 +39,7 @@ Rect HistogramEstimator::BucketRect(int bx, int by) const {
 }
 
 double HistogramEstimator::EstimateSize(const Rect& rect) const {
+  obs::Count("stats.histogram.calls");
   if (rect.IsEmpty()) return 0.0;
   const Rect clipped = rect.Intersection(domain_);
   if (clipped.IsEmpty()) return 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace qsp {
 
 SamplingEstimator::SamplingEstimator(const Table& table, double rate,
@@ -16,6 +18,7 @@ SamplingEstimator::SamplingEstimator(const Table& table, double rate,
 }
 
 double SamplingEstimator::EstimateSize(const Rect& rect) const {
+  obs::Count("stats.sampling.calls");
   if (rect.IsEmpty()) return 0.0;
   size_t hits = 0;
   for (const Point& p : sample_) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geom/rect.h"
+#include "obs/metrics.h"
 
 namespace qsp {
 
@@ -45,6 +46,7 @@ class UniformDensityEstimator : public SizeEstimator {
                  (domain.Area() > 0 ? domain.Area() : 1.0)) {}
 
   double EstimateSize(const Rect& rect) const override {
+    obs::Count("stats.uniform.calls");
     return density_ * rect.Area();
   }
 

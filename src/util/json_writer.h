@@ -1,0 +1,58 @@
+#ifndef QSP_UTIL_JSON_WRITER_H_
+#define QSP_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsp {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Minimal streaming JSON builder used by the observability exporters
+/// (metric registry, phase tracer, run reports) and TablePrinter::ToJson.
+/// Commas and key/value separators are inserted automatically; the caller
+/// is responsible for balancing Begin/End calls. Not pretty-printed —
+/// output is compact, one line.
+///
+/// NaN and infinities (which JSON cannot represent) are emitted as null.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value (or
+  /// container). Only valid directly inside an object.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices a pre-rendered JSON fragment in value position (e.g. the
+  /// output of another exporter). The fragment is trusted to be valid.
+  JsonWriter& Raw(const std::string& json);
+
+  /// The document built so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One flag per open container: true until the first element is
+  /// written (suppresses the leading comma).
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_UTIL_JSON_WRITER_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/json_writer.h"
 
 namespace qsp {
 namespace {
@@ -68,6 +71,29 @@ std::string TablePrinter::ToText() const {
   out += '\n';
   for (const auto& row : rows_) out += render_row(row);
   return out;
+}
+
+std::string TablePrinter::ToJson() const {
+  JsonWriter json;
+  json.BeginArray();
+  for (const auto& row : rows_) {
+    json.BeginObject();
+    for (size_t i = 0; i < row.size(); ++i) {
+      json.Key(i < headers_.size() ? headers_[i]
+                                   : "col" + std::to_string(i));
+      const std::string& cell = row[i];
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (!cell.empty() && end == cell.c_str() + cell.size()) {
+        json.Number(value);
+      } else {
+        json.String(cell);
+      }
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
 }
 
 std::string TablePrinter::ToCsv() const {

@@ -27,6 +27,11 @@ class TablePrinter {
   /// RFC-4180-ish CSV (fields with commas/quotes are quoted).
   std::string ToCsv() const;
 
+  /// JSON array of row objects keyed by header. Cells that parse fully as
+  /// numbers are emitted as JSON numbers, everything else as strings, so
+  /// downstream tooling can consume figure tables without re-parsing.
+  std::string ToJson() const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -10,6 +10,8 @@
 #include "cost/cost_model.h"
 #include "merge/pair_merger.h"
 #include "net/simulator.h"
+#include "obs/metrics.h"
+#include "obs/phase_tracer.h"
 #include "query/merge_context.h"
 #include "relation/generator.h"
 #include "relation/grid_index.h"
@@ -118,6 +120,72 @@ TEST_P(PlannerVsWire, EstimatedCostTermsMatchMeasuredTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlannerVsWire,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+/// The telemetry pipeline end to end: with ServiceConfig::telemetry on,
+/// the planner publishes its estimated cost-model terms as plan.est.*
+/// gauges and the simulator folds its measurements into net.round.*. With
+/// the exact estimator, bounding-rect merging, and one subscription per
+/// client, estimates and measurements must agree exactly.
+TEST(TelemetryIntegration, PlannerEstimateGaugesMatchSimulatorMetrics) {
+  obs::MetricRegistry::Default().Reset();
+  obs::PhaseTracer::Default().Clear();
+
+  const Rect domain(0, 0, 100, 100);
+  Rng rng(99);
+  TableGeneratorConfig tconfig;
+  tconfig.domain = domain;
+  tconfig.num_objects = 1500;
+  tconfig.clustered_fraction = 0.4;
+  Table table = GenerateTable(tconfig, &rng);
+
+  ServiceConfig config;
+  config.cost_model = {3.0, 1.0, 1.0, 0.0};
+  config.merger = MergerKind::kPairMerging;
+  config.procedure = ProcedureKind::kBoundingRect;
+  config.estimator = EstimatorKind::kExact;
+  config.telemetry = true;
+  SubscriptionService service(std::move(table), domain, config);
+
+  QueryGenConfig qconfig;
+  qconfig.domain = domain;
+  qconfig.num_queries = 12;
+  qconfig.cf = 0.7;
+  Rng qrng(100);
+  for (const Rect& rect : GenerateQueries(qconfig, &qrng)) {
+    service.Subscribe(service.AddClient(), rect);  // One query per client.
+  }
+
+  ASSERT_TRUE(service.Plan().ok());
+  auto stats = service.RunRound();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->all_answers_correct);
+
+  const auto& registry = obs::MetricRegistry::Default();
+  EXPECT_EQ(registry.GaugeValue("plan.est.messages"),
+            registry.GaugeValue("net.round.last_messages"));
+  EXPECT_EQ(registry.GaugeValue("plan.est.size"),
+            registry.GaugeValue("net.round.last_payload_rows"));
+  EXPECT_EQ(registry.GaugeValue("plan.est.irrelevant"),
+            registry.GaugeValue("net.round.last_irrelevant_rows"));
+  // The registry view is the same data RoundStats carries.
+  EXPECT_EQ(registry.CounterValue("net.round.payload_rows"),
+            stats->payload_rows);
+  EXPECT_EQ(registry.CounterValue("net.round.irrelevant_rows"),
+            stats->irrelevant_rows);
+  // The planner and the merge algorithm both left their footprints.
+  EXPECT_EQ(registry.CounterValue("core.plan.runs"), 1u);
+  EXPECT_EQ(registry.CounterValue("merge.pair-merging.runs"), 1u);
+  EXPECT_GT(registry.CounterValue("stats.exact.calls"), 0u);
+  // And the tracer saw both top-level phases.
+  const auto& spans = obs::PhaseTracer::Default().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "plan");
+  EXPECT_EQ(spans[1].name, "simulate");
+
+  obs::SetEnabled(false);  // Leave global state clean for other tests.
+  obs::MetricRegistry::Default().Reset();
+  obs::PhaseTracer::Default().Clear();
+}
 
 /// Merging must never break correctness while reducing message count, on
 /// a spread of workload shapes.

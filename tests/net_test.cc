@@ -208,6 +208,20 @@ TEST(SimulatorTest, UnmergedRoundDeliversExactAnswers) {
   EXPECT_EQ(stats.irrelevant_rows, 0u);  // No merging => nothing foreign.
 }
 
+TEST(SimulatorTest, WireRoundTripOkDefaultsTrueAndHoldsWithoutVerify) {
+  // The documented contract: wire_round_trip_ok is trivially true unless
+  // verify_wire detected a failure — including on a default-constructed
+  // stats object that never ran a round.
+  EXPECT_TRUE(RoundStats{}.wire_round_trip_ok);
+  World world(5);
+  MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
+                         &world.clients);
+  BoundingRectProcedure proc;
+  const RoundStats stats = sim.RunRound(world.UnmergedPlan(), proc);
+  EXPECT_TRUE(stats.wire_round_trip_ok);
+  EXPECT_EQ(stats.wire_bytes, 0u);  // Nothing serialized with verify off.
+}
+
 TEST(SimulatorTest, MergedRoundStillCorrectButCarriesIrrelevantRows) {
   World world(6);
   MulticastSimulator sim(&world.table, world.index.get(), &world.queries,
