@@ -1,0 +1,181 @@
+// Fault sweep: effective cost of dissemination under a lossy multicast
+// channel. The planner optimizes the lossless cost model; this harness
+// measures how much the NACK/retransmission recovery protocol (DESIGN.md
+// §6) inflates the bytes actually broadcast as the drop rate grows, for
+// two merge algorithms. Losses are recovered with a generous budget
+// (max_retx = 12), so every row must still deliver exact answers; the
+// interesting output is the inflation column — retransmitted bytes on
+// top of the lossless wire traffic the planner costed.
+//
+// Invariants checked (nonzero exit on violation):
+//   - loss = 0 rows produce zero drops/NACKs/retransmissions,
+//   - every row ends with all answers exactly correct and no
+//     subscription degraded to partial/failed.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/subscription_service.h"
+#include "obs/run_report.h"
+#include "relation/generator.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+struct SweepCell {
+  double loss = 0.0;
+  std::string merger;
+  size_t messages = 0;
+  size_t base_bytes = 0;
+  size_t retx_bytes = 0;
+  double inflation = 1.0;
+  size_t drops = 0;
+  size_t nacks = 0;
+  size_t retx_messages = 0;
+  size_t retx_rounds = 0;
+  size_t incomplete = 0;
+  bool correct = true;
+};
+
+std::string Fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  return buffer;
+}
+
+int Run() {
+  bench::EnableTelemetryIfReportRequested();
+
+  bench::PrintHeader(
+      "Fault sweep — effective cost under a lossy multicast channel",
+      "Drop rate x merge algorithm, NACK recovery with max_retx = 12 over "
+      "3 rounds. inflation = (base + retx bytes) / base bytes: what the "
+      "lossy channel adds on top of the traffic the planner costed.");
+
+  const Rect domain(0, 0, 1000, 1000);
+  const size_t kNumClients = 64;
+  const int kRounds = 3;
+  const std::vector<double> kLossRates = {0.0, 0.05, 0.1, 0.2, 0.3};
+  const std::vector<std::pair<MergerKind, std::string>> kMergers = {
+      {MergerKind::kPairMerging, "pair"},
+      {MergerKind::kClustering, "clustering"},
+  };
+
+  TablePrinter table({"loss", "merger", "|M|/round", "base bytes",
+                      "retx bytes", "inflation", "nacks", "retx msgs",
+                      "incomplete", "correct"});
+  std::vector<SweepCell> cells;
+  bool ok = true;
+
+  for (const auto& [merger, merger_name] : kMergers) {
+    for (const double loss : kLossRates) {
+      Rng rng(9000);
+      TableGeneratorConfig tconfig;
+      tconfig.domain = domain;
+      tconfig.num_objects = 10000;
+      tconfig.clustered_fraction = 0.5;
+      Table data = GenerateTable(tconfig, &rng);
+
+      ServiceConfig config;
+      config.cost_model = bench::Fig16CostModel();
+      config.merger = merger;
+      config.procedure = ProcedureKind::kBoundingRect;
+      config.estimator = EstimatorKind::kExact;
+      config.fault.drop_rate = loss;
+      config.fault.max_retx = 12;
+      config.fault.seed = 0xFA575EED;
+      SubscriptionService service(std::move(data), domain, config);
+
+      QueryGenConfig qconfig = bench::Fig16WorkloadConfig(kNumClients);
+      qconfig.domain = domain;
+      Rng qrng(9100);
+      for (const Rect& rect : GenerateQueries(qconfig, &qrng)) {
+        service.Subscribe(service.AddClient(), rect);
+      }
+
+      auto plan = service.Plan();
+      if (!plan.ok()) {
+        std::fprintf(stderr, "plan failed: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+
+      SweepCell cell;
+      cell.loss = loss;
+      cell.merger = merger_name;
+      for (int round = 0; round < kRounds; ++round) {
+        auto stats = service.RunRound();
+        if (!stats.ok()) {
+          std::fprintf(stderr, "round failed: %s\n",
+                       stats.status().ToString().c_str());
+          return 1;
+        }
+        cell.messages = stats->num_messages;
+        cell.base_bytes += stats->header_bytes + stats->payload_bytes;
+        cell.retx_bytes += stats->retx_bytes;
+        cell.drops += stats->drops;
+        cell.nacks += stats->nacks;
+        cell.retx_messages += stats->retx_messages;
+        cell.retx_rounds += stats->retx_rounds;
+        cell.incomplete += stats->incomplete_answers;
+        cell.correct = cell.correct && stats->all_answers_correct;
+      }
+      cell.inflation =
+          cell.base_bytes == 0
+              ? 1.0
+              : static_cast<double>(cell.base_bytes + cell.retx_bytes) /
+                    static_cast<double>(cell.base_bytes);
+      cells.push_back(cell);
+
+      if (loss == 0.0 &&
+          (cell.drops != 0 || cell.nacks != 0 || cell.retx_messages != 0)) {
+        std::fprintf(stderr,
+                     "INVARIANT VIOLATED: loss=0 produced recovery traffic "
+                     "(%s)\n",
+                     merger_name.c_str());
+        ok = false;
+      }
+      if (!cell.correct || cell.incomplete != 0) {
+        std::fprintf(stderr,
+                     "INVARIANT VIOLATED: answers degraded at loss=%.2f "
+                     "despite max_retx=12 (%s)\n",
+                     loss, merger_name.c_str());
+        ok = false;
+      }
+
+      table.AddRow({Fmt(cell.loss), cell.merger,
+                    std::to_string(cell.messages),
+                    std::to_string(cell.base_bytes),
+                    std::to_string(cell.retx_bytes), Fmt(cell.inflation),
+                    std::to_string(cell.nacks),
+                    std::to_string(cell.retx_messages),
+                    std::to_string(cell.incomplete),
+                    cell.correct ? "yes" : "NO"});
+    }
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf("All invariants hold: %s\n", ok ? "yes" : "NO");
+
+  obs::RunReport report("fault_sweep");
+  report.AddText("description",
+                 "Effective-cost inflation of NACK-based recovery on a "
+                 "lossy multicast channel, per drop rate and merger.");
+  report.AddBool("all_invariants_hold", ok);
+  report.AddScalar("max_retx", 12);
+  report.AddScalar("rounds_per_cell", kRounds);
+  report.AddTable("fault_sweep", table);
+  if (obs::Enabled()) report.AddMetrics(obs::MetricRegistry::Default());
+  bench::WriteReportIfRequested(report);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main() { return qsp::Run(); }

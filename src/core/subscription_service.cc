@@ -177,8 +177,14 @@ Result<RoundStats> SubscriptionService::RunRound() {
   // The simulator persists across rounds so that client caches carry
   // over (it is reset whenever a new plan is made).
   if (simulator_ == nullptr) {
+    // The reliability path only engages when a fault can actually occur,
+    // so a default FaultPolicy keeps rounds on the lossless fast path
+    // (and existing figures byte-identical).
+    std::optional<FaultPolicy> fault;
+    if (config_.fault.Engaged()) fault = config_.fault;
     simulator_ = std::make_unique<MulticastSimulator>(
-        &table_, index_.get(), &queries_, &clients_, config_.client_cache);
+        &table_, index_.get(), &queries_, &clients_, config_.client_cache,
+        /*verify_wire=*/false, std::move(fault));
   }
   obs::ScopedTimer round_timer("core.round.latency_us");
   return simulator_->RunRound(plan_, *procedure_, config_.extraction);

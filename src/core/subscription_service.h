@@ -9,6 +9,7 @@
 #include "cost/cost_model.h"
 #include "geom/rect.h"
 #include "merge/merger.h"
+#include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/simulator.h"
 #include "query/merge_context.h"
@@ -76,6 +77,12 @@ struct ServiceConfig {
   /// tracing) at construction. Off by default: all instrumentation in the
   /// planner and simulator then reduces to a flag check.
   bool telemetry = false;
+  /// Loss model + recovery budget for the dissemination rounds
+  /// (DESIGN.md §6). With the default all-zero policy the simulator runs
+  /// the lossless path and every figure stays byte-identical; any nonzero
+  /// rate routes rounds through the lossy channel and the bounded
+  /// NACK/retransmission protocol.
+  FaultPolicy fault;
 };
 
 /// Summary of a planning pass.

@@ -1,0 +1,36 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+
+namespace qsp {
+
+FaultInjector::FaultInjector(FaultPolicy policy)
+    : policy_(std::move(policy)), rng_(policy_.seed) {}
+
+bool FaultInjector::DropDelivery(uint32_t seq, int attempt) {
+  const auto& always = policy_.drop_seq_every_tx;
+  if (std::find(always.begin(), always.end(), seq) != always.end()) {
+    return true;
+  }
+  if (attempt == 0) {
+    const auto& first = policy_.drop_seq_first_tx;
+    if (std::find(first.begin(), first.end(), seq) != first.end()) {
+      return true;
+    }
+  }
+  return policy_.drop_rate > 0 && rng_.Bernoulli(policy_.drop_rate);
+}
+
+size_t FaultInjector::CorruptFrame(std::vector<uint8_t>* frame) {
+  if (policy_.corrupt_rate <= 0) return 0;
+  size_t corrupted = 0;
+  for (uint8_t& byte : *frame) {
+    if (rng_.Bernoulli(policy_.corrupt_rate)) {
+      byte ^= static_cast<uint8_t>(rng_.UniformInt(1, 255));
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace qsp

@@ -1,0 +1,96 @@
+#ifndef QSP_NET_FAULT_INJECTOR_H_
+#define QSP_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qsp {
+
+/// Loss model for the multicast dissemination path (DESIGN.md §6). All
+/// rates default to zero, in which case the simulator behaves exactly
+/// like the lossless seed simulator. Every stochastic decision flows
+/// through one PRNG seeded from `seed`, so a fault run is reproducible
+/// bit-for-bit from its policy.
+struct FaultPolicy {
+  /// Probability one delivery attempt (message -> one listening client)
+  /// is silently lost. Applies to the initial broadcast pass and to every
+  /// retransmission independently.
+  double drop_rate = 0.0;
+  /// Probability a surviving delivery is duplicated (the client sees the
+  /// frame twice; sequence numbers dedupe it).
+  double duplicate_rate = 0.0;
+  /// Probability each adjacent pair in a client's per-round delivery
+  /// queue is swapped (IP multicast does not preserve order).
+  double reorder_rate = 0.0;
+  /// Per-byte corruption probability over the encoded frame. Corrupted
+  /// frames are detected by the CRC32 and treated as drops; decode never
+  /// trusts an unvalidated length.
+  double corrupt_rate = 0.0;
+  /// Probability a client crashes for the round: it receives nothing and
+  /// emits no NACKs, so its answers are lost (counted, never UB).
+  double crash_rate = 0.0;
+  /// Probability a client joins late: it misses the initial broadcast
+  /// pass and recovers entirely through the NACK/retransmission path.
+  double late_join_rate = 0.0;
+
+  /// Maximum NACK/retransmission passes after the broadcast pass. When
+  /// recovery is still incomplete afterwards, clients degrade to
+  /// AnswerStatus::kPartial / kFailed instead of silently wrong answers.
+  int max_retx = 3;
+  /// Seed for the injector's PRNG.
+  uint64_t seed = 0xF417;
+
+  /// Deterministic fault programming for tests: sequence numbers whose
+  /// first transmission is dropped for every client on the channel...
+  std::vector<uint32_t> drop_seq_first_tx;
+  /// ...and sequence numbers dropped on every transmission (initial and
+  /// all retransmissions), which forces max_retx exhaustion.
+  std::vector<uint32_t> drop_seq_every_tx;
+
+  /// True when any fault can actually occur. The subscription service
+  /// only routes rounds through the reliability path when engaged, so a
+  /// default policy keeps every existing figure byte-identical.
+  bool Engaged() const {
+    return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
+           corrupt_rate > 0 || crash_rate > 0 || late_join_rate > 0 ||
+           !drop_seq_first_tx.empty() || !drop_seq_every_tx.empty();
+  }
+};
+
+/// Draws every fault decision for one simulator. Decisions are made in
+/// the simulator's fixed channel/client/message iteration order, so two
+/// runs with the same policy (and seed) inject the same faults.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPolicy policy);
+
+  const FaultPolicy& policy() const { return policy_; }
+
+  /// Whether the transmission of `seq` on `attempt` (0 = initial
+  /// broadcast, >=1 = retransmission) to one client is lost.
+  bool DropDelivery(uint32_t seq, int attempt);
+
+  /// Whether a surviving delivery is duplicated.
+  bool DuplicateDelivery() { return rng_.Bernoulli(policy_.duplicate_rate); }
+
+  /// Whether one adjacent pair of a delivery queue is swapped.
+  bool ReorderPair() { return rng_.Bernoulli(policy_.reorder_rate); }
+
+  /// Flips random bytes of `frame` with per-byte probability
+  /// corrupt_rate; returns how many bytes were changed.
+  size_t CorruptFrame(std::vector<uint8_t>* frame);
+
+  /// Per-round churn draws (one call per client per round).
+  bool CrashesThisRound() { return rng_.Bernoulli(policy_.crash_rate); }
+  bool JoinsLate() { return rng_.Bernoulli(policy_.late_join_rate); }
+
+ private:
+  FaultPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_NET_FAULT_INJECTOR_H_

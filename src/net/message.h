@@ -39,6 +39,16 @@ enum class ExtractionMode {
 struct Message {
   /// Channel the message is broadcast on.
   size_t channel = 0;
+  /// Reliability header: position of this message in its channel's round
+  /// (assigned contiguously from 0 by the server), the round it belongs
+  /// to, and how many messages the channel carries this round. Clients
+  /// detect losses as gaps in `seq` against `total_in_round` and NACK
+  /// them (DESIGN.md §6). These fields ride in the wire frame; the
+  /// cost-model byte accounting (HeaderBytes) intentionally excludes
+  /// them so lossless figures are unchanged.
+  uint32_t seq = 0;
+  uint32_t round_id = 0;
+  uint32_t total_in_round = 0;
   /// Clients that should process the message.
   std::vector<ClientId> recipients;
   /// Per-recipient extraction instructions.

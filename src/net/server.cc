@@ -94,9 +94,18 @@ std::vector<Message> Server::ExecuteRoundMerged(
   QSP_CHECK(merged_per_channel.size() == allocation.size());
   std::vector<Message> messages;
   for (size_t ch = 0; ch < allocation.size(); ++ch) {
+    const uint32_t channel_total =
+        static_cast<uint32_t>(merged_per_channel[ch].size());
+    uint32_t seq = 0;
     for (const MergedQuery& merged : merged_per_channel[ch]) {
-      messages.push_back(BuildMessage(ch, merged, allocation[ch], *index_,
-                                      *table_, *queries_, *clients_, mode));
+      Message msg = BuildMessage(ch, merged, allocation[ch], *index_,
+                                 *table_, *queries_, *clients_, mode);
+      // Reliability header: contiguous per-channel sequence numbers and
+      // the channel's announced round size, so clients can detect gaps
+      // (including trailing losses) and NACK them.
+      msg.seq = seq++;
+      msg.total_in_round = channel_total;
+      messages.push_back(std::move(msg));
     }
   }
   return messages;

@@ -8,23 +8,34 @@
 namespace qsp {
 
 SimClient::SimClient(ClientId id, size_t channel, const QuerySet* queries,
-                     std::vector<QueryId> subscriptions, bool enable_cache)
+                     std::vector<QueryId> subscriptions, bool enable_cache,
+                     bool reliable)
     : id_(id),
       channel_(channel),
       queries_(queries),
       subscriptions_(std::move(subscriptions)),
-      enable_cache_(enable_cache) {
+      enable_cache_(enable_cache),
+      reliable_(reliable) {
   QSP_CHECK(queries != nullptr);
 }
 
 void SimClient::StartRound() {
   partial_answers_.clear();
+  seen_seqs_.clear();
+  statuses_.clear();
   stats_ = ClientStats{};
 }
 
 void SimClient::Receive(const Message& msg, const Table& table) {
-  QSP_CHECK(msg.channel == channel_);
+  if (msg.channel != channel_) {
+    ++stats_.misrouted_messages;
+    return;
+  }
   ++stats_.headers_checked;
+  if (reliable_ && !seen_seqs_.insert(msg.seq).second) {
+    ++stats_.duplicates_ignored;
+    return;
+  }
   const bool addressed =
       std::find(msg.recipients.begin(), msg.recipients.end(), id_) !=
       msg.recipients.end();
@@ -76,5 +87,33 @@ std::vector<RowId> SimClient::AnswerFor(QueryId query) const {
   if (it == partial_answers_.end()) return {};
   return CombineAnswers(it->second);
 }
+
+std::vector<uint32_t> SimClient::MissingSeqs(uint32_t channel_total) const {
+  std::vector<uint32_t> missing;
+  if (!reliable_) return missing;
+  for (uint32_t seq = 0; seq < channel_total; ++seq) {
+    if (seen_seqs_.count(seq) == 0) missing.push_back(seq);
+  }
+  return missing;
+}
+
+void SimClient::FinalizeRound(uint32_t channel_total) {
+  statuses_.clear();
+  if (!reliable_) return;
+  if (MissingSeqs(channel_total).empty()) return;  // All kComplete.
+  for (QueryId query : subscriptions_) {
+    auto it = partial_answers_.find(query);
+    const bool any_data = it != partial_answers_.end() && !it->second.empty();
+    statuses_[query] = any_data ? AnswerStatus::kPartial
+                                : AnswerStatus::kFailed;
+  }
+}
+
+AnswerStatus SimClient::StatusFor(QueryId query) const {
+  auto it = statuses_.find(query);
+  return it == statuses_.end() ? AnswerStatus::kComplete : it->second;
+}
+
+size_t SimClient::num_incomplete() const { return statuses_.size(); }
 
 }  // namespace qsp

@@ -1,13 +1,36 @@
 #include "net/wire.h"
 
+#include <array>
 #include <cstring>
 
 namespace qsp {
 namespace {
 
-constexpr uint32_t kMagic = 0x51535031;  // "QSP1"
+constexpr uint32_t kMagic = 0x51535032;  // "QSP2" — checksummed frames.
+
+/// Bytes covered by the checksum start after the magic + crc fields.
+constexpr size_t kCrcCoverageOffset = 8;
 
 }  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void WireWriter::PutU32(uint32_t v) {
   for (int i = 0; i < 4; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
@@ -26,6 +49,12 @@ void WireWriter::PutDouble(double v) {
 void WireWriter::PutString(const std::string& v) {
   PutU32(static_cast<uint32_t>(v.size()));
   buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void WireWriter::PatchU32(size_t pos, uint32_t v) {
+  for (size_t i = 0; i < 4; ++i) {
+    buffer_.at(pos + i) = static_cast<uint8_t>((v >> (8 * i)) & 0xFF);
+  }
 }
 
 Result<uint8_t> WireReader::GetU8() {
@@ -73,9 +102,12 @@ Result<double> WireReader::GetDouble() {
 Result<std::string> WireReader::GetString() {
   auto length = GetU32();
   if (!length.ok()) return length.status();
-  if (pos_ + length.value() > buffer_.size()) {
+  // Compare against the bytes actually left instead of adding to pos_, so
+  // a hostile length can never overflow the bound check.
+  if (length.value() > remaining()) {
     return Status::OutOfRange("truncated frame (string body)");
   }
+  if (length.value() == 0) return std::string();
   std::string out(reinterpret_cast<const char*>(&buffer_[pos_]),
                   length.value());
   pos_ += length.value();
@@ -86,7 +118,11 @@ Result<std::vector<uint8_t>> EncodeMessage(const Message& msg,
                                            const Table& table) {
   WireWriter writer;
   writer.PutU32(kMagic);
+  writer.PutU32(0);  // Checksum placeholder, patched after encoding.
   writer.PutU32(static_cast<uint32_t>(msg.channel));
+  writer.PutU32(msg.seq);
+  writer.PutU32(msg.round_id);
+  writer.PutU32(msg.total_in_round);
 
   writer.PutU32(static_cast<uint32_t>(msg.recipients.size()));
   for (ClientId c : msg.recipients) writer.PutU32(c);
@@ -132,6 +168,8 @@ Result<std::vector<uint8_t>> EncodeMessage(const Message& msg,
       }
     }
   }
+  writer.PatchU32(4, Crc32(writer.buffer().data() + kCrcCoverageOffset,
+                           writer.buffer().size() - kCrcCoverageOffset));
   return writer.Take();
 }
 
@@ -143,13 +181,32 @@ Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& frame,
   if (magic.value() != kMagic) {
     return Status::InvalidArgument("bad frame magic");
   }
+  auto crc = reader.GetU32();
+  if (!crc.ok()) return crc.status();
+  if (crc.value() != Crc32(frame.data() + kCrcCoverageOffset,
+                           frame.size() - kCrcCoverageOffset)) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
   DecodedMessage out;
   auto channel = reader.GetU32();
   if (!channel.ok()) return channel.status();
   out.channel = channel.value();
+  auto seq = reader.GetU32();
+  if (!seq.ok()) return seq.status();
+  out.seq = seq.value();
+  auto round_id = reader.GetU32();
+  if (!round_id.ok()) return round_id.status();
+  out.round_id = round_id.value();
+  auto total = reader.GetU32();
+  if (!total.ok()) return total.status();
+  out.total_in_round = total.value();
 
   auto num_recipients = reader.GetU32();
   if (!num_recipients.ok()) return num_recipients.status();
+  if (num_recipients.value() > reader.remaining() / 4) {
+    return Status::OutOfRange("recipient count overflows frame");
+  }
+  out.recipients.reserve(num_recipients.value());
   for (uint32_t i = 0; i < num_recipients.value(); ++i) {
     auto client = reader.GetU32();
     if (!client.ok()) return client.status();
@@ -158,6 +215,11 @@ Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& frame,
 
   auto num_extractors = reader.GetU32();
   if (!num_extractors.ok()) return num_extractors.status();
+  // Each extractor entry occupies 2 u32s + 4 doubles = 40 bytes.
+  if (num_extractors.value() > reader.remaining() / 40) {
+    return Status::OutOfRange("extractor count overflows frame");
+  }
+  out.extractors.reserve(num_extractors.value());
   for (uint32_t i = 0; i < num_extractors.value(); ++i) {
     HeaderEntry entry;
     auto client = reader.GetU32();
@@ -184,11 +246,19 @@ Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& frame,
   if (has_tags.value() == 1) {
     auto num_members = reader.GetU32();
     if (!num_members.ok()) return num_members.status();
+    if (num_members.value() > reader.remaining() / 4) {
+      return Status::OutOfRange("member count overflows frame");
+    }
+    out.members.reserve(num_members.value());
     for (uint32_t i = 0; i < num_members.value(); ++i) {
       auto member = reader.GetU32();
       if (!member.ok()) return member.status();
       out.members.push_back(member.value());
     }
+    if (num_tuples.value() > reader.remaining() / 4) {
+      return Status::OutOfRange("tag count overflows frame");
+    }
+    out.tags.reserve(num_tuples.value());
     for (uint32_t i = 0; i < num_tuples.value(); ++i) {
       auto tags = reader.GetU32();
       if (!tags.ok()) return tags.status();
@@ -198,6 +268,22 @@ Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& frame,
     return Status::InvalidArgument("bad tag marker");
   }
 
+  // Fail fast on hostile tuple counts: every tuple needs at least
+  // min_tuple_bytes (8 per numeric field, 4 for a string length prefix),
+  // so a count the remaining bytes cannot hold is rejected before any
+  // allocation proportional to it.
+  size_t min_tuple_bytes = 0;
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    min_tuple_bytes += schema.field(f).type == ValueType::kString ? 4 : 8;
+  }
+  if (min_tuple_bytes == 0 && num_tuples.value() > 0) {
+    return Status::InvalidArgument("tuples claimed against empty schema");
+  }
+  if (min_tuple_bytes > 0 &&
+      num_tuples.value() > reader.remaining() / min_tuple_bytes) {
+    return Status::OutOfRange("tuple count overflows frame");
+  }
+  out.tuples.reserve(num_tuples.value());
   for (uint32_t i = 0; i < num_tuples.value(); ++i) {
     std::vector<Value> tuple;
     tuple.reserve(schema.num_fields());

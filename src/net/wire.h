@@ -12,6 +12,11 @@
 
 namespace qsp {
 
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `size` bytes. Every
+/// frame carries one so that corruption on the lossy channel is detected
+/// and handled as a drop instead of decoding garbage.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
 /// Little-endian append-only encoder for the multicast wire format.
 class WireWriter {
  public:
@@ -21,6 +26,8 @@ class WireWriter {
   void PutDouble(double v);
   /// Length-prefixed (u32) bytes.
   void PutString(const std::string& v);
+  /// Overwrites 4 already-written bytes at `pos` (for checksum patching).
+  void PatchU32(size_t pos, uint32_t v);
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
   std::vector<uint8_t> Take() { return std::move(buffer_); }
@@ -55,6 +62,11 @@ class WireReader {
 /// server's table, the payload carries the actual tuples.
 struct DecodedMessage {
   size_t channel = 0;
+  /// Reliability header (see Message): sequence within the channel's
+  /// round, round id, and the channel's announced message count.
+  uint32_t seq = 0;
+  uint32_t round_id = 0;
+  uint32_t total_in_round = 0;
   std::vector<ClientId> recipients;
   std::vector<HeaderEntry> extractors;
   /// Member list + per-tuple tag bits (empty unless the message was
@@ -65,8 +77,9 @@ struct DecodedMessage {
 };
 
 /// Serializes `msg` (resolving payload row ids against `table`) into the
-/// frame format:
-///   u32 magic  u32 channel
+/// frame format (v2 — checksummed and sequence-numbered):
+///   u32 magic  u32 crc32(everything after this field)
+///   u32 channel  u32 seq  u32 round_id  u32 total_in_round
 ///   u32 #recipients  (u32 client)*
 ///   u32 #extractors  (u32 client, u32 query, 4 x f64 rect)*
 ///   u32 #tuples
@@ -75,8 +88,10 @@ struct DecodedMessage {
 Result<std::vector<uint8_t>> EncodeMessage(const Message& msg,
                                            const Table& table);
 
-/// Parses a frame back; validates the magic and the tuple arity/types
-/// against `schema`.
+/// Parses a frame back; validates the magic, the checksum, every length
+/// field against the remaining bytes (a hostile count can never trigger
+/// an out-of-bounds read or an oversized allocation), and the tuple
+/// arity/types against `schema`.
 Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& frame,
                                      const Schema& schema);
 

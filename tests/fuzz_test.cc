@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -84,11 +85,14 @@ Message FuzzMessage() {
   return msg;
 }
 
-/// Random byte flips anywhere in a valid frame: decode must return
-/// (error or success) without crashing, and never misreport sizes.
+/// Corrupted-frame corpus over the checksummed (QSP2) format: decode
+/// must reject corruption cleanly — never crash, hang, or misreport.
 class WireFuzz : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(WireFuzz, SingleByteFlips) {
+TEST_P(WireFuzz, SingleByteFlipsAlwaysFailTheChecksum) {
+  // CRC32 detects every single-byte error in the covered region, and
+  // flips in the magic or CRC fields fail their own checks — so no
+  // single-byte flip anywhere may ever decode.
   const Table table = FuzzTable();
   auto frame = EncodeMessage(FuzzMessage(), table);
   ASSERT_TRUE(frame.ok());
@@ -98,11 +102,56 @@ TEST_P(WireFuzz, SingleByteFlips) {
     const size_t pos = static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
     corrupted[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
-    auto decoded = DecodeMessage(corrupted, table.schema());
-    if (decoded.ok()) {
-      // A flip that decodes must still be internally consistent.
-      EXPECT_EQ(decoded->tags.size(), decoded->tuples.size());
+    EXPECT_FALSE(DecodeMessage(corrupted, table.schema()).ok())
+        << "flip at byte " << pos << " decoded";
+  }
+}
+
+TEST_P(WireFuzz, EverySingleBytePositionIsCovered) {
+  // Exhaustive sweep: one flip per byte position, not just sampled ones.
+  const Table table = FuzzTable();
+  auto frame = EncodeMessage(FuzzMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  for (size_t pos = 0; pos < frame->size(); ++pos) {
+    auto corrupted = frame.value();
+    corrupted[pos] ^= 0x01;
+    EXPECT_FALSE(DecodeMessage(corrupted, table.schema()).ok()) << pos;
+  }
+}
+
+TEST_P(WireFuzz, BurstCorruptionNeverCrashes) {
+  // Contiguous multi-byte bursts — the channel's corruption model.
+  const Table table = FuzzTable();
+  auto frame = EncodeMessage(FuzzMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  Rng rng(GetParam() ^ 0xCAFE);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = frame.value();
+    const size_t start = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 16));
+    for (size_t i = start; i < std::min(start + len, corrupted.size()); ++i) {
+      corrupted[i] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
     }
+    EXPECT_FALSE(DecodeMessage(corrupted, table.schema()).ok());
+  }
+}
+
+TEST_P(WireFuzz, CorruptionPlusTruncationNeverCrashes) {
+  const Table table = FuzzTable();
+  auto frame = EncodeMessage(FuzzMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  Rng rng(GetParam() ^ 0xD00D);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = frame.value();
+    corrupted.resize(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupted.size()))));
+    if (!corrupted.empty()) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+      corrupted[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    }
+    EXPECT_FALSE(DecodeMessage(corrupted, table.schema()).ok());
   }
 }
 
@@ -121,13 +170,41 @@ TEST_P(WireFuzz, RandomGarbageFrames) {
 
 TEST_P(WireFuzz, LengthFieldsCannotCauseHugeAllocations) {
   // A frame claiming 2^31 recipients must fail on bounds, not try to
-  // allocate: every element read is bounds-checked before use.
+  // allocate. The CRC is made valid so the decoder actually reaches the
+  // count check instead of bailing at the checksum.
   WireWriter writer;
-  writer.PutU32(0x51535031);              // Magic.
-  writer.PutU32(0);                        // Channel.
-  writer.PutU32(0x7FFFFFFF);               // Claimed recipients.
+  writer.PutU32(0x51535032);  // Magic "QSP2".
+  writer.PutU32(0);           // Checksum placeholder.
+  writer.PutU32(0);           // Channel.
+  writer.PutU32(0);           // Seq.
+  writer.PutU32(0);           // Round id.
+  writer.PutU32(0);           // Total in round.
+  writer.PutU32(0x7FFFFFFF);  // Claimed recipients.
+  writer.PatchU32(4, Crc32(writer.buffer().data() + 8,
+                           writer.buffer().size() - 8));
   const Table table = FuzzTable();
   auto decoded = DecodeMessage(writer.buffer(), table.schema());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(WireFuzz, HostileTupleCountAgainstEmptySchemaIsRejected) {
+  // Zero-field schemas make the per-tuple lower bound zero; the decoder
+  // must still refuse a nonzero tuple count rather than loop or allocate.
+  WireWriter writer;
+  writer.PutU32(0x51535032);
+  writer.PutU32(0);           // Checksum placeholder.
+  writer.PutU32(0);           // Channel.
+  writer.PutU32(0);           // Seq.
+  writer.PutU32(0);           // Round id.
+  writer.PutU32(0);           // Total in round.
+  writer.PutU32(0);           // No recipients.
+  writer.PutU32(0);           // No extractors.
+  writer.PutU32(0x7FFFFFFF);  // Claimed tuples.
+  writer.PutU8(0);            // No tags.
+  writer.PatchU32(4, Crc32(writer.buffer().data() + 8,
+                           writer.buffer().size() - 8));
+  auto decoded = DecodeMessage(writer.buffer(), Schema(std::vector<Field>{}));
   EXPECT_FALSE(decoded.ok());
 }
 

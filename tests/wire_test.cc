@@ -73,6 +73,9 @@ Table SmallTable() {
 Message SampleMessage() {
   Message msg;
   msg.channel = 2;
+  msg.seq = 5;
+  msg.round_id = 7;
+  msg.total_in_round = 9;
   msg.recipients = {7, 9};
   msg.extractors = {{7, {0, Rect(0, 0, 2, 3)}}, {9, {1, Rect(1, 1, 4, 5)}}};
   msg.payload = {0, 1};
@@ -94,6 +97,47 @@ TEST(WireMessageTest, EncodeDecodeRoundTrip) {
   ASSERT_EQ(decoded->tuples.size(), 2u);
   EXPECT_EQ(std::get<double>(decoded->tuples[0][0]), 1.5);
   EXPECT_EQ(std::get<std::string>(decoded->tuples[1][2]), "beta");
+}
+
+TEST(WireMessageTest, ReliabilityFieldsRoundTrip) {
+  // seq / round_id / total_in_round ride in every frame so receivers can
+  // detect gaps (including trailing losses) and dedup retransmissions.
+  const Table table = SmallTable();
+  auto frame = EncodeMessage(SampleMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  auto decoded = DecodeMessage(frame.value(), table.schema());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->seq, 5u);
+  EXPECT_EQ(decoded->round_id, 7u);
+  EXPECT_EQ(decoded->total_in_round, 9u);
+}
+
+TEST(WireTest, Crc32MatchesKnownCheckValue) {
+  // The standard CRC-32/IEEE check value for the ASCII digits 1..9.
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits, sizeof(digits)), 0xCBF43926u);
+}
+
+TEST(WireMessageTest, ChecksumRejectsPayloadCorruption) {
+  const Table table = SmallTable();
+  auto frame = EncodeMessage(SampleMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  // Flip one byte deep in the payload region, past everything the old
+  // structural checks could catch — only the CRC can see this.
+  auto corrupted = frame.value();
+  corrupted[corrupted.size() - 3] ^= 0x04;
+  auto decoded = DecodeMessage(corrupted, table.schema());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireMessageTest, ChecksumFieldCorruptionIsAlsoRejected) {
+  const Table table = SmallTable();
+  auto frame = EncodeMessage(SampleMessage(), table);
+  ASSERT_TRUE(frame.ok());
+  auto corrupted = frame.value();
+  corrupted[5] ^= 0xFF;  // Inside the CRC field itself (bytes 4..7).
+  EXPECT_FALSE(DecodeMessage(corrupted, table.schema()).ok());
 }
 
 TEST(WireMessageTest, EmptyPayloadRoundTrips) {
