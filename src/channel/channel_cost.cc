@@ -19,12 +19,17 @@ double ChannelCostEvaluator::Cost(
   if (channel_clients.empty()) return 0.0;
   std::vector<ClientId> key = channel_clients;
   std::sort(key.begin(), key.end());
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  ++evaluations_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // The merge runs outside the lock; it is deterministic, so a racing
+  // thread computing the same channel lands on the same cost.
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   const double cost = Plan(key).cost;
-  cache_.emplace(std::move(key), cost);
-  return cost;
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.try_emplace(std::move(key), cost).first->second;
 }
 
 MergeOutcome ChannelCostEvaluator::Plan(

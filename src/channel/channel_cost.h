@@ -1,7 +1,9 @@
 #ifndef QSP_CHANNEL_CHANNEL_COST_H_
 #define QSP_CHANNEL_CHANNEL_COST_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +24,11 @@ namespace qsp {
 /// Costs are memoized by client set: the allocation searches re-evaluate
 /// the same channel contents constantly (Section 8.2 keeps the same table
 /// T; this class is that table, generalized).
+///
+/// Safe for concurrent Cost()/TotalCost() callers (the parallel
+/// hill-climb starts): the memo is mutex-guarded and the underlying merge
+/// runs outside the lock — racing threads computing the same channel get
+/// the same deterministic cost, first insert wins.
 class ChannelCostEvaluator {
  public:
   ChannelCostEvaluator(const MergeContext* ctx, const CostModel& model,
@@ -38,8 +45,13 @@ class ChannelCostEvaluator {
   /// Total cost of an allocation, including K_D per used channel.
   double TotalCost(const Allocation& allocation) const;
 
-  /// Channel-cost evaluations actually computed (cache misses).
-  uint64_t evaluations() const { return evaluations_; }
+  /// Channel-cost evaluations actually computed (cache misses). With
+  /// parallel callers this can slightly exceed the serial count (racing
+  /// threads may both evaluate a channel); it is a telemetry quantity,
+  /// never an input to the search.
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
   const CostModel& model() const { return model_; }
   const ClientSet& clients() const { return *clients_; }
@@ -61,8 +73,9 @@ class ChannelCostEvaluator {
   CostModel model_;
   const ClientSet* clients_;
   PairMerger merger_;
+  mutable std::mutex mu_;  // Guards cache_.
   mutable std::unordered_map<std::vector<ClientId>, double, VecHash> cache_;
-  mutable uint64_t evaluations_ = 0;
+  mutable std::atomic<uint64_t> evaluations_{0};
 };
 
 }  // namespace qsp

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "util/float_compare.h"
 
 namespace qsp {
@@ -140,17 +142,26 @@ Result<AllocationOutcome> HillClimbAllocator::Allocate(
   best.cost = std::numeric_limits<double>::infinity();
   uint64_t candidates = 0;
 
-  auto consider = [&](Allocation start) {
-    AllocationOutcome outcome = Climb(evaluator, std::move(start));
-    candidates += outcome.candidates;
-    if (outcome.cost < best.cost) best = std::move(outcome);
-  };
-
+  // Both starts are built first (the seeded start never draws from the
+  // rng, so the draw order matches the old sequential code), then the
+  // independent climbs fan out across the exec pool. They share the
+  // evaluator's channel-cost memo, which is safe for concurrent callers.
+  std::vector<Allocation> starts;
   if (policy_ == StartPolicy::kSeeded || policy_ == StartPolicy::kBestOfBoth) {
-    consider(SeededStart(evaluator, num_channels));
+    starts.push_back(SeededStart(evaluator, num_channels));
   }
   if (policy_ == StartPolicy::kRandom || policy_ == StartPolicy::kBestOfBoth) {
-    consider(RandomStart(n, num_channels, &rng));
+    starts.push_back(RandomStart(n, num_channels, &rng));
+  }
+  std::vector<AllocationOutcome> outcomes =
+      exec::ParallelMap<AllocationOutcome>(starts.size(), [&](size_t k) {
+        return Climb(evaluator, std::move(starts[k]));
+      });
+  // Reduce in start order (seeded before random) with a strict `<`, the
+  // same tie-break as the sequential loop for any thread count.
+  for (AllocationOutcome& outcome : outcomes) {
+    candidates += outcome.candidates;
+    if (outcome.cost < best.cost) best = std::move(outcome);
   }
   best.candidates = candidates;
   return best;

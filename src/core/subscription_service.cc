@@ -4,6 +4,7 @@
 
 #include "channel/channel_cost.h"
 #include "channel/exhaustive_allocator.h"
+#include "exec/thread_pool.h"
 #include "merge/clustering_merger.h"
 #include "merge/directed_search_merger.h"
 #include "merge/pair_merger.h"
@@ -47,6 +48,7 @@ SubscriptionService::SubscriptionService(Table table, const Rect& domain,
                                          ServiceConfig config)
     : table_(std::move(table)), domain_(domain), config_(config) {
   if (config_.telemetry) obs::SetEnabled(true);
+  exec::SetDefaultThreads(config_.threads);
   switch (config_.index) {
     case IndexKind::kGrid:
       index_ = std::make_unique<GridIndex>(table_, domain_);

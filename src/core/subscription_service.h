@@ -77,6 +77,13 @@ struct ServiceConfig {
   /// tracing) at construction. Off by default: all instrumentation in the
   /// planner and simulator then reduces to a flag check.
   bool telemetry = false;
+  /// Worker threads for the planner's parallel loops (profit-table
+  /// construction, clustering bounds, search restarts, per-channel
+  /// broadcast), applied process-wide via qsp::exec at construction.
+  /// 1 — the default — runs the exact serial code path (byte-identical
+  /// to a build without the exec subsystem); any value N > 1 must return
+  /// the same partitions and costs, only faster (DESIGN.md §7).
+  int threads = 1;
   /// Loss model + recovery budget for the dissemination rounds
   /// (DESIGN.md §6). With the default all-zero policy the simulator runs
   /// the lossless path and every figure stays byte-identical; any nonzero

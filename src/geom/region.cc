@@ -49,11 +49,15 @@ RectilinearRegion RectilinearRegion::UnionOf(const std::vector<Rect>& rects) {
       }
     }
     for (const auto& [y_lo, y_hi] : MergeIntervals(std::move(spans))) {
+      // Zero-height spans survive interval merging only when no taller
+      // span absorbs them; drop them here, symmetric to the zero-width
+      // slab skip above, so every piece has positive area.
+      if (y_hi <= y_lo) continue;
       pieces.emplace_back(slab_lo, y_lo, slab_hi, y_hi);
     }
   }
-  // Degenerate (zero-width) input rects contribute no area and are dropped
-  // by the slab sweep; that matches Area() semantics.
+  // Degenerate (zero-width or zero-height) input rects contribute no area
+  // and produce no pieces; that matches Area() semantics.
   std::sort(pieces.begin(), pieces.end(), [](const Rect& a, const Rect& b) {
     if (a.x_lo() != b.x_lo()) return a.x_lo() < b.x_lo();
     return a.y_lo() < b.y_lo();

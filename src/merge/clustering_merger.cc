@@ -1,8 +1,10 @@
 #include "merge/clustering_merger.h"
 
 #include <numeric>
+#include <utility>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "merge/pair_merger.h"
 #include "merge/partition_merger.h"
 #include "obs/metrics.h"
@@ -41,20 +43,31 @@ Result<MergeOutcome> ClusteringMerger::DoMerge(const MergeContext& ctx,
   uint64_t subsolves_greedy = 0;
 
   // Build the "mergeable" graph: connect queries whose best-case co-merge
-  // benefit is positive.
+  // benefit is positive. The O(n^2) bound evaluations are independent, so
+  // they fan out across the exec pool; the union-find is then fed
+  // serially in ascending (a, b) order, making the components identical
+  // for any thread count.
   DisjointSets components(n);
+  std::vector<std::pair<QueryId, QueryId>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
   for (QueryId a = 0; a < n; ++a) {
-    for (QueryId b = a + 1; b < n; ++b) {
-      ++outcome.candidates;
-      const double s1 = ctx.Size(a);
-      const double s2 = ctx.Size(b);
-      const double r = tight_bound_ ? ctx.UnionSize(a, b)
-                                    : ctx.Stats({a, b}).size;
-      if (model.CoMergeBenefitBound(s1, s2, r) > 0.0) {
-        components.Union(a, b);
-      } else {
-        ++pairs_pruned;
-      }
+    for (QueryId b = a + 1; b < n; ++b) pairs.emplace_back(a, b);
+  }
+  const std::vector<char> mergeable = exec::ParallelMap<char>(
+      pairs.size(), [&](size_t k) {
+        const auto& [a, b] = pairs[k];
+        const double s1 = ctx.Size(a);
+        const double s2 = ctx.Size(b);
+        const double r = tight_bound_ ? ctx.UnionSize(a, b)
+                                      : ctx.Stats({a, b}).size;
+        return static_cast<char>(model.CoMergeBenefitBound(s1, s2, r) > 0.0);
+      });
+  outcome.candidates += pairs.size();
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (mergeable[k]) {
+      components.Union(pairs[k].first, pairs[k].second);
+    } else {
+      ++pairs_pruned;
     }
   }
 

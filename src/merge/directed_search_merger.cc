@@ -1,7 +1,10 @@
 #include "merge/directed_search_merger.h"
 
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "util/float_compare.h"
 #include "util/rng.h"
@@ -117,18 +120,44 @@ Result<MergeOutcome> DirectedSearchMerger::DoMerge(
     best.cost = 0.0;
     return best;
   }
+  // Restart 0 descends from the no-merging state; later restarts from
+  // random scatters. All starts are drawn up front from the single seeded
+  // stream (the draw order never depends on how descents are scheduled),
+  // then the independent descents fan out across the exec pool.
   Rng rng(seed_);
+  const size_t restarts = static_cast<size_t>(restarts_);
+  std::vector<Partition> starts(restarts);
+  for (size_t t = 0; t < restarts; ++t) {
+    starts[t] = (t == 0) ? SingletonPartition(n) : RandomPartition(n, &rng);
+  }
+
+  struct RestartResult {
+    Partition partition;
+    double cost = 0.0;
+    uint64_t candidates = 0;
+    DescentCounters counters;
+  };
+  std::vector<RestartResult> results =
+      exec::ParallelMap<RestartResult>(restarts, [&](size_t t) {
+        RestartResult result;
+        result.partition = std::move(starts[t]);
+        result.cost = Descend(ctx, model, &result.partition,
+                              &result.candidates, &result.counters);
+        return result;
+      });
+
+  // Reduce in restart order with a strict `<`: the earliest restart wins
+  // cost ties, exactly as the sequential loop did — the fixed tie-break
+  // that keeps the outcome identical for any thread count.
   DescentCounters counters;
-  for (int t = 0; t < restarts_; ++t) {
-    // Restart 0 descends from the no-merging state; later restarts from
-    // random scatters.
-    Partition partition =
-        (t == 0) ? SingletonPartition(n) : RandomPartition(n, &rng);
-    const double cost =
-        Descend(ctx, model, &partition, &best.candidates, &counters);
-    if (cost < best.cost) {
-      best.cost = cost;
-      best.partition = std::move(partition);
+  for (RestartResult& result : results) {
+    best.candidates += result.candidates;
+    counters.iterations += result.counters.iterations;
+    counters.accepted_merges += result.counters.accepted_merges;
+    counters.accepted_extracts += result.counters.accepted_extracts;
+    if (result.cost < best.cost) {
+      best.cost = result.cost;
+      best.partition = std::move(result.partition);
     }
   }
   obs::Count("merge.directed-search.restarts",

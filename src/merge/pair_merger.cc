@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace qsp {
@@ -16,11 +17,34 @@ struct ProfitEntry {
   size_t a;
   size_t b;
   bool operator<(const ProfitEntry& other) const {
-    return benefit < other.benefit;  // max-heap on benefit
+    // Max-heap on benefit; equal benefits rank the smaller (a, b) first.
+    // The tie-break must come from the stable group ids — never from
+    // push order, which is a scheduling artifact — so the heap variant
+    // picks the same pair as the table variant's ordered scan and the
+    // chosen merge sequence is reproducible run to run.
+    if (benefit != other.benefit) return benefit < other.benefit;
+    if (a != other.a) return a > other.a;
+    return b > other.b;
   }
 };
 
 }  // namespace
+
+std::vector<double> PairMerger::EvaluatePairBenefits(
+    const MergeContext& ctx, const CostModel& model,
+    const std::vector<QueryGroup>& groups,
+    const std::vector<double>& group_cost,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  // The profit-table kernel: each pair is independent, so the evaluations
+  // fan out across the exec pool; result k always belongs to pairs[k], so
+  // the output is identical for any thread count (with threads=1 this is
+  // the plain serial loop, in the same evaluation order as ever).
+  return exec::ParallelMap<double>(pairs.size(), [&](size_t k) {
+    const auto& [i, j] = pairs[k];
+    const QueryGroup merged = UnionGroups(groups[i], groups[j]);
+    return group_cost[i] + group_cost[j] - model.GroupCost(ctx, merged);
+  });
+}
 
 MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
                                    const CostModel& model,
@@ -41,14 +65,7 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
   std::map<std::pair<size_t, size_t>, double> table;
   std::priority_queue<ProfitEntry> heap;
 
-  auto benefit_of = [&](size_t i, size_t j) {
-    ++outcome.candidates;
-    const QueryGroup merged = UnionGroups(groups[i], groups[j]);
-    return group_cost[i] + group_cost[j] - model.GroupCost(ctx, merged);
-  };
-
-  auto add_pair = [&](size_t i, size_t j) {
-    const double benefit = benefit_of(i, j);
+  auto record_benefit = [&](size_t i, size_t j, double benefit) {
     if (use_heap_) {
       if (benefit > 0) heap.push({benefit, i, j});
     } else {
@@ -56,12 +73,27 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
     }
   };
 
+  // Benefits are evaluated in bulk (parallel across the exec pool), then
+  // recorded serially in ascending (i, j) order, so heap and table
+  // contents never depend on scheduling.
+  std::vector<std::pair<size_t, size_t>> pending;
+  auto flush_pending = [&] {
+    const std::vector<double> benefits =
+        EvaluatePairBenefits(ctx, model, groups, group_cost, pending);
+    outcome.candidates += pending.size();
+    for (size_t k = 0; k < pending.size(); ++k) {
+      record_benefit(pending[k].first, pending[k].second, benefits[k]);
+    }
+    pending.clear();
+  };
+
   for (size_t i = 0; i < groups.size(); ++i) {
     if (!alive[i]) continue;
     for (size_t j = i + 1; j < groups.size(); ++j) {
-      if (alive[j]) add_pair(i, j);
+      if (alive[j]) pending.emplace_back(i, j);
     }
   }
+  flush_pending();
 
   while (true) {
     size_t best_a = 0, best_b = 0;
@@ -69,7 +101,9 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
     if (use_heap_) {
       // Pop until a live, still-accurate entry surfaces. Entries are
       // immutable once pushed; merging marks groups dead, which
-      // invalidates their entries lazily.
+      // invalidates their entries lazily — every entry whose endpoints
+      // are both alive is accurate, because a group's cost never changes
+      // after creation (merges only create fresh indices).
       bool found = false;
       while (!heap.empty()) {
         const ProfitEntry top = heap.top();
@@ -86,6 +120,9 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
       }
       if (!found) break;
     } else {
+      // std::map iterates keys in ascending (i, j) order, so the strict
+      // `>` keeps the smallest pair among equal benefits — the same
+      // stable-id tie-break as the heap comparator above.
       for (const auto& [pair, benefit] : table) {
         if (benefit > best_benefit) {
           best_benefit = benefit;
@@ -102,6 +139,8 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
     alive[best_a] = false;
     alive[best_b] = false;
     if (!use_heap_) {
+      // Entries referencing the two dead groups are erased eagerly, so
+      // the table never carries stale rows into the next argmax.
       for (auto it = table.begin(); it != table.end();) {
         const auto& [i, j] = it->first;
         if (i == best_a || i == best_b || j == best_a || j == best_b) {
@@ -116,8 +155,9 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
     alive.push_back(true);
     group_cost.push_back(model.GroupCost(ctx, groups[new_index]));
     for (size_t i = 0; i < new_index; ++i) {
-      if (alive[i]) add_pair(i, new_index);
+      if (alive[i]) pending.emplace_back(i, new_index);
     }
+    flush_pending();
   }
 
   for (size_t i = 0; i < groups.size(); ++i) {

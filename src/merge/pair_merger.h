@@ -1,6 +1,9 @@
 #ifndef QSP_MERGE_PAIR_MERGER_H_
 #define QSP_MERGE_PAIR_MERGER_H_
 
+#include <utility>
+#include <vector>
+
 #include "merge/merger.h"
 
 namespace qsp {
@@ -24,6 +27,18 @@ class PairMerger : public Merger {
   /// allocator).
   MergeOutcome MergeFrom(const MergeContext& ctx, const CostModel& model,
                          Partition start) const;
+
+  /// The Profit Table construction kernel: the benefit of merging
+  /// groups[i] with groups[j] for every requested (i, j), given each
+  /// group's precomputed cost. Evaluations fan out across the qsp::exec
+  /// default executor; result k corresponds to pairs[k] for any thread
+  /// count. Exposed for bench_parallel_speedup, which measures exactly
+  /// this kernel.
+  static std::vector<double> EvaluatePairBenefits(
+      const MergeContext& ctx, const CostModel& model,
+      const std::vector<QueryGroup>& groups,
+      const std::vector<double>& group_cost,
+      const std::vector<std::pair<size_t, size_t>>& pairs);
 
   std::string name() const override { return "pair-merging"; }
 

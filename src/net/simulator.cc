@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "exec/thread_pool.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/phase_tracer.h"
@@ -279,9 +280,34 @@ RoundStats MulticastSimulator::RunRound(const DisseminationPlan& plan,
   // client listens to exactly one channel, so delivering channel-by-channel
   // preserves every client's message order; with tracing on, that grouping
   // gives one span per channel. With a fault policy, delivery instead runs
-  // the lossy channel + NACK recovery path.
+  // the lossy channel + NACK recovery path (kept serial: the injector's
+  // seeded draw order is part of the reproducibility contract).
   if (fault_.has_value()) {
     RunLossyRound(messages, &stats);
+  } else if (exec::DefaultPool() != nullptr) {
+    // Channels partition the clients, so the per-channel passes are
+    // independent and fan out across the exec pool; within a channel,
+    // message order (and therefore every client's delivery order) is
+    // unchanged. The phase tracer is single-threaded, so the parallel
+    // pass records one span for the whole broadcast instead of one per
+    // channel.
+    obs::ScopedSpan broadcast_span("broadcast");
+    std::map<size_t, std::vector<const Message*>> by_channel;
+    for (const Message& msg : messages) by_channel[msg.channel].push_back(&msg);
+    std::vector<const std::vector<const Message*>*> channel_messages;
+    std::vector<size_t> channel_ids;
+    for (const auto& [channel, msgs] : by_channel) {
+      channel_ids.push_back(channel);
+      channel_messages.push_back(&msgs);
+    }
+    exec::ParallelFor(channel_ids.size(), [&](size_t k) {
+      const size_t channel = channel_ids[k];
+      for (const Message* msg : *channel_messages[k]) {
+        for (SimClient& client : sim_clients_) {
+          if (client.channel() == channel) client.Receive(*msg, *table_);
+        }
+      }
+    });
   } else if (!obs::Enabled()) {
     for (const Message& msg : messages) {
       for (SimClient& client : sim_clients_) {

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
@@ -11,11 +12,15 @@ namespace obs {
 
 #ifndef QSP_OBS_DISABLED
 namespace {
-bool g_enabled = false;
+// Atomic so pool workers may read the switch while a test harness flips
+// it; relaxed is enough — the flag carries no data dependencies.
+std::atomic<bool> g_enabled{false};
 }  // namespace
 
-bool Enabled() { return g_enabled; }
-void SetEnabled(bool enabled) { g_enabled = enabled; }
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
 #endif
 
 namespace {
@@ -42,8 +47,16 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+size_t Counter::ThisThreadShard() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
 void Histogram::Record(double value) {
   if (std::isnan(value)) return;
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_[static_cast<size_t>(BucketIndex(value))] += 1;
   if (count_ == 0) {
     min_ = value;
@@ -57,6 +70,7 @@ void Histogram::Record(double value) {
 }
 
 double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) return 0.0;
   if (p <= 0.0) return min_;
   if (p >= 100.0) return max_;
@@ -76,6 +90,7 @@ double Histogram::Percentile(double p) const {
 }
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_.fill(0);
   count_ = 0;
   sum_ = 0.0;
@@ -84,41 +99,35 @@ void Histogram::Reset() {
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter()).first;
-  }
-  return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge()).first;
-  }
-  return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.try_emplace(std::string(name)).first->second;
 }
 
 Histogram& MetricRegistry::histogram(std::string_view name) {
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram()).first;
-  }
-  return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.try_emplace(std::string(name)).first->second;
 }
 
 uint64_t MetricRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
 double MetricRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second.value();
 }
 
 std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterValues()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> values;
   values.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -128,12 +137,14 @@ std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterValues()
 }
 
 void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter.Reset();
   for (auto& [name, gauge] : gauges_) gauge.Reset();
   for (auto& [name, histogram] : histograms_) histogram.Reset();
 }
 
 std::string MetricRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
   TablePrinter table({"metric", "kind", "count", "value/mean", "p50", "p99",
                       "max"});
   for (const auto& [name, counter] : counters_) {
@@ -155,6 +166,7 @@ std::string MetricRegistry::ToText() const {
 }
 
 std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter json;
   json.BeginObject();
   json.Key("counters").BeginObject();

@@ -2,9 +2,11 @@
 #define QSP_OBS_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -36,28 +38,56 @@ void SetEnabled(bool enabled);
 /// ----------------------------------------------------------------- metrics
 
 /// Monotonically increasing event count (e.g. estimator calls, candidate
-/// pairs evaluated). Not thread-safe: the library is single-threaded and
-/// the registry documents the same constraint.
+/// pairs evaluated). Thread-safe: increments land in one of a small set
+/// of cache-line-padded atomic shards picked per thread, so concurrent
+/// planner loops (qsp::exec) never contend on one cache line; value()
+/// sums the shards. Relaxed ordering — counts are statistics, not
+/// synchronization. Non-copyable (the registry hands out references).
 class Counter {
  public:
-  void Add(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  uint64_t value_ = 0;
+  static constexpr size_t kShards = 8;  // Power of two.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  /// Stable per-thread shard index: threads are numbered in creation
+  /// order and map round-robin onto the shards.
+  static size_t ThisThreadShard();
+
+  std::array<Shard, kShards> shards_{};
 };
 
 /// Last-observed value (e.g. estimated plan cost, measured |M| of the most
-/// recent round).
+/// recent round). Thread-safe via an atomic slot (last writer wins).
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Log-scale histogram for latencies and sizes: bucket 0 holds values
@@ -65,17 +95,40 @@ class Gauge {
 /// sum, min, and max alongside the buckets, so means are exact and only
 /// percentiles are bucket-resolution approximations (within a factor of
 /// two, which is all a latency distribution needs).
+///
+/// Thread-safe: Record and the accessors serialize on an internal mutex
+/// (a Record touches five fields that must stay mutually consistent).
+/// Histograms are not recorded from the planner's parallel inner loops —
+/// only counters are — so the lock is uncontended in practice.
+/// Non-copyable (the registry hands out references).
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
 
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
   void Record(double value);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : max_;
+  }
   double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
@@ -84,11 +137,15 @@ class Histogram {
   /// the histogram is empty.
   double Percentile(double p) const;
 
-  uint64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  uint64_t bucket(int i) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buckets_[static_cast<size_t>(i)];
+  }
 
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::array<uint64_t, kNumBuckets> buckets_{};
   uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -107,9 +164,15 @@ struct MetricSnapshot {
 
 /// Named metric store. Metrics are created on first use and live for the
 /// registry's lifetime (references returned by counter()/gauge()/
-/// histogram() stay valid). Names follow the dotted scheme documented in
-/// DESIGN.md §5, e.g. "merge.pair-merging.candidates" or
-/// "core.plan.latency_us". Not thread-safe.
+/// histogram() stay valid across concurrent insertions — std::map nodes
+/// are stable). Names follow the dotted scheme documented in DESIGN.md
+/// §5, e.g. "merge.pair-merging.candidates" or "core.plan.latency_us".
+///
+/// Thread-safe: lookups/creation and the export walks serialize on an
+/// internal mutex; mutation of the returned metrics is synchronized by
+/// the metrics themselves. Hot paths that run inside qsp::exec parallel
+/// regions resolve their Counter* once and then pay only the counter's
+/// sharded atomic add (see MergeContext).
 class MetricRegistry {
  public:
   Counter& counter(std::string_view name);
@@ -125,6 +188,7 @@ class MetricRegistry {
   std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
 
   size_t num_metrics() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -142,6 +206,8 @@ class MetricRegistry {
   static MetricRegistry& Default();
 
  private:
+  /// Guards the maps (not the metrics inside them).
+  mutable std::mutex mu_;
   // Ordered maps so every export is deterministically sorted by name.
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;

@@ -21,7 +21,10 @@ namespace obs {
 /// work (estimator calls, candidates, cache misses) it burned.
 ///
 /// Begin/End must nest; ScopedSpan is the intended way to use it.
-/// Completed top-level spans accumulate until Clear(). Not thread-safe.
+/// Completed top-level spans accumulate until Clear(). Not thread-safe:
+/// only the orchestrating thread may open spans, so code running inside a
+/// qsp::exec parallel region must not create spans (the parallel
+/// broadcast pass records one enclosing span instead of one per channel).
 class PhaseTracer {
  public:
   struct Span {

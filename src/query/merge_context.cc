@@ -24,14 +24,25 @@ MergeContext::MergeContext(const QuerySet* queries,
 }
 
 double MergeContext::Size(QueryId id) const {
-  if (id >= size_cache_.size()) {
-    // The query set may have grown (dynamic scenario).
-    size_cache_.resize(queries_->size(), 0.0);
-    size_known_.resize(queries_->size(), false);
+  {
+    std::lock_guard<std::mutex> lock(size_mu_);
+    if (id >= size_cache_.size()) {
+      // The query set may have grown (dynamic scenario).
+      size_cache_.resize(queries_->size(), 0.0);
+      size_known_.resize(queries_->size(), false);
+    }
+    if (size_known_[id]) {
+      if (size_hits_ != nullptr) size_hits_->Add();
+      return size_cache_[id];
+    }
   }
+  // Compute outside the lock: the estimator call is the expensive part
+  // and is deterministic, so racing threads agree on the value.
+  const double size = estimator_->EstimateSize(queries_->rect(id));
+  std::lock_guard<std::mutex> lock(size_mu_);
   if (!size_known_[id]) {
     if (size_misses_ != nullptr) size_misses_->Add();
-    size_cache_[id] = estimator_->EstimateSize(queries_->rect(id));
+    size_cache_[id] = size;
     size_known_[id] = true;
   } else if (size_hits_ != nullptr) {
     size_hits_->Add();
@@ -40,13 +51,32 @@ double MergeContext::Size(QueryId id) const {
 }
 
 const GroupStats& MergeContext::Stats(const QueryGroup& group) const {
-  auto it = group_cache_.find(group);
-  if (it != group_cache_.end()) {
-    if (group_hits_ != nullptr) group_hits_->Add();
-    return it->second;
+  GroupShard& shard =
+      group_shards_[GroupHash{}(group) % kGroupShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.cache.find(group);
+    if (it != shard.cache.end()) {
+      if (group_hits_ != nullptr) group_hits_->Add();
+      return it->second;
+    }
   }
+  // Compute outside the lock (procedure merge + estimator calls dominate;
+  // both are deterministic). try_emplace keeps the first insert on a
+  // race, so every caller sees the same node.
+  GroupStats stats = Compute(group);
   if (group_misses_ != nullptr) group_misses_->Add();
-  return group_cache_.emplace(group, Compute(group)).first->second;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.cache.try_emplace(group, stats).first->second;
+}
+
+size_t MergeContext::groups_evaluated() const {
+  size_t total = 0;
+  for (const GroupShard& shard : group_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.cache.size();
+  }
+  return total;
 }
 
 GroupStats MergeContext::Compute(const QueryGroup& group) const {

@@ -1,7 +1,9 @@
 #ifndef QSP_QUERY_MERGE_CONTEXT_H_
 #define QSP_QUERY_MERGE_CONTEXT_H_
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +32,16 @@ struct GroupStats {
 /// size estimator. All lookups are memoized, which is what makes the
 /// exhaustive partition searches of Sections 6.1/8.1 tractable — the same
 /// subgroups recur across thousands of candidate partitions.
+///
+/// Safe for concurrent callers (the qsp::exec parallel planner loops):
+/// the group memo is sharded by group hash, each shard guarded by its own
+/// mutex, and statistics are computed outside the lock — two threads
+/// racing on the same uncached group both compute the (deterministic)
+/// value and the first insert wins. Returned GroupStats references stay
+/// valid for the context's lifetime (unordered_map nodes are stable).
+/// The underlying estimator and procedure must be safe for concurrent
+/// const calls; all estimators in src/stats are (read-only after
+/// construction).
 ///
 /// Does not own the query set, estimator, or procedure; all must outlive
 /// the context.
@@ -63,7 +75,10 @@ class MergeContext {
   double IntersectionSize(QueryId a, QueryId b) const;
 
   /// Number of distinct groups evaluated so far (search-effort metric).
-  size_t groups_evaluated() const { return group_cache_.size(); }
+  /// With parallel callers this can exceed the serial count slightly
+  /// (racing threads may both compute a group before one inserts), so it
+  /// is reported as telemetry, never used in cost decisions.
+  size_t groups_evaluated() const;
 
  private:
   struct GroupHash {
@@ -77,14 +92,24 @@ class MergeContext {
     }
   };
 
+  /// Group-memo shards: the hash picks the shard, the shard's mutex
+  /// guards only its map. 16 shards keep contention negligible even with
+  /// every pool worker missing the cache at once (profit-table build).
+  static constexpr size_t kGroupShards = 16;
+  struct GroupShard {
+    mutable std::mutex mu;
+    std::unordered_map<QueryGroup, GroupStats, GroupHash> cache;
+  };
+
   GroupStats Compute(const QueryGroup& group) const;
 
   const QuerySet* queries_;
   const SizeEstimator* estimator_;
   const MergeProcedure* procedure_;
+  mutable std::mutex size_mu_;  // Guards size_cache_/size_known_.
   mutable std::vector<double> size_cache_;
   mutable std::vector<bool> size_known_;
-  mutable std::unordered_map<QueryGroup, GroupStats, GroupHash> group_cache_;
+  mutable std::array<GroupShard, kGroupShards> group_shards_;
 
   // Memoization hit/miss counters of the default registry (ctx.*).
   // Resolved once at construction — null when telemetry was off then, so

@@ -5,14 +5,31 @@
 
 namespace qsp {
 
+/// Relative tolerance below which a cost delta is treated as
+/// floating-point noise rather than a real improvement.
+inline constexpr double kImprovementEpsilon = 1e-9;
+
+/// The acceptance threshold for a move evaluated at magnitude `scale`.
+/// Always strictly positive (the +1 keeps it meaningful near zero), and
+/// +inf/NaN scales yield a +inf/NaN threshold that rejects everything —
+/// a search fed non-finite costs stalls instead of looping.
+inline double ImprovementThreshold(double scale) {
+  return kImprovementEpsilon * (std::abs(scale) + 1.0);
+}
+
 /// True when `delta` is a real improvement rather than floating-point
 /// noise, judged relative to the magnitude of the quantities it was
 /// derived from. All local-search loops in the library (hill climbing,
 /// directed search, incremental repair) must gate their moves on this:
 /// a cost delta of ~1e-14 can be "positive" in both directions of the
 /// same move, which turns steepest descent into an infinite oscillation.
+///
+/// No-oscillation guarantee: the threshold is strictly positive, so when
+/// IsImprovement(d, s) holds, IsImprovement(-d, s') is false for every
+/// s' — a move and its exact reverse can never both be accepted, and a
+/// NaN delta (e.g. inf - inf costs) is always rejected.
 inline bool IsImprovement(double delta, double scale) {
-  return delta > 1e-9 * (std::abs(scale) + 1.0);
+  return delta > ImprovementThreshold(scale);
 }
 
 }  // namespace qsp

@@ -192,6 +192,102 @@ TEST(RegionTest, IgnoresEmptyInputs) {
   EXPECT_DOUBLE_EQ(region.Area(), 1.0);
 }
 
+// ----------------------------------------------- Region degenerate inputs
+
+TEST(RegionDegenerateTest, ZeroWidthRectContributesNothing) {
+  // A vertical line segment has zero area and must produce no pieces,
+  // alone or mixed with a real rect.
+  auto alone = RectilinearRegion::UnionOf({Rect(2, 0, 2, 5)});
+  EXPECT_TRUE(alone.IsEmpty());
+  EXPECT_EQ(alone.Area(), 0.0);
+
+  auto mixed = RectilinearRegion::UnionOf({Rect(2, 0, 2, 5), Rect(0, 0, 4, 3)});
+  EXPECT_DOUBLE_EQ(mixed.Area(), 12.0);
+  for (const Rect& p : mixed.pieces()) EXPECT_GT(p.Area(), 0.0);
+}
+
+TEST(RegionDegenerateTest, ZeroHeightRectContributesNothing) {
+  // The horizontal-line twin: before the span filter this emitted a
+  // zero-area piece whenever the segment lay outside every taller rect.
+  auto alone = RectilinearRegion::UnionOf({Rect(0, 2, 5, 2)});
+  EXPECT_TRUE(alone.IsEmpty());
+  EXPECT_EQ(alone.Area(), 0.0);
+
+  // Segment sticking out below a real rect: same x-slab, disjoint y-span.
+  auto mixed =
+      RectilinearRegion::UnionOf({Rect(0, 7, 5, 7), Rect(0, 0, 5, 3)});
+  EXPECT_DOUBLE_EQ(mixed.Area(), 15.0);
+  EXPECT_EQ(mixed.pieces().size(), 1u);
+  for (const Rect& p : mixed.pieces()) EXPECT_GT(p.Area(), 0.0);
+}
+
+TEST(RegionDegenerateTest, PointLikeRectContributesNothing) {
+  auto region = RectilinearRegion::UnionOf({Rect(3, 3, 3, 3)});
+  EXPECT_TRUE(region.IsEmpty());
+  auto mixed = RectilinearRegion::UnionOf({Rect(3, 3, 3, 3), Rect(0, 0, 2, 2)});
+  EXPECT_DOUBLE_EQ(mixed.Area(), 4.0);
+}
+
+TEST(RegionDegenerateTest, TouchingEdgesCoalesceWithoutDoubleCount) {
+  // Two rects sharing an edge: area is the plain sum, never negative, and
+  // the shared boundary produces no sliver piece.
+  auto side_by_side =
+      RectilinearRegion::UnionOf({Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)});
+  EXPECT_DOUBLE_EQ(side_by_side.Area(), 8.0);
+  auto stacked = RectilinearRegion::UnionOf({Rect(0, 0, 2, 2), Rect(0, 2, 2, 4)});
+  EXPECT_DOUBLE_EQ(stacked.Area(), 8.0);
+  EXPECT_EQ(stacked.pieces().size(), 1u);
+  // Corner touch only: no overlap to subtract.
+  auto corner = RectilinearRegion::UnionOf({Rect(0, 0, 2, 2), Rect(2, 2, 4, 4)});
+  EXPECT_DOUBLE_EQ(corner.Area(), 8.0);
+}
+
+TEST(RegionDegenerateTest, IntersectionBoundaryValues) {
+  auto a = RectilinearRegion::UnionOf({Rect(0, 0, 4, 4)});
+  // Identical regions intersect to themselves.
+  auto self = a.IntersectWith(a);
+  EXPECT_DOUBLE_EQ(self.Area(), 16.0);
+  // Edge-touching regions share only a zero-area line: the intersection
+  // must be empty (no degenerate piece), not negative.
+  auto touching = RectilinearRegion::UnionOf({Rect(4, 0, 8, 4)});
+  auto line = a.IntersectWith(touching);
+  EXPECT_TRUE(line.IsEmpty());
+  EXPECT_EQ(line.Area(), 0.0);
+  // Fully disjoint regions: empty intersection.
+  auto far = RectilinearRegion::UnionOf({Rect(10, 10, 12, 12)});
+  EXPECT_TRUE(a.IntersectWith(far).IsEmpty());
+}
+
+TEST(RegionDegenerateTest, AreasNeverNegativeOrNaNUnderDegenerateSweep) {
+  // Random mix of real, zero-width, zero-height, and point rects: every
+  // derived area must be finite and non-negative, and pieces positive.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Rect> rects;
+    const int n = static_cast<int>(rng.UniformInt(1, 8));
+    for (int i = 0; i < n; ++i) {
+      double x = rng.UniformDouble(0, 50);
+      double y = rng.UniformDouble(0, 50);
+      double w = rng.UniformDouble(0, 10);
+      double h = rng.UniformDouble(0, 10);
+      switch (rng.UniformInt(0, 3)) {
+        case 0: w = 0; break;
+        case 1: h = 0; break;
+        case 2: w = h = 0; break;
+        default: break;
+      }
+      rects.emplace_back(x, y, x + w, y + h);
+    }
+    auto region = RectilinearRegion::UnionOf(rects);
+    EXPECT_TRUE(std::isfinite(region.Area()));
+    EXPECT_GE(region.Area(), 0.0);
+    for (const Rect& p : region.pieces()) EXPECT_GT(p.Area(), 0.0);
+    auto meet = region.IntersectWith(region);
+    EXPECT_TRUE(std::isfinite(meet.Area()));
+    EXPECT_NEAR(meet.Area(), region.Area(), 1e-9);
+  }
+}
+
 /// Property: the sweep-decomposed union area must match Monte-Carlo
 /// estimation on random rectangle sets.
 class RegionAreaProperty : public ::testing::TestWithParam<uint64_t> {};

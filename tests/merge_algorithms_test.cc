@@ -208,6 +208,47 @@ TEST(PairMergerTest, HeapAndTableVariantsAgree) {
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_NEAR(a->cost, b->cost, 1e-9) << "seed " << seed;
+    // The variants must agree on the partition itself, not just its
+    // cost — equal-benefit ties are broken by stable group ids in both.
+    EXPECT_EQ(a->partition, b->partition) << "seed " << seed;
+  }
+}
+
+TEST(PairMergerTest, TieBrokenBySmallestStableGroupId) {
+  // An equally spaced chain of overlapping queries: by translation
+  // symmetry every adjacent merge has a bit-identical benefit, and only
+  // two of the four tied merges fire before the search stops. Both
+  // profit-table variants must resolve each tie to the smallest live
+  // pair — by stable group id, never by heap pop order or map iteration
+  // artifacts. (The third pick is the regression: after two merges the
+  // heap's pop reorganization has shuffled the tied entries, and a
+  // benefit-only comparator surfaces (5,6) ahead of (4,5), diverging
+  // from the table's ordered scan.)
+  QuerySet qs({Rect(0, 0, 2, 1), Rect(1, 0, 3, 1), Rect(2, 0, 4, 1),
+               Rect(3, 0, 5, 1), Rect(4, 0, 6, 1), Rect(5, 0, 7, 1),
+               Rect(6, 0, 8, 1)});
+  UniformDensityEstimator est(1.0);
+  BoundingRectProcedure proc;
+  MergeContext ctx(&qs, &est, &proc);
+  const CostModel model{1, 1, 0.5, 0};
+
+  // The instance really is a tie: all adjacent merges are equally
+  // beneficial, skip-a-step merges are worse.
+  const double b01 = model.MergeBenefit(ctx, {0}, {1});
+  ASSERT_GT(b01, 0.0);
+  for (QueryId q = 1; q < 6; ++q) {
+    ASSERT_EQ(model.MergeBenefit(ctx, {q}, {q + 1}), b01) << "pair " << q;
+  }
+  ASSERT_LT(model.MergeBenefit(ctx, {0}, {2}), b01);
+
+  for (const bool use_heap : {true, false}) {
+    PairMerger merger(use_heap);
+    auto result = merger.Merge(ctx, model);
+    ASSERT_TRUE(result.ok());
+    const Partition expected = {{0, 1}, {2, 3}, {4, 5}, {6}};
+    EXPECT_EQ(result->partition, expected)
+        << (use_heap ? "heap" : "table")
+        << " variant broke a tie away from the smallest live pair";
   }
 }
 

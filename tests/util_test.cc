@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/bell.h"
+#include "util/float_compare.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/summary.h"
@@ -298,6 +299,77 @@ TEST_P(BellConsistency, AtMostNEqualsBell) {
 
 INSTANTIATE_TEST_SUITE_P(AllSmallN, BellConsistency,
                          ::testing::Range(1, 15));
+
+// --------------------------------------------------------- FloatCompare
+
+TEST(FloatCompareTest, StrictImprovementWithTolerance) {
+  // Exactly at the threshold is NOT an improvement (strict >), just above
+  // it is. This strictness is what makes oscillation impossible.
+  const double scale = 1000.0;
+  const double threshold = ImprovementThreshold(scale);
+  EXPECT_GT(threshold, 0.0);
+  EXPECT_FALSE(IsImprovement(threshold, scale));
+  EXPECT_TRUE(IsImprovement(threshold * 1.01, scale));
+  // Noise-level deltas on a large scale are rejected.
+  EXPECT_FALSE(IsImprovement(1e-10 * scale, scale));
+  // A genuine improvement on the same scale is accepted.
+  EXPECT_TRUE(IsImprovement(0.5, scale));
+}
+
+TEST(FloatCompareTest, ThresholdMeaningfulNearZeroScale) {
+  // The +1 floor keeps the threshold positive even at scale 0, so pure
+  // round-off deltas near a zero-cost state are still rejected.
+  EXPECT_GT(ImprovementThreshold(0.0), 0.0);
+  EXPECT_FALSE(IsImprovement(1e-15, 0.0));
+  EXPECT_TRUE(IsImprovement(1e-3, 0.0));
+  // Threshold is symmetric in the sign of the scale.
+  EXPECT_EQ(ImprovementThreshold(-7.0), ImprovementThreshold(7.0));
+}
+
+TEST(FloatCompareTest, NonFiniteInputsNeverAccept) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A NaN delta (e.g. inf - inf costs) must stall the search, not loop.
+  EXPECT_FALSE(IsImprovement(nan, 10.0));
+  // NaN/inf scales make the threshold unsatisfiable for finite deltas.
+  EXPECT_FALSE(IsImprovement(1.0, nan));
+  EXPECT_FALSE(IsImprovement(1.0, inf));
+  EXPECT_FALSE(IsImprovement(-inf, 10.0));
+}
+
+TEST(FloatCompareTest, MoveAndReverseNeverBothAccepted) {
+  // The no-oscillation theorem: for any delta and any pair of scales the
+  // two directions of the same move are evaluated at, at most one
+  // direction is an improvement.
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double delta = rng.UniformDouble(-1.0, 1.0) *
+                         std::pow(10.0, rng.UniformDouble(-15, 3));
+    const double s1 = rng.UniformDouble(0, 1e6);
+    const double s2 = rng.UniformDouble(0, 1e6);
+    EXPECT_FALSE(IsImprovement(delta, s1) && IsImprovement(-delta, s2))
+        << "delta=" << delta << " s1=" << s1 << " s2=" << s2;
+  }
+}
+
+TEST(FloatCompareTest, NoisyDescentTerminates) {
+  // Two states whose costs differ only by round-off noise: a descent loop
+  // gated on IsImprovement must reject the move in both directions rather
+  // than hopping between them forever.
+  const double cost_a = 1234.5678901234567;
+  const double cost_b = cost_a * (1.0 + 1e-15);  // below the 1e-9 tolerance
+  int state = 0;
+  int moves = 0;
+  for (int step = 0; step < 100; ++step) {
+    const double here = state == 0 ? cost_a : cost_b;
+    const double there = state == 0 ? cost_b : cost_a;
+    const double delta = here - there;  // "gain" from moving
+    if (!IsImprovement(delta, here + there)) break;
+    state = 1 - state;
+    ++moves;
+  }
+  EXPECT_EQ(moves, 0);
+}
 
 }  // namespace
 }  // namespace qsp
