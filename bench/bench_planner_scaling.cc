@@ -1,0 +1,203 @@
+// Planner scaling sweep (DESIGN.md §8): wall time and exact-evaluation
+// counts of the heuristic mergers with the spatial candidate index and
+// admissible benefit bounds on versus off, as |Q| grows. The pruned
+// planner must return the byte-identical partition and cost — that
+// invariant is checked here at every size where both modes run (nonzero
+// exit on violation); the payoff columns are the speedup and the shrink
+// in exact GroupCost evaluations.
+//
+//   evals     = MergeOutcome::candidates — exact profit evaluations the
+//               merger performed (under pruning: bound refinements only).
+//   groups    = MergeContext::groups_evaluated() — distinct groups whose
+//               statistics were computed (the memo's size).
+//
+// `--smoke` runs the small sizes only (CI perf-smoke job).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "merge/clustering_merger.h"
+#include "merge/directed_search_merger.h"
+#include "merge/pair_merger.h"
+#include "obs/run_report.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+struct Cell {
+  std::string merger;
+  size_t n = 0;
+  bool pruning = false;
+  double ms = 0.0;
+  double cost = 0.0;
+  uint64_t evals = 0;
+  size_t groups = 0;
+  Partition partition;
+};
+
+std::unique_ptr<Merger> Make(const std::string& merger, bool pruning) {
+  if (merger == "pair") {
+    return std::make_unique<PairMerger>(/*use_heap=*/true, pruning);
+  }
+  if (merger == "clustering") {
+    return std::make_unique<ClusteringMerger>(/*exact_component_limit=*/10,
+                                              /*tight_bound=*/true, pruning);
+  }
+  return std::make_unique<DirectedSearchMerger>(2, kSeed, pruning);
+}
+
+bool RunCell(const std::string& merger, size_t n, bool pruning, Cell* cell) {
+  bench::Instance inst(bench::Fig16WorkloadConfig(n), kSeed,
+                       bench::kFig16Density);
+  const CostModel model = bench::Fig16CostModel();
+  const auto start = std::chrono::steady_clock::now();
+  auto outcome = Make(merger, pruning)->Merge(*inst.ctx, model);
+  const auto end = std::chrono::steady_clock::now();
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s n=%zu failed: %s\n", merger.c_str(), n,
+                 outcome.status().ToString().c_str());
+    return false;
+  }
+  cell->merger = merger;
+  cell->n = n;
+  cell->pruning = pruning;
+  cell->ms = std::chrono::duration<double, std::milli>(end - start).count();
+  cell->cost = outcome->cost;
+  cell->evals = outcome->candidates;
+  cell->groups = inst.ctx->groups_evaluated();
+  cell->partition = std::move(outcome->partition);
+  return true;
+}
+
+std::string Fmt(double v, const char* format = "%.1f") {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), format, v);
+  return buffer;
+}
+
+int Run(bool smoke) {
+  bench::EnableTelemetryIfReportRequested();
+
+  bench::PrintHeader(
+      "Planner scaling — spatial pruning + admissible benefit bounds",
+      "Wall time and exact-evaluation counts per merger and |Q|, pruning "
+      "off vs on (DESIGN.md 8). The pruned plan must be byte-identical; "
+      "speedup and eval shrink are the payoff. Hybrid workload, uniform "
+      "estimator, Fig. 16 cost constants.");
+
+  // Sizes per merger: the exhaustive baselines are O(n^2) or worse, so
+  // the largest points run pruned-only (that asymmetry is the point).
+  struct Sweep {
+    std::string merger;
+    std::vector<size_t> both;    // run unpruned + pruned, check identity
+    std::vector<size_t> pruned;  // pruned-only (baseline intractable)
+  };
+  std::vector<Sweep> sweeps;
+  if (smoke) {
+    sweeps = {{"pair", {250, 1000}, {}},
+              {"clustering", {250, 1000}, {}},
+              {"directed-search", {250}, {}}};
+  } else {
+    sweeps = {{"pair", {250, 1000, 4000}, {16000}},
+              {"clustering", {250, 1000, 4000}, {}},
+              {"directed-search", {250}, {}}};
+  }
+
+  TablePrinter table({"merger", "|Q|", "pruning", "time ms", "evals",
+                      "groups", "speedup", "evals shrink"});
+  obs::RunReport report("planner_scaling");
+  bool identical = true;
+  double pair_speedup_at_4000 = 0.0;
+  double pair_shrink_at_4000 = 0.0;
+
+  for (const Sweep& sweep : sweeps) {
+    for (const size_t n : sweep.both) {
+      Cell off, on;
+      if (!RunCell(sweep.merger, n, false, &off)) return 1;
+      if (!RunCell(sweep.merger, n, true, &on)) return 1;
+      if (on.partition != off.partition || on.cost != off.cost) {
+        std::fprintf(stderr,
+                     "INVARIANT VIOLATED: pruned plan differs from "
+                     "exhaustive plan (%s, n=%zu)\n",
+                     sweep.merger.c_str(), n);
+        identical = false;
+      }
+      const double speedup = on.ms > 0.0 ? off.ms / on.ms : 0.0;
+      const double shrink =
+          on.evals > 0 ? static_cast<double>(off.evals) /
+                             static_cast<double>(on.evals)
+                       : 0.0;
+      table.AddRow({sweep.merger, std::to_string(n), "off", Fmt(off.ms),
+                    std::to_string(off.evals), std::to_string(off.groups),
+                    "", ""});
+      table.AddRow({sweep.merger, std::to_string(n), "on", Fmt(on.ms),
+                    std::to_string(on.evals), std::to_string(on.groups),
+                    Fmt(speedup, "%.2f"), Fmt(shrink, "%.2f")});
+      if (sweep.merger == "pair" && n == 4000) {
+        pair_speedup_at_4000 = speedup;
+        pair_shrink_at_4000 = shrink;
+      }
+      const std::string key =
+          sweep.merger + ".n" + std::to_string(n);
+      report.AddScalar(key + ".off.ms", off.ms);
+      report.AddScalar(key + ".off.evals", static_cast<double>(off.evals));
+      report.AddScalar(key + ".on.ms", on.ms);
+      report.AddScalar(key + ".on.evals", static_cast<double>(on.evals));
+      report.AddScalar(key + ".speedup", speedup);
+      report.AddScalar(key + ".evals_shrink", shrink);
+    }
+    for (const size_t n : sweep.pruned) {
+      Cell on;
+      if (!RunCell(sweep.merger, n, true, &on)) return 1;
+      table.AddRow({sweep.merger, std::to_string(n), "on", Fmt(on.ms),
+                    std::to_string(on.evals), std::to_string(on.groups),
+                    "", ""});
+      const std::string key =
+          sweep.merger + ".n" + std::to_string(n);
+      report.AddScalar(key + ".on.ms", on.ms);
+      report.AddScalar(key + ".on.evals", static_cast<double>(on.evals));
+    }
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf("Pruned plans identical to exhaustive plans: %s\n",
+              identical ? "yes" : "NO");
+  if (!smoke) {
+    std::printf(
+        "pair @ n=4000: %.2fx faster, %.2fx fewer exact evaluations\n",
+        pair_speedup_at_4000, pair_shrink_at_4000);
+  }
+
+  report.AddText("description",
+                 "Planner wall time and exact-evaluation counts, pruning "
+                 "off vs on, per merger and query-set size.");
+  report.AddBool("plans_identical", identical);
+  report.AddBool("smoke", smoke);
+  if (!smoke) {
+    report.AddScalar("pair_speedup_at_4000", pair_speedup_at_4000);
+    report.AddScalar("pair_evals_shrink_at_4000", pair_shrink_at_4000);
+  }
+  report.AddTable("planner_scaling", table);
+  if (obs::Enabled()) report.AddMetrics(obs::MetricRegistry::Default());
+  bench::WriteReportIfRequested(report);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return qsp::Run(smoke);
+}

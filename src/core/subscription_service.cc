@@ -30,14 +30,16 @@ std::unique_ptr<MergeProcedure> MakeProcedure(ProcedureKind kind) {
   return nullptr;
 }
 
-std::unique_ptr<Merger> MakeMerger(MergerKind kind, uint64_t seed) {
+std::unique_ptr<Merger> MakeMerger(MergerKind kind, uint64_t seed,
+                                   bool pruning) {
   switch (kind) {
     case MergerKind::kPairMerging:
-      return std::make_unique<PairMerger>();
+      return std::make_unique<PairMerger>(/*use_heap=*/true, pruning);
     case MergerKind::kDirectedSearch:
-      return std::make_unique<DirectedSearchMerger>(8, seed);
+      return std::make_unique<DirectedSearchMerger>(8, seed, pruning);
     case MergerKind::kClustering:
-      return std::make_unique<ClusteringMerger>();
+      return std::make_unique<ClusteringMerger>(/*exact_component_limit=*/10,
+                                                /*tight_bound=*/true, pruning);
     case MergerKind::kPartitionExact:
       return std::make_unique<PartitionMerger>();
   }
@@ -120,7 +122,8 @@ Result<PlanReport> SubscriptionService::Plan() {
 
   if (config_.num_channels <= 1) {
     // Basic broadcast model: all clients on one channel, one merge run.
-    const auto merger = MakeMerger(config_.merger, config_.seed);
+    const auto merger =
+        MakeMerger(config_.merger, config_.seed, config_.pruning);
     Result<MergeOutcome> outcome = merger->Merge(*context_, config_.cost_model);
     if (!outcome.ok()) return outcome.status();
     plan_.allocation.push_back(clients_.AllClients());

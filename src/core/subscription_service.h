@@ -84,6 +84,12 @@ struct ServiceConfig {
   /// to a build without the exec subsystem); any value N > 1 must return
   /// the same partitions and costs, only faster (DESIGN.md §7).
   int threads = 1;
+  /// Planner acceleration (DESIGN.md §8): spatial candidate pruning and
+  /// lazy bound→exact profit evaluation in the heuristic mergers. The
+  /// planner's output — partitions, allocations, costs — is bit-identical
+  /// with pruning on or off; only planning time and the number of exact
+  /// group evaluations change. On by default; this is the kill switch.
+  bool pruning = true;
   /// Loss model + recovery budget for the dissemination rounds
   /// (DESIGN.md §6). With the default all-zero policy the simulator runs
   /// the lossless path and every figure stays byte-identical; any nonzero
@@ -167,7 +173,8 @@ class SubscriptionService {
 
 /// Factory helpers shared with benches and tests.
 std::unique_ptr<MergeProcedure> MakeProcedure(ProcedureKind kind);
-std::unique_ptr<Merger> MakeMerger(MergerKind kind, uint64_t seed);
+std::unique_ptr<Merger> MakeMerger(MergerKind kind, uint64_t seed,
+                                   bool pruning = true);
 
 }  // namespace qsp
 

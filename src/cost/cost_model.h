@@ -83,6 +83,32 @@ struct CostModel {
   double CoMergeBenefitBound(double s1, double s2, double r) const {
     return k_m + k_t * (s1 + s2 - r) + k_u * (s1 + s2 - 2.0 * r);
   }
+
+  /// True when the planner's admissible benefit bounds are valid
+  /// (DESIGN.md §8). The bounds lower-bound a merged group's cost by
+  /// dropping the K_U term and under-estimating size(M), which is only
+  /// conservative when every coefficient is non-negative.
+  bool SupportsBenefitBounds() const {
+    return k_m >= 0.0 && k_t >= 0.0 && k_u >= 0.0;
+  }
+
+  /// Lower bound on GroupCost of any group with at least `msgs_lb`
+  /// messages and size at least `size_lb` (irrelevant-data term >= 0 is
+  /// dropped). Requires SupportsBenefitBounds().
+  double MergedCostLowerBound(double size_lb, double msgs_lb = 1.0) const {
+    return k_m * msgs_lb + k_t * size_lb;
+  }
+
+  /// Admissible upper bound on MergeBenefit(a, b):
+  ///   benefit = cost(a) + cost(b) - cost(a ∪ b)
+  ///           <= cost(a) + cost(b) - MergedCostLowerBound(...).
+  /// Requires SupportsBenefitBounds().
+  double BenefitUpperBound(double cost_a, double cost_b,
+                           double merged_size_lb,
+                           double merged_msgs_lb = 1.0) const {
+    return cost_a + cost_b - MergedCostLowerBound(merged_size_lb,
+                                                  merged_msgs_lb);
+  }
 };
 
 }  // namespace qsp

@@ -88,7 +88,16 @@ bool RectilinearRegion::Covers(const Rect& r) const {
 RectilinearRegion RectilinearRegion::IntersectWith(
     const RectilinearRegion& other) const {
   std::vector<Rect> out;
+  // Bounding-box prechecks: disjoint regions exit before the O(|A|·|B|)
+  // loop, and pieces outside the other operand's bounding box skip their
+  // whole inner loop. Big win for the planner, which intersects fills of
+  // far-apart groups constantly.
+  const Rect other_box = other.BoundingBox();
+  if (!BoundingBox().Intersects(other_box)) {
+    return RectilinearRegion(std::move(out));
+  }
   for (const Rect& a : pieces_) {
+    if (!a.Intersects(other_box)) continue;
     for (const Rect& b : other.pieces_) {
       Rect c = a.Intersection(b);
       if (!c.IsEmpty() && c.Area() > 0) out.push_back(c);

@@ -1,0 +1,167 @@
+#include "geom/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+namespace qsp {
+
+SpatialGrid::SpatialGrid(const Rect& bounds, int cells_x, int cells_y)
+    : bounds_(bounds),
+      cells_x_(std::max(1, cells_x)),
+      cells_y_(std::max(1, cells_y)) {
+  if (bounds_.IsEmpty() || !std::isfinite(bounds_.Width()) ||
+      !std::isfinite(bounds_.Height())) {
+    // Degenerate bounds: collapse to one cell; everything is a neighbor.
+    bounds_ = Rect(0.0, 0.0, 0.0, 0.0);
+    cells_x_ = 1;
+    cells_y_ = 1;
+  }
+  cell_w_ = bounds_.Width() / cells_x_;
+  cell_h_ = bounds_.Height() / cells_y_;
+  cells_.resize(static_cast<size_t>(cells_x_) * cells_y_);
+}
+
+SpatialGrid SpatialGrid::ForRects(const std::vector<Rect>& rects) {
+  Rect bounds = Rect::Empty();
+  double extent_x = 0.0, extent_y = 0.0;
+  size_t placed = 0;
+  for (const Rect& r : rects) {
+    if (r.IsEmpty()) continue;
+    bounds = bounds.BoundingUnion(r);
+    extent_x += r.Width();
+    extent_y += r.Height();
+    ++placed;
+  }
+  if (placed == 0) return SpatialGrid(Rect::Empty(), 1, 1);
+  // Cell edge ~ mean rect extent (floored at a sliver of the bounds so
+  // point rects don't explode the cell count), total cells capped at ~4n
+  // to keep memory linear.
+  const double min_w = bounds.Width() / 1024.0;
+  const double min_h = bounds.Height() / 1024.0;
+  double cw = std::max(extent_x / placed, min_w);
+  double ch = std::max(extent_y / placed, min_h);
+  int cx = 1, cy = 1;
+  if (cw > 0.0) cx = static_cast<int>(std::ceil(bounds.Width() / cw));
+  if (ch > 0.0) cy = static_cast<int>(std::ceil(bounds.Height() / ch));
+  const double cap = std::max<double>(4.0 * placed, 16.0);
+  while (static_cast<double>(cx) * cy > cap) {
+    if (cx >= cy) {
+      cx = (cx + 1) / 2;
+    } else {
+      cy = (cy + 1) / 2;
+    }
+  }
+  return SpatialGrid(bounds, cx, cy);
+}
+
+void SpatialGrid::CellOf(double x, double y, int* cx, int* cy) const {
+  // Clamp in double space BEFORE the int cast: query windows may carry
+  // infinite coordinates (an unbounded search reach), and casting a
+  // non-finite double to int is undefined behavior.
+  double fx = 0.0, fy = 0.0;
+  if (cell_w_ > 0.0) fx = std::floor((x - bounds_.x_lo()) / cell_w_);
+  if (cell_h_ > 0.0) fy = std::floor((y - bounds_.y_lo()) / cell_h_);
+  if (!(fx > 0.0)) fx = 0.0;  // also catches NaN
+  if (!(fy > 0.0)) fy = 0.0;
+  fx = std::min(fx, static_cast<double>(cells_x_ - 1));
+  fy = std::min(fy, static_cast<double>(cells_y_ - 1));
+  *cx = static_cast<int>(fx);
+  *cy = static_cast<int>(fy);
+}
+
+void SpatialGrid::CellRange(const Rect& rect, int* cx_lo, int* cy_lo,
+                            int* cx_hi, int* cy_hi) const {
+  CellOf(rect.x_lo(), rect.y_lo(), cx_lo, cy_lo);
+  CellOf(rect.x_hi(), rect.y_hi(), cx_hi, cy_hi);
+}
+
+void SpatialGrid::Insert(uint32_t id, const Rect& rect) {
+  if (rect.IsEmpty()) {
+    boundless_.push_back(id);
+    ++size_;
+    return;
+  }
+  int cx_lo, cy_lo, cx_hi, cy_hi;
+  CellRange(rect, &cx_lo, &cy_lo, &cx_hi, &cy_hi);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      cells_[static_cast<size_t>(cy) * cells_x_ + cx].push_back({id, rect});
+    }
+  }
+  ++size_;
+}
+
+void SpatialGrid::Remove(uint32_t id, const Rect& rect) {
+  if (rect.IsEmpty()) {
+    auto it = std::find(boundless_.begin(), boundless_.end(), id);
+    if (it != boundless_.end()) {
+      boundless_.erase(it);
+      --size_;
+    }
+    return;
+  }
+  int cx_lo, cy_lo, cx_hi, cy_hi;
+  CellRange(rect, &cx_lo, &cy_lo, &cx_hi, &cy_hi);
+  bool found = false;
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      auto& cell = cells_[static_cast<size_t>(cy) * cells_x_ + cx];
+      for (auto it = cell.begin(); it != cell.end(); ++it) {
+        if (it->id == id) {
+          cell.erase(it);
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  if (found) --size_;
+}
+
+void SpatialGrid::Query(const Rect& window, std::vector<uint32_t>* out) const {
+  const size_t base = out->size();
+  out->insert(out->end(), boundless_.begin(), boundless_.end());
+  if (!window.IsEmpty()) {
+    int cx_lo, cy_lo, cx_hi, cy_hi;
+    CellRange(window, &cx_lo, &cy_lo, &cx_hi, &cy_hi);
+    for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+        const auto& cell = cells_[static_cast<size_t>(cy) * cells_x_ + cx];
+        for (const Entry& e : cell) out->push_back(e.id);
+      }
+    }
+  }
+  std::sort(out->begin() + base, out->end());
+  out->erase(std::unique(out->begin() + base, out->end()), out->end());
+}
+
+void SpatialGrid::ForEachNearbyPair(
+    const std::function<void(uint32_t, uint32_t)>& fn) const {
+  for (int cy = 0; cy < cells_y_; ++cy) {
+    for (int cx = 0; cx < cells_x_; ++cx) {
+      const auto& cell = cells_[static_cast<size_t>(cy) * cells_x_ + cx];
+      for (size_t i = 0; i < cell.size(); ++i) {
+        for (size_t j = i + 1; j < cell.size(); ++j) {
+          const Entry& ea = cell[i];
+          const Entry& eb = cell[j];
+          if (ea.id == eb.id) continue;
+          if (!ea.rect.Intersects(eb.rect)) continue;
+          // Emit only from the canonical cell: the one holding the
+          // upper-left corner of the (nonempty) intersection.
+          int px, py;
+          CellOf(std::max(ea.rect.x_lo(), eb.rect.x_lo()),
+                 std::max(ea.rect.y_lo(), eb.rect.y_lo()), &px, &py);
+          if (px != cx || py != cy) continue;
+          if (ea.id < eb.id) {
+            fn(ea.id, eb.id);
+          } else {
+            fn(eb.id, ea.id);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qsp

@@ -1,0 +1,91 @@
+#ifndef QSP_GEOM_SPATIAL_GRID_H_
+#define QSP_GEOM_SPATIAL_GRID_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace qsp {
+
+/// Uniform spatial hash grid over axis-aligned rectangles, the candidate
+/// index behind the planner's subquadratic merge pruning (DESIGN.md §8).
+/// Each inserted id is bucketed into every cell its rectangle overlaps
+/// (clamped to the grid bounds, so rectangles outside the bounds land in
+/// the edge cells and are never lost). Queries return candidate ids by
+/// cell overlap — a superset of the true rectangle overlaps — which is
+/// exactly what a conservative pruning layer needs.
+///
+/// Empty rectangles have no position, so they are kept in a dedicated
+/// "boundless" bucket that every query returns: an id the index cannot
+/// localize must never be pruned by distance.
+///
+/// Deterministic by construction: query results are sorted ascending and
+/// deduplicated, and the pair join emits each pair exactly once in a
+/// well-defined order, so planners seeded from this index make the same
+/// decisions on every run and thread count.
+class SpatialGrid {
+ public:
+  /// Grid of `cells_x` x `cells_y` cells over `bounds` (both clamped to
+  /// >= 1; an empty `bounds` degenerates to a single cell holding
+  /// everything, which stays correct — just unselective).
+  SpatialGrid(const Rect& bounds, int cells_x, int cells_y);
+
+  /// Sizes a grid for a rectangle population: bounds = bounding union,
+  /// cell edge ~ the average rectangle extent (the classic spatial-join
+  /// heuristic: each rect overlaps O(1) cells, each cell holds O(1)
+  /// rects on non-adversarial data), cell count clamped to keep memory
+  /// linear in `rects.size()`.
+  static SpatialGrid ForRects(const std::vector<Rect>& rects);
+
+  /// Inserts `id` under `rect`. Ids may repeat only after Remove.
+  void Insert(uint32_t id, const Rect& rect);
+
+  /// Removes a previously inserted (id, rect) pair; `rect` must equal
+  /// the rectangle given to Insert.
+  void Remove(uint32_t id, const Rect& rect);
+
+  /// Appends to `out` the ids whose cell range overlaps `window`, plus
+  /// every boundless id; result is sorted ascending and deduplicated.
+  /// An empty window still returns the boundless ids.
+  void Query(const Rect& window, std::vector<uint32_t>* out) const;
+
+  /// Calls fn(a, b) with a < b for every pair of inserted ids whose
+  /// rectangles actually intersect (the exact spatial join). Each pair is
+  /// emitted exactly once: of all cells the two rectangles share, only
+  /// the one containing the upper-left corner of their intersection
+  /// emits — the standard constant-memory grid-join deduplication.
+  /// Boundless ids never intersect anything and are never emitted.
+  void ForEachNearbyPair(
+      const std::function<void(uint32_t, uint32_t)>& fn) const;
+
+  int cells_x() const { return cells_x_; }
+  int cells_y() const { return cells_y_; }
+  size_t size() const { return size_; }
+
+ private:
+  struct Entry {
+    uint32_t id;
+    Rect rect;
+  };
+
+  /// Cell coordinates covered by `rect`, clamped into the grid.
+  void CellRange(const Rect& rect, int* cx_lo, int* cy_lo, int* cx_hi,
+                 int* cy_hi) const;
+  /// Cell containing point (x, y), clamped into the grid.
+  void CellOf(double x, double y, int* cx, int* cy) const;
+
+  Rect bounds_;
+  int cells_x_;
+  int cells_y_;
+  double cell_w_;
+  double cell_h_;
+  size_t size_ = 0;
+  std::vector<std::vector<Entry>> cells_;
+  std::vector<uint32_t> boundless_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_GEOM_SPATIAL_GRID_H_

@@ -17,12 +17,23 @@ namespace qsp {
 /// `tight_bound` uses size(q1 ∪ q2) as the lower bound on the merged size
 /// (the paper's refinement via query intersection); otherwise the pair's
 /// actual merged size under the procedure is used.
+///
+/// `pruning` accelerates the O(n^2) mergeable-graph construction
+/// (DESIGN.md §8): intersecting pairs come from a spatial-grid join, and
+/// disjoint pairs are enumerated by ascending size sum only while the
+/// (monotone decreasing) co-merge bound at the disjoint size floor stays
+/// positive — pairs skipped either way are provably non-mergeable, and
+/// the surviving pairs are evaluated with the identical expression, so
+/// the components (and the final partition) are unchanged. Falls back to
+/// the exhaustive scan when the model/procedure cannot justify the
+/// shortcuts.
 class ClusteringMerger : public Merger {
  public:
   explicit ClusteringMerger(int exact_component_limit = 10,
-                            bool tight_bound = true)
+                            bool tight_bound = true, bool pruning = true)
       : exact_component_limit_(exact_component_limit),
-        tight_bound_(tight_bound) {}
+        tight_bound_(tight_bound),
+        pruning_(pruning) {}
 
   std::string name() const override { return "clustering"; }
 
@@ -33,6 +44,7 @@ class ClusteringMerger : public Merger {
  private:
   int exact_component_limit_;
   bool tight_bound_;
+  bool pruning_;
 };
 
 }  // namespace qsp

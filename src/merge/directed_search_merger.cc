@@ -1,10 +1,13 @@
 #include "merge/directed_search_merger.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "geom/spatial_grid.h"
+#include "merge/plan_bounds.h"
 #include "obs/metrics.h"
 #include "util/float_compare.h"
 #include "util/rng.h"
@@ -32,14 +35,25 @@ struct DescentCounters {
   uint64_t iterations = 0;
   uint64_t accepted_merges = 0;
   uint64_t accepted_extracts = 0;
+  /// Merge candidates skipped by the benefit bound (pruned mode only).
+  uint64_t bounds_pruned = 0;
+  /// Merge candidates whose bound survived and were evaluated exactly.
+  uint64_t bounds_refined = 0;
 };
 
 /// Steepest-descent to a local minimum; returns the local cost and the
-/// number of candidate moves evaluated.
+/// number of candidate moves evaluated. A non-null `bounder` prunes the
+/// merge-move scan: a pair whose admissible upper bound cannot beat the
+/// running best delta (or pass the improvement filter) is skipped without
+/// an exact evaluation — it could never have been selected, so the chosen
+/// move (same i-then-ascending-j scan order, same strict-> argmax) is
+/// identical to the exhaustive scan's.
 double Descend(const MergeContext& ctx, const CostModel& model,
                Partition* partition, uint64_t* candidates,
-               DescentCounters* counters) {
+               DescentCounters* counters,
+               const plan::BenefitBounder* bounder) {
   double cost = model.PartitionCost(ctx, *partition);
+  std::vector<uint32_t> cands;
   while (true) {
     ++counters->iterations;
     double best_delta = 0.0;
@@ -49,18 +63,59 @@ double Descend(const MergeContext& ctx, const CostModel& model,
     QueryId best_q = 0;
 
     // Merge moves.
-    for (size_t i = 0; i < partition->size(); ++i) {
-      for (size_t j = i + 1; j < partition->size(); ++j) {
-        ++*candidates;
-        const double delta =
-            model.MergeBenefit(ctx, (*partition)[i], (*partition)[j]);
-        // IsImprovement filters rounding-level "gains" that would make a
-        // merge and its inverse extract move both look beneficial.
-        if (delta > best_delta && IsImprovement(delta, cost)) {
-          best_delta = delta;
-          best_kind = Kind::kMerge;
-          best_i = i;
-          best_j = j;
+    if (bounder != nullptr) {
+      // Summaries and grid are rebuilt per step: every accepted move
+      // reshapes the partition, and group costs are memoized so the
+      // rebuild is O(p) cheap lookups.
+      const size_t p = partition->size();
+      std::vector<plan::GroupSummary> sums(p);
+      std::vector<Rect> bboxes(p);
+      double max_cost = 0.0;
+      for (size_t i = 0; i < p; ++i) {
+        sums[i] = bounder->Summarize((*partition)[i]);
+        bboxes[i] = sums[i].bbox;
+        max_cost = std::max(max_cost, sums[i].cost);
+      }
+      SpatialGrid grid = SpatialGrid::ForRects(bboxes);
+      for (size_t i = 0; i < p; ++i) {
+        grid.Insert(static_cast<uint32_t>(i), bboxes[i]);
+      }
+      for (size_t i = 0; i < p; ++i) {
+        cands.clear();
+        grid.Query(bounder->SearchWindow(sums[i], max_cost), &cands);
+        for (uint32_t j : cands) {
+          if (j <= i) continue;
+          const double ub = bounder->UpperBound(sums[i], sums[j]);
+          if (ub <= best_delta || !IsImprovement(ub, cost)) {
+            ++counters->bounds_pruned;
+            continue;
+          }
+          ++counters->bounds_refined;
+          ++*candidates;
+          const double delta =
+              model.MergeBenefit(ctx, (*partition)[i], (*partition)[j]);
+          if (delta > best_delta && IsImprovement(delta, cost)) {
+            best_delta = delta;
+            best_kind = Kind::kMerge;
+            best_i = i;
+            best_j = j;
+          }
+        }
+      }
+    } else {
+      for (size_t i = 0; i < partition->size(); ++i) {
+        for (size_t j = i + 1; j < partition->size(); ++j) {
+          ++*candidates;
+          const double delta =
+              model.MergeBenefit(ctx, (*partition)[i], (*partition)[j]);
+          // IsImprovement filters rounding-level "gains" that would make
+          // a merge and its inverse extract move both look beneficial.
+          if (delta > best_delta && IsImprovement(delta, cost)) {
+            best_delta = delta;
+            best_kind = Kind::kMerge;
+            best_i = i;
+            best_j = j;
+          }
         }
       }
     }
@@ -124,6 +179,9 @@ Result<MergeOutcome> DirectedSearchMerger::DoMerge(
   // random scatters. All starts are drawn up front from the single seeded
   // stream (the draw order never depends on how descents are scheduled),
   // then the independent descents fan out across the exec pool.
+  const plan::BenefitBounder bounder(ctx, model);
+  const plan::BenefitBounder* bounder_ptr =
+      pruning_ && bounder.enabled() ? &bounder : nullptr;
   Rng rng(seed_);
   const size_t restarts = static_cast<size_t>(restarts_);
   std::vector<Partition> starts(restarts);
@@ -142,7 +200,8 @@ Result<MergeOutcome> DirectedSearchMerger::DoMerge(
         RestartResult result;
         result.partition = std::move(starts[t]);
         result.cost = Descend(ctx, model, &result.partition,
-                              &result.candidates, &result.counters);
+                              &result.candidates, &result.counters,
+                              bounder_ptr);
         return result;
       });
 
@@ -155,6 +214,8 @@ Result<MergeOutcome> DirectedSearchMerger::DoMerge(
     counters.iterations += result.counters.iterations;
     counters.accepted_merges += result.counters.accepted_merges;
     counters.accepted_extracts += result.counters.accepted_extracts;
+    counters.bounds_pruned += result.counters.bounds_pruned;
+    counters.bounds_refined += result.counters.bounds_refined;
     if (result.cost < best.cost) {
       best.cost = result.cost;
       best.partition = std::move(result.partition);
@@ -168,6 +229,8 @@ Result<MergeOutcome> DirectedSearchMerger::DoMerge(
              counters.accepted_merges);
   obs::Count("merge.directed-search.accepted_extracts",
              counters.accepted_extracts);
+  obs::Count("plan.bounds.pruned", counters.bounds_pruned);
+  obs::Count("plan.bounds.refined", counters.bounds_refined);
   CanonicalizePartition(&best.partition);
   best.cost = model.PartitionCost(ctx, best.partition);
   return best;

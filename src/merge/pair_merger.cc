@@ -1,11 +1,14 @@
 #include "merge/pair_merger.h"
 
+#include <algorithm>
 #include <map>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "geom/spatial_grid.h"
+#include "merge/plan_bounds.h"
 #include "obs/metrics.h"
 
 namespace qsp {
@@ -22,6 +25,27 @@ struct ProfitEntry {
     // push order, which is a scheduling artifact — so the heap variant
     // picks the same pair as the table variant's ordered scan and the
     // chosen merge sequence is reproducible run to run.
+    if (benefit != other.benefit) return benefit < other.benefit;
+    if (a != other.a) return a > other.a;
+    return b > other.b;
+  }
+};
+
+/// Pruned-path heap entry: `benefit` is the exact merge benefit when
+/// `exact`, else an admissible upper bound on it. The ordering is the
+/// same as ProfitEntry's, which is what makes lazy refinement exact:
+/// when an exact entry surfaces at the top, every other live pair's
+/// entry — bound or exact — carries a key >= its true benefit, so no
+/// other pair can beat the popped one, and among equal benefits the
+/// stable-id tie-break still ranks the smallest pair first (an
+/// equal-valued bound of a smaller pair would have surfaced and been
+/// refined before this pop).
+struct BoundedEntry {
+  double benefit;
+  size_t a;
+  size_t b;
+  bool exact;
+  bool operator<(const BoundedEntry& other) const {
     if (benefit != other.benefit) return benefit < other.benefit;
     if (a != other.a) return a > other.a;
     return b > other.b;
@@ -49,6 +73,9 @@ std::vector<double> PairMerger::EvaluatePairBenefits(
 MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
                                    const CostModel& model,
                                    Partition start) const {
+  if (pruning_ && model.SupportsBenefitBounds()) {
+    return MergeFromPruned(ctx, model, std::move(start));
+  }
   MergeOutcome outcome;
   uint64_t merges_applied = 0;
   uint64_t stale_heap_pops = 0;
@@ -167,6 +194,148 @@ MergeOutcome PairMerger::MergeFrom(const MergeContext& ctx,
   outcome.cost = model.PartitionCost(ctx, outcome.partition);
   obs::Count("merge.pair-merging.merges_applied", merges_applied);
   obs::Count("merge.pair-merging.stale_heap_pops", stale_heap_pops);
+  return outcome;
+}
+
+MergeOutcome PairMerger::MergeFromPruned(const MergeContext& ctx,
+                                         const CostModel& model,
+                                         Partition start) const {
+  // The accelerated greedy loop (DESIGN.md §8). Differences from the
+  // exhaustive path above, none of which change the output:
+  //  * candidate pairs come from a SpatialGrid over group bounding boxes
+  //    — pairs outside a group's search window provably have a
+  //    non-positive benefit bound, and the exhaustive path never applies
+  //    non-positive merges;
+  //  * the heap holds admissible upper bounds; popping a bound refines
+  //    it to the exact benefit (the identical arithmetic expression the
+  //    exhaustive path evaluates) and re-pushes, so only pairs whose
+  //    bound ever reaches the global top pay an exact GroupCost;
+  //  * refinement is inherently one-at-a-time, so this path does not use
+  //    the exec pool — its output is trivially thread-count-invariant.
+  MergeOutcome outcome;
+  uint64_t merges_applied = 0;
+  uint64_t stale_heap_pops = 0;
+  uint64_t bounds_pruned = 0;
+  uint64_t bounds_refined = 0;
+  const plan::BenefitBounder bounder(ctx, model);
+  std::vector<QueryGroup> groups = std::move(start);
+  std::vector<bool> alive(groups.size(), true);
+  std::vector<double> group_cost(groups.size());
+  std::vector<plan::GroupSummary> summaries(groups.size());
+  double max_cost = 0.0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    summaries[i] = bounder.Summarize(groups[i]);
+    group_cost[i] = summaries[i].cost;
+    max_cost = std::max(max_cost, summaries[i].cost);
+  }
+
+  std::vector<Rect> bboxes(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) bboxes[i] = summaries[i].bbox;
+  SpatialGrid grid = SpatialGrid::ForRects(bboxes);
+  for (size_t i = 0; i < groups.size(); ++i) {
+    grid.Insert(static_cast<uint32_t>(i), bboxes[i]);
+  }
+
+  std::priority_queue<BoundedEntry> heap;
+  size_t live_count = groups.size();
+
+  // Bounds the pairs (i, j) for every live candidate j != i drawn from
+  // i's search window, keeping only j `above` (j > i at seeding, where
+  // the loop covers each unordered pair once from its smaller side; the
+  // fresh group is the largest index, so incremental re-pairing passes
+  // above = false and bounds (j, i) instead). Pairs skipped by the
+  // window or by a non-positive bound are counted against `possible`,
+  // the number of live partners an exhaustive scan would have evaluated.
+  std::vector<uint32_t> cands;
+  auto bound_pairs_of = [&](size_t i, bool above, size_t possible) {
+    cands.clear();
+    grid.Query(bounder.SearchWindow(summaries[i], max_cost), &cands);
+    size_t considered = 0;
+    for (uint32_t j : cands) {
+      if (j == i || !alive[j]) continue;
+      if (above && j < i) continue;
+      ++considered;
+      const size_t lo = std::min<size_t>(i, j);
+      const size_t hi = std::max<size_t>(i, j);
+      const double ub = bounder.UpperBound(summaries[lo], summaries[hi]);
+      if (ub > 0.0) {
+        heap.push({ub, lo, hi, false});
+      } else {
+        ++bounds_pruned;
+      }
+    }
+    bounds_pruned += possible - considered;
+  };
+
+  {
+    // Seed every unordered live pair from its smaller index's window.
+    size_t live_above = live_count;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (!alive[i]) continue;
+      --live_above;
+      bound_pairs_of(i, /*above=*/true, /*possible=*/live_above);
+    }
+  }
+
+  while (true) {
+    size_t best_a = 0, best_b = 0;
+    double best_benefit = 0.0;
+    bool found = false;
+    while (!heap.empty()) {
+      const BoundedEntry top = heap.top();
+      heap.pop();
+      if (!alive[top.a] || !alive[top.b]) {
+        ++stale_heap_pops;
+        continue;
+      }
+      if (!top.exact) {
+        // Refine: the exact expression is the one EvaluatePairBenefits
+        // uses, so the refined value is bit-identical to the exhaustive
+        // table's. Non-positive exact benefits are dropped, exactly as
+        // record_benefit drops them.
+        ++bounds_refined;
+        ++outcome.candidates;
+        const QueryGroup merged = UnionGroups(groups[top.a], groups[top.b]);
+        const double benefit =
+            group_cost[top.a] + group_cost[top.b] - model.GroupCost(ctx, merged);
+        if (benefit > 0.0) heap.push({benefit, top.a, top.b, true});
+        continue;
+      }
+      best_a = top.a;
+      best_b = top.b;
+      best_benefit = top.benefit;
+      found = true;
+      break;
+    }
+    if (!found) break;
+    (void)best_benefit;
+
+    ++merges_applied;
+    QueryGroup merged = UnionGroups(groups[best_a], groups[best_b]);
+    alive[best_a] = false;
+    alive[best_b] = false;
+    grid.Remove(static_cast<uint32_t>(best_a), summaries[best_a].bbox);
+    grid.Remove(static_cast<uint32_t>(best_b), summaries[best_b].bbox);
+    --live_count;
+    const size_t new_index = groups.size();
+    groups.push_back(std::move(merged));
+    alive.push_back(true);
+    summaries.push_back(bounder.Summarize(groups[new_index]));
+    group_cost.push_back(summaries[new_index].cost);
+    max_cost = std::max(max_cost, summaries[new_index].cost);
+    grid.Insert(static_cast<uint32_t>(new_index), summaries[new_index].bbox);
+    bound_pairs_of(new_index, /*above=*/false, /*possible=*/live_count - 1);
+  }
+
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (alive[i]) outcome.partition.push_back(groups[i]);
+  }
+  CanonicalizePartition(&outcome.partition);
+  outcome.cost = model.PartitionCost(ctx, outcome.partition);
+  obs::Count("merge.pair-merging.merges_applied", merges_applied);
+  obs::Count("merge.pair-merging.stale_heap_pops", stale_heap_pops);
+  obs::Count("plan.bounds.pruned", bounds_pruned);
+  obs::Count("plan.bounds.refined", bounds_refined);
   return outcome;
 }
 

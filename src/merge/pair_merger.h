@@ -20,7 +20,17 @@ namespace qsp {
 /// O(|Q|^2) group evaluations; guaranteed optimal for |Q| <= 2.
 class PairMerger : public Merger {
  public:
-  explicit PairMerger(bool use_heap = true) : use_heap_(use_heap) {}
+  /// `pruning` enables the planning-acceleration layer (DESIGN.md §8):
+  /// candidate pairs come from a spatial grid over group bounding boxes,
+  /// the profit heap holds cheap admissible upper bounds, and the exact
+  /// benefit is evaluated lazily only when a bound surfaces at the top of
+  /// the heap. The chosen merge sequence — and therefore the partition
+  /// and cost — is bit-identical to the exhaustive path; only the number
+  /// of exact GroupCost evaluations changes. Automatically falls back to
+  /// the exhaustive path when the cost model or estimator cannot support
+  /// admissible bounds (plan::BenefitBounder::enabled()).
+  explicit PairMerger(bool use_heap = true, bool pruning = true)
+      : use_heap_(use_heap), pruning_(pruning) {}
 
   /// Runs the same greedy loop starting from an arbitrary partition
   /// instead of singletons (used by the directed search and the channel
@@ -47,7 +57,11 @@ class PairMerger : public Merger {
                                const CostModel& model) const override;
 
  private:
+  MergeOutcome MergeFromPruned(const MergeContext& ctx, const CostModel& model,
+                               Partition start) const;
+
   bool use_heap_;
+  bool pruning_;
 };
 
 }  // namespace qsp

@@ -1,0 +1,116 @@
+#include "merge/plan_bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace qsp {
+namespace plan {
+
+BenefitBounder::BenefitBounder(const MergeContext& ctx, const CostModel& model)
+    : ctx_(&ctx), model_(&model), traits_(ctx.procedure().traits()) {
+  enabled_ = model.SupportsBenefitBounds();
+  if (!enabled_) return;
+  if (!traits_.covers_bounding_union || model.k_t <= 0.0) return;
+  const SizeEstimator::DensityFloor floor = ctx.estimator().Floor();
+  if (floor.density <= 0.0 || floor.support.IsEmpty()) return;
+  // The floor only holds inside its support; the distance term measures
+  // bounding unions of query boxes, so the support must contain every
+  // query (otherwise e.g. a histogram that clips to its domain would
+  // under-count a rect hanging outside it, making the "bound" wrong).
+  Rect universe = Rect::Empty();
+  for (QueryId id = 0; id < ctx.num_queries(); ++id) {
+    universe = universe.BoundingUnion(ctx.queries().rect(id));
+  }
+  if (!floor.support.Contains(universe)) return;
+  distance_aware_ = true;
+  density_ = floor.density;
+}
+
+GroupSummary BenefitBounder::Summarize(const QueryGroup& group) const {
+  GroupSummary s;
+  const GroupStats& stats = ctx_->Stats(group);
+  s.cost = model_->GroupCost(stats);
+  s.size = stats.size;
+  s.bbox = Rect::Empty();
+  s.members = static_cast<double>(group.size());
+  for (QueryId id : group) {
+    const double size = ctx_->Size(id);
+    s.size_lb = std::max(s.size_lb, size);
+    s.member_size_sum += size;
+    s.bbox = s.bbox.BoundingUnion(ctx_->queries().rect(id));
+  }
+  return s;
+}
+
+double BenefitBounder::UpperBound(const GroupSummary& a,
+                                  const GroupSummary& b) const {
+  // Merged-size lower bounds, strongest applicable wins. Every candidate
+  // is justified by region coverage under a measure-like estimator:
+  //  * max member singleton: the merged regions cover each member rect;
+  //  * monotone: the merged region of a superset covers each operand's
+  //    merged region, so its size dominates both;
+  //  * disjoint boxes: the parts covering a's members and b's members
+  //    cannot overlap, so sizes add (exactly the operand sizes when the
+  //    procedure is superadditive; else the per-operand max members);
+  //  * density floor: the merged region covers the bounding union of the
+  //    two boxes, which holds at least density * area.
+  double size_lb = std::max(a.size_lb, b.size_lb);
+  if (traits_.merged_size_monotone) {
+    size_lb = std::max(size_lb, std::max(a.size, b.size));
+  }
+  const bool boxes = !a.bbox.IsEmpty() && !b.bbox.IsEmpty();
+  if (boxes && !a.bbox.Intersects(b.bbox)) {
+    size_lb = std::max(size_lb, traits_.superadditive_when_disjoint
+                                    ? a.size + b.size
+                                    : a.size_lb + b.size_lb);
+  }
+  if (distance_aware_ && boxes) {
+    size_lb =
+        std::max(size_lb, density_ * a.bbox.BoundingUnion(b.bbox).Area());
+  }
+  const double slacked_lb = kSlack * size_lb;
+  double ub = model_->BenefitUpperBound(a.cost, b.cost, slacked_lb);
+  // With a single-message procedure the merged region covers every
+  // member rectangle, so each member's relevant share is its full
+  // singleton size and the irrelevant data is exactly
+  //   members * size(M) - member_size_sum >= members * size_lb - sum.
+  // That recovers the K_U term the base bound drops — for a pair of
+  // singletons under bounding rect + a density floor it makes the bound
+  // essentially exact, which is what keeps lazy refinements rare. The
+  // sum is inflated by the slack so floating-point summation-order
+  // differences against the estimator's own accumulation stay on the
+  // admissible side.
+  if (traits_.single_message && model_->k_u > 0.0) {
+    const double irrelevant_lb = (a.members + b.members) * slacked_lb -
+                                 (a.member_size_sum + b.member_size_sum) /
+                                     kSlack;
+    if (irrelevant_lb > 0.0) ub -= model_->k_u * irrelevant_lb;
+  }
+  return ub;
+}
+
+Rect BenefitBounder::SearchWindow(const GroupSummary& g,
+                                  double max_partner_cost) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const Rect everything(-kInf, -kInf, kInf, kInf);
+  if (!distance_aware_ || g.bbox.IsEmpty()) return everything;
+  // A partner p can only have UpperBound > 0 if
+  //   cost_g + cost_p - K_M - K_T * kSlack * density * Area(BU) > 0,
+  // so Area(BU(bbox_g, bbox_p)) must stay under the area cap. A gap of
+  // gx in x forces Area(BU) >= (w + gx) * h, hence gx <= cap/h - w; same
+  // for y. Degenerate extents give no leverage on that axis (the BU's
+  // extent there comes from the unknown partner), so the reach is
+  // unbounded on it.
+  const double budget = g.cost + max_partner_cost - model_->k_m;
+  if (budget <= 0.0) return Rect::Empty();
+  const double cap = budget / (model_->k_t * kSlack * density_);
+  const double w = g.bbox.Width();
+  const double h = g.bbox.Height();
+  const double rx = h > 0.0 ? std::max(0.0, cap / h - w) : kInf;
+  const double ry = w > 0.0 ? std::max(0.0, cap / w - h) : kInf;
+  return Rect(g.bbox.x_lo() - rx, g.bbox.y_lo() - ry, g.bbox.x_hi() + rx,
+              g.bbox.y_hi() + ry);
+}
+
+}  // namespace plan
+}  // namespace qsp

@@ -1,0 +1,98 @@
+#ifndef QSP_MERGE_PLAN_BOUNDS_H_
+#define QSP_MERGE_PLAN_BOUNDS_H_
+
+#include "cost/cost_model.h"
+#include "geom/rect.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "query/query.h"
+
+namespace qsp {
+namespace plan {
+
+/// Cached per-group quantities the admissible benefit bounds consume.
+/// Built once when a group is created (its exact cost is computed then
+/// anyway) and never mutated — merges create fresh groups.
+struct GroupSummary {
+  /// Exact GroupCost of the group (same memoized value the planner uses).
+  double cost = 0.0;
+  /// Exact merged size of the group (GroupStats::size).
+  double size = 0.0;
+  /// Largest member singleton size — a merged-size lower bound that holds
+  /// for every procedure, because each member's rectangle must be covered
+  /// by the merged regions serving it.
+  double size_lb = 0.0;
+  /// Number of member queries, and the sum of their singleton sizes.
+  /// Under a single-message procedure the merged irrelevant data is
+  /// exactly members * size(M) - member_size_sum (the one merged region
+  /// covers every member rectangle, so each member's relevant portion is
+  /// its full singleton size), which turns into an admissible K_U term.
+  double members = 0.0;
+  double member_size_sum = 0.0;
+  /// Bounding box of the member rectangles (empty if all members are).
+  Rect bbox;
+};
+
+/// The planner's admissible benefit bounds (DESIGN.md §8): cheap upper
+/// bounds on MergeBenefit(a, b) from cached group summaries, never below
+/// the exact value, so a lazy bound→exact refinement heap selects exactly
+/// the merges the exhaustive profit table would.
+///
+/// All bounds derive from one inequality: for any merged group M,
+///   GroupCost(M) >= K_M * 1 + K_T * size_lb(M),
+/// with size_lb(M) the best available merged-size lower bound. Which
+/// lower bounds are available depends on the merge procedure's
+/// ProcedureTraits and the estimator's DensityFloor; with none of them
+/// the max-member bound still applies. The floating-point slack kSlack
+/// absorbs rounding differences between the bound's arithmetic and the
+/// estimator's own evaluation order.
+class BenefitBounder {
+ public:
+  BenefitBounder(const MergeContext& ctx, const CostModel& model);
+
+  /// True when the bounds are valid for this cost model (requires
+  /// non-negative K_M, K_T, K_U — see CostModel::SupportsBenefitBounds).
+  /// When false, callers must fall back to exhaustive evaluation.
+  bool enabled() const { return enabled_; }
+
+  /// True when the density-floor distance term is active: the procedure
+  /// covers the bounding union, the estimator guarantees a positive
+  /// density on a support containing every query, and K_T > 0. Only then
+  /// can far-apart pairs be pruned without any evaluation (SearchWindow).
+  bool distance_aware() const { return distance_aware_; }
+
+  /// Builds the summary of a group, computing (or re-reading memoized)
+  /// exact group statistics.
+  GroupSummary Summarize(const QueryGroup& group) const;
+
+  /// Admissible upper bound: UpperBound(a, b) >= MergeBenefit(a, b).
+  double UpperBound(const GroupSummary& a, const GroupSummary& b) const;
+
+  /// Window around g's bounding box outside which no partner group of
+  /// cost <= max_partner_cost can have a positive benefit bound. Returns
+  /// an unbounded rectangle when !distance_aware() or g has no box (no
+  /// pruning possible), and may return an empty rectangle when no partner
+  /// anywhere qualifies. Partners with empty bounding boxes are exempt —
+  /// SpatialGrid keeps those in its boundless bucket, which every query
+  /// returns.
+  Rect SearchWindow(const GroupSummary& g, double max_partner_cost) const;
+
+  /// Multiplier under 1 applied to every merged-size lower bound, so the
+  /// bounds stay admissible under floating-point rounding (the bound and
+  /// the estimator compute "the same" quantity via different operation
+  /// orders; 1e-7 relative slack dwarfs any accumulated ulps).
+  static constexpr double kSlack = 1.0 - 1e-7;
+
+ private:
+  const MergeContext* ctx_;
+  const CostModel* model_;
+  ProcedureTraits traits_;
+  bool enabled_ = false;
+  bool distance_aware_ = false;
+  double density_ = 0.0;
+};
+
+}  // namespace plan
+}  // namespace qsp
+
+#endif  // QSP_MERGE_PLAN_BOUNDS_H_

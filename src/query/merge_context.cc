@@ -26,11 +26,24 @@ MergeContext::MergeContext(const QuerySet* queries,
 double MergeContext::Size(QueryId id) const {
   {
     std::lock_guard<std::mutex> lock(size_mu_);
-    if (id >= size_cache_.size()) {
-      // The query set may have grown (dynamic scenario).
+    if (size_cache_.size() != queries_->size()) {
+      // The query set changed size (dynamic scenario). Growth keeps old
+      // ids valid, so cached entries survive; a shrink reassigns ids, so
+      // every cached size — and every cached group keyed by those ids —
+      // is stale and must go. (Not safe concurrently with planning; the
+      // dynamic scenario mutates between rounds.)
+      if (size_cache_.size() > queries_->size()) {
+        size_cache_.clear();
+        size_known_.clear();
+        for (GroupShard& shard : group_shards_) {
+          std::lock_guard<std::mutex> shard_lock(shard.mu);
+          shard.cache.clear();
+        }
+      }
       size_cache_.resize(queries_->size(), 0.0);
       size_known_.resize(queries_->size(), false);
     }
+    QSP_CHECK(id < size_cache_.size());
     if (size_known_[id]) {
       if (size_hits_ != nullptr) size_hits_->Add();
       return size_cache_[id];
@@ -112,8 +125,23 @@ std::vector<MergedQuery> MergeContext::Merged(const QueryGroup& group) const {
 }
 
 double MergeContext::UnionSize(QueryId a, QueryId b) const {
-  RectilinearRegion region =
-      RectilinearRegion::UnionOf({queries_->rect(a), queries_->rect(b)});
+  const Rect& ra = queries_->rect(a);
+  const Rect& rb = queries_->rect(b);
+  // Fast path for x-separated positive-area rects: UnionOf's slab sweep
+  // provably decomposes such a pair into exactly the two input rects
+  // ordered by x_lo, so we can skip the sweep and hand the estimator the
+  // identical piece list (bit-exact, including the virtual
+  // EstimateRegionSize dispatch). Touching edges (x_hi == x_lo) included.
+  // y-separated-but-x-overlapping pairs get slab cuts, so no fast path.
+  if (ra.Width() > 0 && ra.Height() > 0 && rb.Width() > 0 && rb.Height() > 0) {
+    if (ra.x_hi() <= rb.x_lo()) {
+      return estimator_->EstimateRegionSize({ra, rb});
+    }
+    if (rb.x_hi() <= ra.x_lo()) {
+      return estimator_->EstimateRegionSize({rb, ra});
+    }
+  }
+  RectilinearRegion region = RectilinearRegion::UnionOf({ra, rb});
   return estimator_->EstimateRegionSize(region.pieces());
 }
 

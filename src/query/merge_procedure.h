@@ -20,12 +20,42 @@ struct MergedQuery {
   std::vector<QueryId> members;
 };
 
+/// Structural guarantees a merge procedure makes about its output, used
+/// by the planner's admissible benefit bounds (DESIGN.md §8). Each flag
+/// licenses one lower bound on the merged size/cost of a group; a
+/// procedure that cannot prove a property must leave it false — the
+/// bounds then simply prune less.
+struct ProcedureTraits {
+  /// The procedure always emits exactly one MergedQuery per group
+  /// (|M| contribution is 1), so merging two groups saves exactly
+  /// K_M * (msgs_a + msgs_b - 1).
+  bool single_message = false;
+  /// size(merge(A ∪ B)) >= max(size(merge(A)), size(merge(B))): the
+  /// merged region of a superset group covers the merged region of any
+  /// subset (region monotonicity under an additive estimator).
+  bool merged_size_monotone = false;
+  /// When the bounding boxes of two groups are disjoint,
+  /// size(merge(A ∪ B)) >= size(merge(A)) + size(merge(B)) — their
+  /// merged regions cannot overlap, so sizes add.
+  bool superadditive_when_disjoint = false;
+  /// The merged region covers the bounding box of the group's members,
+  /// so size(merge(G)) >= density_floor * Area(bounding box). This is
+  /// the only distance-aware bound: it is what lets the spatial index
+  /// prune far-apart pairs entirely.
+  bool covers_bounding_union = false;
+};
+
 /// The paper's mrg() function (Section 3.2, Figure 5): combines a group of
 /// queries into one or more merged queries, trading merged-query
 /// complexity, extractor complexity, and irrelevant data.
 class MergeProcedure {
  public:
   virtual ~MergeProcedure() = default;
+
+  /// Structural guarantees for the planner's pruning bounds. The default
+  /// claims nothing, which disables all bound-based pruning for unknown
+  /// procedures (always sound).
+  virtual ProcedureTraits traits() const { return ProcedureTraits{}; }
 
   /// Merges `group` (canonical ids into `queries`). Postconditions:
   ///  * every group member appears in at least one result's `members`;
@@ -46,6 +76,12 @@ class BoundingRectProcedure : public MergeProcedure {
   std::vector<MergedQuery> Merge(const QuerySet& queries,
                                  const QueryGroup& group) const override;
   std::string name() const override { return "bounding-rect"; }
+
+  /// The merged region *is* the bounding union, so every trait holds:
+  /// one message, bbox-monotone, disjoint bboxes => disjoint regions.
+  ProcedureTraits traits() const override {
+    return ProcedureTraits{true, true, true, true};
+  }
 };
 
 /// Figure 5(b): a single rectilinear bounding polygon (orthogonal slab
@@ -56,6 +92,15 @@ class BoundingPolygonProcedure : public MergeProcedure {
   std::vector<MergedQuery> Merge(const QuerySet& queries,
                                  const QueryGroup& group) const override;
   std::string name() const override { return "bounding-polygon"; }
+
+  /// One hull per group; the hull (VerticalFill ∩ HorizontalFill) is
+  /// monotone under set inclusion of the input rects and is contained in
+  /// the bounding box, so disjoint bboxes give disjoint hulls. It does
+  /// NOT cover the bounding box (that is its whole point), so the
+  /// distance-aware bound is off.
+  ProcedureTraits traits() const override {
+    return ProcedureTraits{true, true, true, false};
+  }
 };
 
 /// Figure 5(c): decomposes the union of the group into pieces such that
@@ -68,6 +113,13 @@ class ExactCoverProcedure : public MergeProcedure {
   std::vector<MergedQuery> Merge(const QuerySet& queries,
                                  const QueryGroup& group) const override;
   std::string name() const override { return "exact-cover"; }
+
+  /// The region is the exact union of member rects: monotone and
+  /// additive across disjoint groups, but the piece count (message
+  /// count) varies and the union does not cover the bounding box.
+  ProcedureTraits traits() const override {
+    return ProcedureTraits{false, true, true, false};
+  }
 };
 
 }  // namespace qsp

@@ -53,7 +53,13 @@ Result<ContinuousOutcome> RunContinuous(const ContinuousConfig& config) {
   MergeContext ctx(&queries, &estimator, &procedure);
 
   IncrementalMerger incremental(&ctx, config.cost_model);
-  const PairMerger scratch;
+  // kReplanEachRound is the *naive* baseline the incremental policies are
+  // measured against, so it runs the exhaustive (unpruned) pair merger —
+  // its maintenance_evals then count every pair evaluation, the work a
+  // from-scratch replan fundamentally redoes each round. (The pruned
+  // merger returns the identical partition while evaluating almost
+  // nothing, which would make the baseline meaningless as a yardstick.)
+  const PairMerger scratch(/*use_heap=*/true, /*pruning=*/false);
 
   // Active subscriptions, FIFO for departures.
   std::deque<QueryId> active;

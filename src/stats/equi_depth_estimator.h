@@ -26,12 +26,16 @@ class EquiDepthEstimator : public SizeEstimator {
 
   double EstimateSize(const Rect& rect) const override;
 
- private:
   /// Fraction of tuples with attribute value in [lo, hi], interpolating
-  /// linearly inside buckets.
+  /// linearly inside buckets. `boundaries` are buckets+1 ascending values
+  /// with equal tuple counts between consecutive entries; empty means "no
+  /// data" (fraction 0). Public and static so the edge cases — empty
+  /// table, single bucket, ranges outside the data domain, duplicate
+  /// boundary values — are directly testable.
   static double MarginalFraction(const std::vector<double>& boundaries,
                                  double lo, double hi);
 
+ private:
   double total_;
   double record_size_;
   /// boundaries_[k] has buckets+1 entries; equal tuple counts between

@@ -38,6 +38,15 @@ Rect HistogramEstimator::BucketRect(int bx, int by) const {
               domain_.x_lo() + (bx + 1) * w, domain_.y_lo() + (by + 1) * h);
 }
 
+SizeEstimator::DensityFloor HistogramEstimator::Floor() const {
+  const double cell_area =
+      (domain_.Width() / buckets_x_) * (domain_.Height() / buckets_y_);
+  if (cell_area <= 0.0) return DensityFloor{};
+  double min_count = counts_.empty() ? 0.0 : counts_[0];
+  for (double c : counts_) min_count = std::min(min_count, c);
+  return DensityFloor{min_count * record_size_ / cell_area, domain_};
+}
+
 double HistogramEstimator::EstimateSize(const Rect& rect) const {
   obs::Count("stats.histogram.calls");
   if (rect.IsEmpty()) return 0.0;

@@ -23,6 +23,10 @@ class HistogramEstimator : public SizeEstimator {
 
   double EstimateSize(const Rect& rect) const override;
 
+  /// Floor = the sparsest bucket's density, valid only on the histogram
+  /// domain (EstimateSize clips to it, so no guarantee holds outside).
+  DensityFloor Floor() const override;
+
   int buckets_x() const { return buckets_x_; }
   int buckets_y() const { return buckets_y_; }
 

@@ -1,6 +1,7 @@
 #ifndef QSP_STATS_SIZE_ESTIMATOR_H_
 #define QSP_STATS_SIZE_ESTIMATOR_H_
 
+#include <limits>
 #include <vector>
 
 #include "geom/rect.h"
@@ -15,6 +16,23 @@ namespace qsp {
 class SizeEstimator {
  public:
   virtual ~SizeEstimator() = default;
+
+  /// A guaranteed minimum data density: within `support`, every rectangle
+  /// r satisfies EstimateSize(r) >= density * r.Area(). The planner's
+  /// admissible benefit bounds (DESIGN.md §8) use this to lower-bound the
+  /// size of a merged region from its bounding box alone, which is what
+  /// lets the spatial index prune far-apart pairs without evaluating
+  /// them. density = 0 (the default) soundly disables distance pruning.
+  struct DensityFloor {
+    double density = 0.0;
+    /// Region on which the floor holds. Rectangles not fully contained in
+    /// `support` get no guarantee (estimators typically clip to a domain,
+    /// so outside it the floor would be unsound).
+    Rect support = Rect::Empty();
+  };
+
+  /// The estimator's density floor; the default advertises none.
+  virtual DensityFloor Floor() const { return DensityFloor{}; }
 
   /// Estimated answer size of a single rectangle query.
   virtual double EstimateSize(const Rect& rect) const = 0;
@@ -48,6 +66,13 @@ class UniformDensityEstimator : public SizeEstimator {
   double EstimateSize(const Rect& rect) const override {
     obs::Count("stats.uniform.calls");
     return density_ * rect.Area();
+  }
+
+  /// Uniform density holds everywhere, so the floor is the density itself
+  /// on an unbounded support.
+  DensityFloor Floor() const override {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    return DensityFloor{density_, Rect(-kInf, -kInf, kInf, kInf)};
   }
 
   double density() const { return density_; }

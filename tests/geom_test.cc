@@ -174,6 +174,37 @@ TEST(RegionTest, IntersectionOfRegions) {
   EXPECT_DOUBLE_EQ(c.Area(), 4.0 + 1.0);
 }
 
+TEST(RegionTest, IntersectionOfDisjointRegionsIsEmpty) {
+  // Far-apart regions short-circuit on the bounding-box precheck; the
+  // result must still be exactly empty.
+  auto a = RectilinearRegion::UnionOf({Rect(0, 0, 4, 4), Rect(2, 3, 5, 6)});
+  auto b = RectilinearRegion::UnionOf(
+      {Rect(100, 100, 104, 104), Rect(102, 103, 105, 106)});
+  EXPECT_TRUE(a.IntersectWith(b).IsEmpty());
+  EXPECT_TRUE(b.IntersectWith(a).IsEmpty());
+  EXPECT_TRUE(a.IntersectWith(RectilinearRegion()).IsEmpty());
+  EXPECT_TRUE(RectilinearRegion().IntersectWith(a).IsEmpty());
+}
+
+TEST(RegionTest, IntersectionWithFarAndNearPieces) {
+  // Overlapping bounding boxes, but only one piece of each region
+  // actually meets: the per-piece bbox skip must not drop the real
+  // overlap.
+  auto a = RectilinearRegion::UnionOf({Rect(0, 0, 4, 4), Rect(50, 50, 54, 54)});
+  auto b = RectilinearRegion::UnionOf({Rect(2, 2, 6, 6), Rect(90, 0, 94, 4)});
+  auto c = a.IntersectWith(b);
+  EXPECT_DOUBLE_EQ(c.Area(), 4.0);
+  EXPECT_TRUE(c.Covers(Rect(2, 2, 4, 4)));
+}
+
+TEST(RegionTest, IntersectionTouchingBoundingBoxesHasZeroArea) {
+  // Boxes that only share an edge pass the precheck but intersect in a
+  // zero-area sliver, which decomposes to nothing.
+  auto a = RectilinearRegion::UnionOf({Rect(0, 0, 4, 4)});
+  auto b = RectilinearRegion::UnionOf({Rect(4, 0, 8, 4)});
+  EXPECT_DOUBLE_EQ(a.IntersectWith(b).Area(), 0.0);
+}
+
 TEST(RegionTest, OverlapAreaWithRect) {
   auto region =
       RectilinearRegion::UnionOf({Rect(0, 0, 2, 2), Rect(4, 0, 6, 2)});

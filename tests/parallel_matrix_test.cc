@@ -39,28 +39,35 @@ struct ScopedThreads {
 
 struct MergerCase {
   std::string name;
-  std::unique_ptr<Merger> (*make)(uint64_t seed);
+  std::unique_ptr<Merger> (*make)(uint64_t seed, bool pruning);
 };
 
 const MergerCase kMergers[] = {
     {"pair-heap",
-     [](uint64_t) -> std::unique_ptr<Merger> {
-       return std::make_unique<PairMerger>(/*use_heap=*/true);
+     [](uint64_t, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<PairMerger>(/*use_heap=*/true, pruning);
      }},
     {"pair-table",
-     [](uint64_t) -> std::unique_ptr<Merger> {
-       return std::make_unique<PairMerger>(/*use_heap=*/false);
+     [](uint64_t, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<PairMerger>(/*use_heap=*/false, pruning);
      }},
     {"clustering",
-     [](uint64_t) -> std::unique_ptr<Merger> {
-       return std::make_unique<ClusteringMerger>();
+     [](uint64_t, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<ClusteringMerger>(
+           /*exact_component_limit=*/10, /*tight_bound=*/true, pruning);
      }},
     {"directed-search",
-     [](uint64_t seed) -> std::unique_ptr<Merger> {
-       return std::make_unique<DirectedSearchMerger>(8, seed);
+     [](uint64_t seed, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<DirectedSearchMerger>(8, seed, pruning);
      }},
 };
 
+// Full pruning x threads x merger x seed matrix against one golden cell
+// (threads = 1, pruning off): partitions and costs must be identical in
+// every cell — threads may only change wall time, pruning only planning
+// effort. The candidates counter is thread-invariant too, but its value
+// legitimately differs between the exhaustive and the pruned evaluation
+// strategies, so it is compared against a per-pruning-mode baseline.
 TEST(ParallelMatrixTest, MergersMatchSerialAtAnyThreadCount) {
   const CostModel model = bench::Fig16CostModel();
   for (const MergerCase& mc : kMergers) {
@@ -72,23 +79,30 @@ TEST(ParallelMatrixTest, MergersMatchSerialAtAnyThreadCount) {
         ScopedThreads threads(1);
         bench::Instance inst(bench::Fig16WorkloadConfig(30), seed,
                              bench::kFig16Density);
-        auto outcome = mc.make(seed)->Merge(*inst.ctx, model);
+        auto outcome =
+            mc.make(seed, /*pruning=*/false)->Merge(*inst.ctx, model);
         ASSERT_TRUE(outcome.ok()) << mc.name << " seed " << seed;
         golden = *outcome;
       }
-      for (const int threads : kThreadCounts) {
-        ScopedThreads scoped(threads);
-        bench::Instance inst(bench::Fig16WorkloadConfig(30), seed,
-                             bench::kFig16Density);
-        auto outcome = mc.make(seed)->Merge(*inst.ctx, model);
-        ASSERT_TRUE(outcome.ok())
-            << mc.name << " seed " << seed << " threads " << threads;
-        EXPECT_EQ(outcome->partition, golden.partition)
-            << mc.name << " seed " << seed << " threads " << threads;
-        EXPECT_EQ(outcome->cost, golden.cost)
-            << mc.name << " seed " << seed << " threads " << threads;
-        EXPECT_EQ(outcome->candidates, golden.candidates)
-            << mc.name << " seed " << seed << " threads " << threads;
+      for (const bool pruning : {false, true}) {
+        uint64_t golden_candidates = golden.candidates;
+        for (const int threads : kThreadCounts) {
+          ScopedThreads scoped(threads);
+          bench::Instance inst(bench::Fig16WorkloadConfig(30), seed,
+                               bench::kFig16Density);
+          auto outcome = mc.make(seed, pruning)->Merge(*inst.ctx, model);
+          const std::string label = mc.name + " seed " +
+                                    std::to_string(seed) + " threads " +
+                                    std::to_string(threads) +
+                                    (pruning ? " pruned" : "");
+          ASSERT_TRUE(outcome.ok()) << label;
+          EXPECT_EQ(outcome->partition, golden.partition) << label;
+          EXPECT_EQ(outcome->cost, golden.cost) << label;
+          if (pruning && threads == kThreadCounts[0]) {
+            golden_candidates = outcome->candidates;
+          }
+          EXPECT_EQ(outcome->candidates, golden_candidates) << label;
+        }
       }
     }
   }

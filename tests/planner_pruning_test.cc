@@ -1,0 +1,342 @@
+// Planner pruning golden tests (DESIGN.md §8): the spatial candidate
+// index and the admissible benefit bounds are pure accelerations — with
+// pruning on, every heuristic merger must return the exact partition and
+// cost the exhaustive evaluation returns, for every merge procedure,
+// estimator, and seed. The bounds themselves are checked as properties:
+// UpperBound never falls below the exact MergeBenefit, and no group
+// outside a SearchWindow can carry a positive bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cost/cost_model.h"
+#include "geom/region.h"
+#include "merge/clustering_merger.h"
+#include "merge/directed_search_merger.h"
+#include "merge/pair_merger.h"
+#include "merge/plan_bounds.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "relation/generator.h"
+#include "stats/histogram_estimator.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+constexpr uint64_t kSeeds[] = {11, 22, 33};
+
+// A merging instance with selectable procedure and estimator (the bench
+// Instance hardcodes uniform + bounding-rect; the pruning identity must
+// hold for every combination).
+struct Instance {
+  QuerySet queries;
+  std::optional<Table> table;
+  std::unique_ptr<SizeEstimator> estimator;
+  std::unique_ptr<MergeProcedure> procedure;
+  std::unique_ptr<MergeContext> ctx;
+
+  Instance(size_t n, uint64_t seed, const std::string& procedure_name,
+           const std::string& estimator_name) {
+    const QueryGenConfig config = bench::Fig16WorkloadConfig(n);
+    Rng rng(seed);
+    queries = QuerySet(GenerateQueries(config, &rng));
+    if (procedure_name == "bounding-rect") {
+      procedure = std::make_unique<BoundingRectProcedure>();
+    } else if (procedure_name == "bounding-polygon") {
+      procedure = std::make_unique<BoundingPolygonProcedure>();
+    } else {
+      procedure = std::make_unique<ExactCoverProcedure>();
+    }
+    if (estimator_name == "uniform") {
+      estimator =
+          std::make_unique<UniformDensityEstimator>(bench::kFig16Density);
+    } else {
+      TableGeneratorConfig tconfig;
+      tconfig.domain = config.domain;
+      tconfig.num_objects = 2000;
+      tconfig.clustered_fraction = 0.6;
+      Rng trng(seed + 1);
+      table = GenerateTable(tconfig, &trng);
+      estimator = std::make_unique<HistogramEstimator>(*table, config.domain,
+                                                       16, 16);
+    }
+    ctx = std::make_unique<MergeContext>(&queries, estimator.get(),
+                                         procedure.get());
+  }
+};
+
+struct MergerCase {
+  std::string name;
+  std::unique_ptr<Merger> (*make)(uint64_t seed, bool pruning);
+};
+
+const MergerCase kMergers[] = {
+    {"pair-heap",
+     [](uint64_t, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<PairMerger>(/*use_heap=*/true, pruning);
+     }},
+    {"clustering",
+     [](uint64_t, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<ClusteringMerger>(
+           /*exact_component_limit=*/10, /*tight_bound=*/true, pruning);
+     }},
+    {"clustering-loose",
+     [](uint64_t, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<ClusteringMerger>(
+           /*exact_component_limit=*/10, /*tight_bound=*/false, pruning);
+     }},
+    {"directed-search",
+     [](uint64_t seed, bool pruning) -> std::unique_ptr<Merger> {
+       return std::make_unique<DirectedSearchMerger>(4, seed, pruning);
+     }},
+};
+
+// The tentpole identity: pruning may only change planning effort, never
+// the plan. Partition and cost must match bit-for-bit across every
+// merger x procedure x estimator x seed cell.
+TEST(PlannerPruningTest, PrunedPlanMatchesExhaustivePlan) {
+  const CostModel model = bench::Fig16CostModel();
+  for (const MergerCase& mc : kMergers) {
+    for (const std::string& procedure :
+         {std::string("bounding-rect"), std::string("bounding-polygon"),
+          std::string("exact-cover")}) {
+      for (const std::string& estimator :
+           {std::string("uniform"), std::string("histogram")}) {
+        for (const uint64_t seed : kSeeds) {
+          const std::string label = mc.name + "/" + procedure + "/" +
+                                    estimator + "/seed" +
+                                    std::to_string(seed);
+          Instance exhaustive_inst(30, seed, procedure, estimator);
+          auto exhaustive = mc.make(seed, /*pruning=*/false)
+                                ->Merge(*exhaustive_inst.ctx, model);
+          ASSERT_TRUE(exhaustive.ok()) << label;
+
+          Instance pruned_inst(30, seed, procedure, estimator);
+          auto pruned =
+              mc.make(seed, /*pruning=*/true)->Merge(*pruned_inst.ctx, model);
+          ASSERT_TRUE(pruned.ok()) << label;
+
+          EXPECT_EQ(pruned->partition, exhaustive->partition) << label;
+          EXPECT_EQ(pruned->cost, exhaustive->cost) << label;
+        }
+      }
+    }
+  }
+}
+
+// A cost model with a negative coefficient invalidates the bounds;
+// SupportsBenefitBounds must route such models to the exhaustive path so
+// the plan is still exact (and identical whether pruning is requested).
+TEST(PlannerPruningTest, NegativeCoefficientModelFallsBackToExhaustive) {
+  CostModel model = bench::Fig16CostModel();
+  model.k_u = -1.0;
+  ASSERT_FALSE(model.SupportsBenefitBounds());
+  for (const uint64_t seed : kSeeds) {
+    Instance a(20, seed, "bounding-rect", "uniform");
+    Instance b(20, seed, "bounding-rect", "uniform");
+    auto off = PairMerger(/*use_heap=*/true, /*pruning=*/false)
+                   .Merge(*a.ctx, model);
+    auto on =
+        PairMerger(/*use_heap=*/true, /*pruning=*/true).Merge(*b.ctx, model);
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    EXPECT_EQ(on->partition, off->partition) << "seed " << seed;
+    EXPECT_EQ(on->cost, off->cost) << "seed " << seed;
+    // The fallback path is the exhaustive one, so even the effort metric
+    // matches.
+    EXPECT_EQ(on->candidates, off->candidates) << "seed " << seed;
+  }
+}
+
+// Random disjoint groups drawn from a random partition of 0..n-1.
+std::vector<QueryGroup> RandomGroups(size_t n, size_t blocks, Rng* rng) {
+  std::vector<QueryGroup> groups(blocks);
+  for (size_t i = 0; i < n; ++i) {
+    groups[static_cast<size_t>(
+               rng->UniformInt(0, static_cast<int64_t>(blocks) - 1))]
+        .push_back(static_cast<QueryId>(i));
+  }
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const QueryGroup& g) { return g.empty(); }),
+               groups.end());
+  return groups;
+}
+
+// Admissibility: UpperBound(a, b) >= MergeBenefit(a, b) for random
+// disjoint groups, under every procedure/estimator combination whose
+// traits the bounder exploits differently.
+TEST(PlannerPruningTest, UpperBoundNeverBelowExactBenefit) {
+  const CostModel model = bench::Fig16CostModel();
+  for (const std::string& procedure :
+       {std::string("bounding-rect"), std::string("bounding-polygon"),
+        std::string("exact-cover")}) {
+    for (const std::string& estimator :
+         {std::string("uniform"), std::string("histogram")}) {
+      for (const uint64_t seed : kSeeds) {
+        Instance inst(40, seed, procedure, estimator);
+        const plan::BenefitBounder bounder(*inst.ctx, model);
+        ASSERT_TRUE(bounder.enabled());
+        Rng rng(seed * 7 + 1);
+        const std::vector<QueryGroup> groups = RandomGroups(40, 12, &rng);
+        std::vector<plan::GroupSummary> sums;
+        sums.reserve(groups.size());
+        for (const QueryGroup& g : groups) sums.push_back(bounder.Summarize(g));
+        for (size_t i = 0; i < groups.size(); ++i) {
+          for (size_t j = i + 1; j < groups.size(); ++j) {
+            const double exact =
+                model.MergeBenefit(*inst.ctx, groups[i], groups[j]);
+            const double bound = bounder.UpperBound(sums[i], sums[j]);
+            EXPECT_GE(bound, exact)
+                << procedure << "/" << estimator << " seed " << seed
+                << " pair " << GroupToString(groups[i]) << " + "
+                << GroupToString(groups[j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Window soundness: a partner whose bounding box misses SearchWindow(g)
+// must have a non-positive benefit bound against g (otherwise the grid
+// query would wrongly prune a viable merge).
+TEST(PlannerPruningTest, GroupsOutsideSearchWindowHaveNonPositiveBounds) {
+  const CostModel model = bench::Fig16CostModel();
+  for (const uint64_t seed : kSeeds) {
+    // Uniform estimator + bounding rect: the distance-aware
+    // configuration. High density makes covering empty space expensive,
+    // so the windows are actually selective (the Fig16 density is so low
+    // that every window covers the whole domain and the assertions would
+    // pass vacuously).
+    Rng qrng(seed);
+    std::vector<Rect> rects;
+    for (int i = 0; i < 40; ++i) {
+      const double x = qrng.UniformDouble(0, 950);
+      const double y = qrng.UniformDouble(0, 950);
+      rects.push_back(Rect(x, y, x + qrng.UniformDouble(5, 15),
+                           y + qrng.UniformDouble(5, 15)));
+    }
+    QuerySet queries(rects);
+    UniformDensityEstimator estimator(5.0);
+    BoundingRectProcedure procedure;
+    MergeContext ctx(&queries, &estimator, &procedure);
+    const plan::BenefitBounder bounder(ctx, model);
+    ASSERT_TRUE(bounder.enabled());
+    ASSERT_TRUE(bounder.distance_aware());
+    std::vector<plan::GroupSummary> sums;
+    double max_cost = 0.0;
+    for (QueryId q = 0; q < 40; ++q) {
+      sums.push_back(bounder.Summarize({q}));
+      max_cost = std::max(max_cost, sums.back().cost);
+    }
+    size_t outside_pairs = 0;
+    for (size_t i = 0; i < sums.size(); ++i) {
+      const Rect window = bounder.SearchWindow(sums[i], max_cost);
+      for (size_t j = 0; j < sums.size(); ++j) {
+        if (j == i) continue;
+        if (!sums[j].bbox.IsEmpty() && !window.Intersects(sums[j].bbox)) {
+          ++outside_pairs;
+          EXPECT_LE(bounder.UpperBound(sums[i], sums[j]), 0.0)
+              << "seed " << seed << " pair (" << i << ", " << j << ")";
+        }
+      }
+    }
+    // The workload spreads clusters across the domain, so the window must
+    // actually exclude something for this test to mean anything.
+    EXPECT_GT(outside_pairs, 0u) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------- context fixes
+
+// Regression: a MergeContext watching a QuerySet that *shrank* (ids
+// reassigned) must drop every stale cache instead of serving sizes and
+// group stats of the old queries — or indexing out of range.
+TEST(PlannerPruningTest, MergeContextSurvivesShrinkingQuerySet) {
+  QuerySet queries;
+  for (int i = 0; i < 8; ++i) {
+    const double x = 10.0 * i;
+    queries.Add(Rect(x, 0, x + 4, 4));
+  }
+  UniformDensityEstimator estimator(1.0);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+  EXPECT_DOUBLE_EQ(ctx.Size(7), 16.0);
+  EXPECT_GT(ctx.Stats({6, 7}).size, 0.0);
+
+  // Replace with a smaller set: old id 7 is gone, id 0 is a new rect.
+  queries = QuerySet({Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)});
+  EXPECT_DOUBLE_EQ(ctx.Size(0), 4.0);
+  EXPECT_DOUBLE_EQ(ctx.Size(1), 4.0);
+  // Group stats must be recomputed against the new rects, not replayed
+  // from the old-id cache.
+  const GroupStats& stats = ctx.Stats({0, 1});
+  EXPECT_DOUBLE_EQ(stats.size, 49.0);  // bbox (0,0)-(7,7)
+
+  // Growth after the shrink keeps the fresh entries valid.
+  queries.Add(Rect(100, 100, 101, 101));
+  EXPECT_DOUBLE_EQ(ctx.Size(2), 1.0);
+  EXPECT_DOUBLE_EQ(ctx.Size(0), 4.0);
+}
+
+// The UnionSize fast path (x-separated rects skip the sweep) must be
+// bit-identical to the sweep's decomposition for every arrangement.
+TEST(PlannerPruningTest, UnionSizeMatchesSweepDecomposition) {
+  const std::vector<std::pair<Rect, Rect>> cases = {
+      {Rect(0, 0, 10, 10), Rect(20, 5, 30, 15)},   // x-separated
+      {Rect(20, 5, 30, 15), Rect(0, 0, 10, 10)},   // reversed order
+      {Rect(0, 0, 10, 10), Rect(10, 20, 30, 25)},  // touching in x
+      {Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)},    // overlapping
+      {Rect(0, 0, 10, 10), Rect(2, 20, 8, 30)},    // y-separated only
+      {Rect(0, 0, 10, 10), Rect(0, 0, 10, 10)},    // identical
+  };
+  UniformDensityEstimator estimator(0.5);
+  BoundingRectProcedure procedure;
+  for (const auto& [ra, rb] : cases) {
+    QuerySet queries({ra, rb});
+    MergeContext ctx(&queries, &estimator, &procedure);
+    const RectilinearRegion region = RectilinearRegion::UnionOf({ra, rb});
+    const double expected = estimator.EstimateRegionSize(region.pieces());
+    EXPECT_EQ(ctx.UnionSize(0, 1), expected)
+        << ra.ToString() << " U " << rb.ToString();
+    EXPECT_EQ(ctx.UnionSize(1, 0), expected)
+        << rb.ToString() << " U " << ra.ToString();
+  }
+}
+
+// Property sweep of the same identity over random rects, including
+// degenerate (zero-extent) ones that must take the sweep path.
+TEST(PlannerPruningTest, UnionSizeMatchesSweepOnRandomRects) {
+  UniformDensityEstimator estimator(1.0);
+  BoundingRectProcedure procedure;
+  Rng rng(404);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_rect = [&rng]() {
+      const double x = rng.UniformDouble(0, 90);
+      const double y = rng.UniformDouble(0, 90);
+      const double w = rng.UniformDouble(0, 10);
+      const double h = rng.UniformDouble(0, 10);
+      return Rect(x, y, x + w, y + h);
+    };
+    const Rect ra = random_rect();
+    const Rect rb = random_rect();
+    QuerySet queries({ra, rb});
+    MergeContext ctx(&queries, &estimator, &procedure);
+    const RectilinearRegion region = RectilinearRegion::UnionOf({ra, rb});
+    EXPECT_EQ(ctx.UnionSize(0, 1),
+              estimator.EstimateRegionSize(region.pieces()))
+        << ra.ToString() << " U " << rb.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace qsp

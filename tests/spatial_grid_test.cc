@@ -1,0 +1,193 @@
+// SpatialGrid (geom/spatial_grid.h): the candidate index behind the
+// planner's pruning. Candidate generation must be conservative — Query
+// returns a superset of the true window overlaps, ForEachNearbyPair is
+// the exact spatial join — and deterministic (sorted, deduplicated,
+// each pair once).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "geom/spatial_grid.h"
+#include "util/rng.h"
+
+namespace qsp {
+namespace {
+
+std::vector<Rect> RandomRects(size_t n, uint64_t seed, double empty_prob) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.UniformDouble(0, 1) < empty_prob) {
+      rects.push_back(Rect::Empty());
+      continue;
+    }
+    const double x = rng.UniformDouble(0, 900);
+    const double y = rng.UniformDouble(0, 900);
+    rects.push_back(Rect(x, y, x + rng.UniformDouble(0.1, 120),
+                         y + rng.UniformDouble(0.1, 120)));
+  }
+  return rects;
+}
+
+TEST(SpatialGridTest, QueryReturnsSupersetOfTrueOverlaps) {
+  const std::vector<Rect> rects = RandomRects(300, 7, 0.05);
+  SpatialGrid grid = SpatialGrid::ForRects(rects);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    grid.Insert(static_cast<uint32_t>(i), rects[i]);
+  }
+  EXPECT_EQ(grid.size(), rects.size());
+
+  Rng rng(8);
+  std::vector<uint32_t> out;
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.UniformDouble(-50, 950);
+    const double y = rng.UniformDouble(-50, 950);
+    const Rect window(x, y, x + rng.UniformDouble(1, 300),
+                      y + rng.UniformDouble(1, 300));
+    out.clear();
+    grid.Query(window, &out);
+    // Sorted and deduplicated.
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+    // Superset of the brute-force overlaps; empty rects always present.
+    const std::set<uint32_t> returned(out.begin(), out.end());
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].IsEmpty() || rects[i].Intersects(window)) {
+        EXPECT_TRUE(returned.count(static_cast<uint32_t>(i)))
+            << "id " << i << " missing for window " << window.ToString();
+      }
+    }
+  }
+}
+
+TEST(SpatialGridTest, ForEachNearbyPairIsTheExactJoin) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<Rect> rects = RandomRects(200, seed, 0.1);
+    SpatialGrid grid = SpatialGrid::ForRects(rects);
+    for (size_t i = 0; i < rects.size(); ++i) {
+      grid.Insert(static_cast<uint32_t>(i), rects[i]);
+    }
+    std::set<std::pair<uint32_t, uint32_t>> joined;
+    grid.ForEachNearbyPair([&](uint32_t a, uint32_t b) {
+      EXPECT_LT(a, b);
+      // Exactly once.
+      EXPECT_TRUE(joined.insert({a, b}).second)
+          << "duplicate pair (" << a << ", " << b << ")";
+    });
+    std::set<std::pair<uint32_t, uint32_t>> brute;
+    for (uint32_t i = 0; i < rects.size(); ++i) {
+      for (uint32_t j = i + 1; j < rects.size(); ++j) {
+        if (!rects[i].IsEmpty() && !rects[j].IsEmpty() &&
+            rects[i].Intersects(rects[j])) {
+          brute.insert({i, j});
+        }
+      }
+    }
+    EXPECT_EQ(joined, brute) << "seed " << seed;
+  }
+}
+
+TEST(SpatialGridTest, RemoveDropsIdFromQueriesAndJoin) {
+  SpatialGrid grid(Rect(0, 0, 100, 100), 8, 8);
+  grid.Insert(0, Rect(10, 10, 30, 30));
+  grid.Insert(1, Rect(20, 20, 40, 40));
+  grid.Insert(2, Rect::Empty());
+  EXPECT_EQ(grid.size(), 3u);
+
+  grid.Remove(1, Rect(20, 20, 40, 40));
+  grid.Remove(2, Rect::Empty());
+  EXPECT_EQ(grid.size(), 1u);
+
+  std::vector<uint32_t> out;
+  grid.Query(Rect(0, 0, 100, 100), &out);
+  EXPECT_EQ(out, std::vector<uint32_t>({0}));
+  size_t pairs = 0;
+  grid.ForEachNearbyPair([&](uint32_t, uint32_t) { ++pairs; });
+  EXPECT_EQ(pairs, 0u);
+
+  // Reinsert under a different rect; the id is live again.
+  grid.Insert(1, Rect(25, 25, 35, 35));
+  out.clear();
+  grid.Query(Rect(24, 24, 26, 26), &out);
+  EXPECT_EQ(out, std::vector<uint32_t>({0, 1}));
+}
+
+TEST(SpatialGridTest, OutOfBoundsRectsClampToEdgeCellsAndAreFound) {
+  SpatialGrid grid(Rect(0, 0, 100, 100), 10, 10);
+  grid.Insert(0, Rect(-500, -500, -400, -400));
+  grid.Insert(1, Rect(400, 400, 500, 500));
+  std::vector<uint32_t> out;
+  grid.Query(Rect(-450, -450, -440, -440), &out);
+  EXPECT_TRUE(std::count(out.begin(), out.end(), 0u));
+  out.clear();
+  grid.Query(Rect(440, 440, 450, 450), &out);
+  EXPECT_TRUE(std::count(out.begin(), out.end(), 1u));
+}
+
+TEST(SpatialGridTest, DegenerateBoundsCollapseToOneCell) {
+  SpatialGrid grid(Rect::Empty(), 16, 16);
+  EXPECT_EQ(grid.cells_x(), 1);
+  EXPECT_EQ(grid.cells_y(), 1);
+  grid.Insert(0, Rect(0, 0, 1, 1));
+  grid.Insert(1, Rect(1000, 1000, 1001, 1001));
+  std::vector<uint32_t> out;
+  grid.Query(Rect(500, 500, 501, 501), &out);
+  // One cell holds everything: unselective but never wrong.
+  EXPECT_EQ(out, std::vector<uint32_t>({0, 1}));
+}
+
+TEST(SpatialGridTest, InfiniteAndEmptyWindowsAreSafe) {
+  const std::vector<Rect> rects = RandomRects(50, 9, 0.0);
+  SpatialGrid grid = SpatialGrid::ForRects(rects);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    grid.Insert(static_cast<uint32_t>(i), rects[i]);
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<uint32_t> out;
+  // The unbounded window a non-distance-aware bounder produces.
+  grid.Query(Rect(-kInf, -kInf, kInf, kInf), &out);
+  EXPECT_EQ(out.size(), rects.size());
+  // An empty window returns only boundless ids — here, none.
+  out.clear();
+  grid.Query(Rect::Empty(), &out);
+  EXPECT_TRUE(out.empty());
+  grid.Insert(99, Rect::Empty());
+  grid.Query(Rect::Empty(), &out);
+  EXPECT_EQ(out, std::vector<uint32_t>({99}));
+}
+
+TEST(SpatialGridTest, ForRectsHandlesDegeneratePopulations) {
+  // All empty.
+  {
+    SpatialGrid grid = SpatialGrid::ForRects(
+        {Rect::Empty(), Rect::Empty(), Rect::Empty()});
+    grid.Insert(0, Rect::Empty());
+    std::vector<uint32_t> out;
+    grid.Query(Rect(0, 0, 1, 1), &out);
+    EXPECT_EQ(out, std::vector<uint32_t>({0}));
+  }
+  // No rects at all.
+  {
+    SpatialGrid grid = SpatialGrid::ForRects({});
+    std::vector<uint32_t> out;
+    grid.Query(Rect(0, 0, 1, 1), &out);
+    EXPECT_TRUE(out.empty());
+  }
+  // One point-like rect.
+  {
+    SpatialGrid grid = SpatialGrid::ForRects({Rect(5, 5, 5, 5)});
+    grid.Insert(0, Rect(5, 5, 5, 5));
+    std::vector<uint32_t> out;
+    grid.Query(Rect(4, 4, 6, 6), &out);
+    EXPECT_EQ(out, std::vector<uint32_t>({0}));
+  }
+}
+
+}  // namespace
+}  // namespace qsp

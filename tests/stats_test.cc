@@ -177,6 +177,81 @@ TEST(EquiDepthEstimatorTest, AdaptsToSkewOnOneAxis) {
   EXPECT_NEAR(est.EstimateSize(dense), truth, 0.05 * truth);
 }
 
+// MarginalFraction edge cases, directly on the static helper: empty
+// table (no boundaries), a single bucket, ranges outside the data
+// domain, and duplicate boundary values from repeated data.
+
+TEST(EquiDepthMarginalTest, EmptyBoundariesMeanNoData) {
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction({}, 0.0, 10.0), 0.0);
+}
+
+TEST(EquiDepthMarginalTest, InvertedRangeIsZero) {
+  EXPECT_DOUBLE_EQ(
+      EquiDepthEstimator::MarginalFraction({0.0, 10.0}, 7.0, 3.0), 0.0);
+}
+
+TEST(EquiDepthMarginalTest, SingleBucketInterpolatesLinearly) {
+  const std::vector<double> b = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 0.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 2.5, 7.5), 0.5);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 9.0, 10.0), 0.1);
+}
+
+TEST(EquiDepthMarginalTest, RangesOutsideDomainClampToZeroOrOne) {
+  const std::vector<double> b = {0.0, 10.0};
+  // Entirely below / above the data: nothing there.
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, -5.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 11.0, 20.0), 0.0);
+  // Straddling an edge clamps to the domain.
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, -5.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 5.0, 20.0), 0.5);
+  // Covering everything is everything.
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, -100.0, 100.0),
+                   1.0);
+}
+
+TEST(EquiDepthMarginalTest, DuplicateBoundariesCarryPointMass) {
+  // Heavily repeated value 5 collapses the middle bucket to zero width:
+  // a third of the mass sits exactly at 5 and must be attributed to the
+  // ranges ending there, not double counted or lost.
+  const std::vector<double> b = {0.0, 5.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 0.0, 5.0),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(b, 5.0, 10.0),
+                   1.0 / 3.0);
+  // All mass at one value: only ranges strictly spanning it see it.
+  const std::vector<double> point = {7.0, 7.0};
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(point, 6.0, 8.0),
+                   1.0);
+  EXPECT_DOUBLE_EQ(EquiDepthEstimator::MarginalFraction(point, 7.0, 7.0),
+                   0.0);
+}
+
+TEST(EquiDepthMarginalTest, FractionsStayInUnitIntervalAndMonotone) {
+  // Random boundary vectors (with duplicates) and random ranges: the
+  // fraction is always in [0, 1] and monotone in the range endpoints.
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> b;
+    const int buckets = static_cast<int>(rng.UniformInt(1, 8));
+    double v = rng.UniformDouble(-10, 10);
+    for (int i = 0; i <= buckets; ++i) {
+      b.push_back(v);
+      if (!rng.Bernoulli(0.3)) v += rng.UniformDouble(0, 5);
+    }
+    const double lo = rng.UniformDouble(-15, 15);
+    const double hi = lo + rng.UniformDouble(0, 15);
+    const double f = EquiDepthEstimator::MarginalFraction(b, lo, hi);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    const double wider =
+        EquiDepthEstimator::MarginalFraction(b, lo - 1.0, hi + 1.0);
+    EXPECT_LE(f, wider + 1e-12);
+  }
+}
+
 // ------------------------------------------------------ SamplingEstimator
 
 TEST(SamplingEstimatorTest, FullRateIsExact) {
