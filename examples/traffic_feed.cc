@@ -43,7 +43,8 @@ int main() {
   for (int tick = 1; tick <= 10; ++tick) {
     // Each tick: ~6 new commutes start near a few corridors, ~4 finish.
     for (int i = 0; i < 6; ++i) {
-      const double corridor = 10.0 + 10.0 * rng.UniformInt(0, 3);
+      const double corridor =
+          10.0 + 10.0 * static_cast<double>(rng.UniformInt(0, 3));
       const double cx = rng.Normal(corridor, 3.0);
       const double cy = rng.Normal(30.0, 8.0);
       const double w = rng.UniformDouble(4, 10);

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: top-level .clang-tidy) over every first-party
+# translation unit in the compilation database and fails on any finding
+# (WarningsAsErrors: '*').
+#
+# Usage:
+#   scripts/run_tidy.sh [build-dir]
+#
+# Environment:
+#   QSP_TIDY_BIN       clang-tidy binary to use (default: first of
+#                      clang-tidy, clang-tidy-18..14 found on PATH).
+#   QSP_TIDY_REQUIRED  "1" makes a missing clang-tidy a hard failure.
+#                      Default: skip with a notice and exit 0, so the
+#                      script is safe to call from environments that only
+#                      ship gcc (CI installs clang-tidy explicitly).
+#   QSP_TIDY_JOBS      parallel clang-tidy processes (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+find_tidy() {
+  if [[ -n "${QSP_TIDY_BIN:-}" ]]; then
+    command -v "${QSP_TIDY_BIN}" || true
+    return
+  fi
+  local cand
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      command -v "${cand}"
+      return
+    fi
+  done
+}
+
+tidy_bin="$(find_tidy)"
+if [[ -z "${tidy_bin}" ]]; then
+  if [[ "${QSP_TIDY_REQUIRED:-0}" == "1" ]]; then
+    echo "run_tidy: clang-tidy not found and QSP_TIDY_REQUIRED=1" >&2
+    exit 1
+  fi
+  echo "run_tidy: clang-tidy not found on PATH; skipping (set" \
+       "QSP_TIDY_REQUIRED=1 to make this an error)" >&2
+  exit 0
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_tidy: ${db} missing; configuring ${build_dir}" >&2
+  cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [[ ! -f "${db}" ]]; then
+  echo "run_tidy: failed to produce ${db}" >&2
+  exit 1
+fi
+
+# First-party TUs only: the database also holds third-party sources
+# (e.g. googletest) that are not ours to lint.
+mapfile -t sources < <(
+  git ls-files 'src/**/*.cc' 'tools/**/*.cc' 'bench/*.cc' 'tests/*.cc' \
+               'examples/*.cc'
+)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run_tidy: no sources found" >&2
+  exit 1
+fi
+
+jobs="${QSP_TIDY_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+echo "run_tidy: ${tidy_bin} over ${#sources[@]} file(s), -j${jobs}" >&2
+
+status=0
+printf '%s\n' "${sources[@]}" |
+  xargs -P "${jobs}" -n 1 -- "${tidy_bin}" -p "${build_dir}" --quiet ||
+  status=$?
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_tidy: findings above must be fixed (or NOLINT'd with a" \
+       "reason per DESIGN.md §9)" >&2
+  exit 1
+fi
+echo "run_tidy: clean" >&2

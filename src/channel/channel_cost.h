@@ -12,6 +12,7 @@
 #include "merge/merger.h"
 #include "merge/pair_merger.h"
 #include "query/merge_context.h"
+#include "util/thread_annotations.h"
 
 namespace qsp {
 
@@ -73,8 +74,9 @@ class ChannelCostEvaluator {
   CostModel model_;
   const ClientSet* clients_;
   PairMerger merger_;
-  mutable std::mutex mu_;  // Guards cache_.
-  mutable std::unordered_map<std::vector<ClientId>, double, VecHash> cache_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::vector<ClientId>, double, VecHash> cache_
+      QSP_GUARDED_BY(mu_);
   mutable std::atomic<uint64_t> evaluations_{0};
 };
 

@@ -40,47 +40,47 @@ struct CostModel {
   /// Derives the aggregate constants from the low-level proportionality
   /// constants of Section 4 for the single-channel broadcast model:
   /// k6 * num_clients is folded into K_M and k_check stays 0.
-  static CostModel FromComponents(double k1, double k2, double k3, double k4,
+  [[nodiscard]] static CostModel FromComponents(double k1, double k2, double k3, double k4,
                                   double k5, double k6, int num_clients);
 
   /// Same derivation for the multi-channel model of Section 7: k6 is kept
   /// in k_check (charged per client actually listening to the channel)
   /// instead of being folded into K_M with a global client count.
-  static CostModel FromComponentsMultiChannel(double k1, double k2, double k3,
+  [[nodiscard]] static CostModel FromComponentsMultiChannel(double k1, double k2, double k3,
                                               double k4, double k5,
                                               double k6);
 
   /// Cost contribution of one merged group M_i.
-  double GroupCost(const MergeContext& ctx, const QueryGroup& group) const;
+  [[nodiscard]] double GroupCost(const MergeContext& ctx, const QueryGroup& group) const;
 
   /// Cost contribution given precomputed group statistics.
-  double GroupCost(const GroupStats& stats) const {
+  [[nodiscard]] double GroupCost(const GroupStats& stats) const {
     return k_m * stats.messages + k_t * stats.size + k_u * stats.irrelevant;
   }
 
   /// Cost of a full candidate solution M.
-  double PartitionCost(const MergeContext& ctx,
+  [[nodiscard]] double PartitionCost(const MergeContext& ctx,
                        const Partition& partition) const;
 
   /// Cost of answering every query separately (the paper's Cost_initial).
-  double InitialCost(const MergeContext& ctx) const;
+  [[nodiscard]] double InitialCost(const MergeContext& ctx) const;
 
   /// Cost_old - Cost_new of replacing groups `a` and `b` with their union
   /// (Section 6.2.1). Positive values mean the merge is beneficial.
-  double MergeBenefit(const MergeContext& ctx, const QueryGroup& a,
+  [[nodiscard]] double MergeBenefit(const MergeContext& ctx, const QueryGroup& a,
                       const QueryGroup& b) const;
 
   /// The 2-query decision rule of Section 5.1: it is beneficial to merge
   /// q1 and q2 (sizes s1, s2; merged size s3) iff
   ///   K_M + K_T*(s1 + s2 - s3) + K_U*(s1 + s2 - 2*s3) > 0.
-  bool TwoQueryMergeBeneficial(double s1, double s2, double s3) const;
+  [[nodiscard]] bool TwoQueryMergeBeneficial(double s1, double s2, double s3) const;
 
   /// Clustering pre-filter (Section 6.3): an optimistic upper bound on the
   /// benefit of ever placing q1 and q2 in the same merged group. `r` is a
   /// lower bound on any merged size containing both (the pair's merged
   /// size, or — tighter — the size of their exact union). When the result
   /// is <= 0 the pair can be separated into different clusters.
-  double CoMergeBenefitBound(double s1, double s2, double r) const {
+  [[nodiscard]] double CoMergeBenefitBound(double s1, double s2, double r) const {
     return k_m + k_t * (s1 + s2 - r) + k_u * (s1 + s2 - 2.0 * r);
   }
 
@@ -88,14 +88,14 @@ struct CostModel {
   /// (DESIGN.md §8). The bounds lower-bound a merged group's cost by
   /// dropping the K_U term and under-estimating size(M), which is only
   /// conservative when every coefficient is non-negative.
-  bool SupportsBenefitBounds() const {
+  [[nodiscard]] bool SupportsBenefitBounds() const {
     return k_m >= 0.0 && k_t >= 0.0 && k_u >= 0.0;
   }
 
   /// Lower bound on GroupCost of any group with at least `msgs_lb`
   /// messages and size at least `size_lb` (irrelevant-data term >= 0 is
   /// dropped). Requires SupportsBenefitBounds().
-  double MergedCostLowerBound(double size_lb, double msgs_lb = 1.0) const {
+  [[nodiscard]] double MergedCostLowerBound(double size_lb, double msgs_lb = 1.0) const {
     return k_m * msgs_lb + k_t * size_lb;
   }
 
@@ -103,7 +103,7 @@ struct CostModel {
   ///   benefit = cost(a) + cost(b) - cost(a ∪ b)
   ///           <= cost(a) + cost(b) - MergedCostLowerBound(...).
   /// Requires SupportsBenefitBounds().
-  double BenefitUpperBound(double cost_a, double cost_b,
+  [[nodiscard]] double BenefitUpperBound(double cost_a, double cost_b,
                            double merged_size_lb,
                            double merged_msgs_lb = 1.0) const {
     return cost_a + cost_b - MergedCostLowerBound(merged_size_lb,

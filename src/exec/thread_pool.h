@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace qsp {
 namespace exec {
 
@@ -53,16 +55,21 @@ class ThreadPool {
  private:
   struct Region;  // One ParallelFor's shared state.
 
-  void WorkerLoop();
+  // Suppressed from the thread-safety analysis: the worker loop hands
+  // mu_ back and forth through a condition-variable wait predicate and
+  // an explicit unlock/relock around Drain(), a handoff the analysis
+  // cannot follow (DESIGN.md §9). The lock discipline is covered by the
+  // TSan CI job instead.
+  void WorkerLoop() QSP_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
-  // Guarded by mu_; non-null while a region runs. shared_ptr so a worker
-  // waking after completion still dereferences valid memory.
-  std::shared_ptr<Region> region_;
-  uint64_t region_seq_ = 0;  // Guarded by mu_.
-  bool shutdown_ = false;    // Guarded by mu_.
+  // Non-null while a region runs. shared_ptr so a worker waking after
+  // completion still dereferences valid memory.
+  std::shared_ptr<Region> region_ QSP_GUARDED_BY(mu_);
+  uint64_t region_seq_ QSP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ QSP_GUARDED_BY(mu_) = false;
 };
 
 /// ------------------------------------------------------- default executor

@@ -39,12 +39,13 @@ SpatialGrid SpatialGrid::ForRects(const std::vector<Rect>& rects) {
   // to keep memory linear.
   const double min_w = bounds.Width() / 1024.0;
   const double min_h = bounds.Height() / 1024.0;
-  double cw = std::max(extent_x / placed, min_w);
-  double ch = std::max(extent_y / placed, min_h);
+  const double placed_d = static_cast<double>(placed);
+  double cw = std::max(extent_x / placed_d, min_w);
+  double ch = std::max(extent_y / placed_d, min_h);
   int cx = 1, cy = 1;
   if (cw > 0.0) cx = static_cast<int>(std::ceil(bounds.Width() / cw));
   if (ch > 0.0) cy = static_cast<int>(std::ceil(bounds.Height() / ch));
-  const double cap = std::max<double>(4.0 * placed, 16.0);
+  const double cap = std::max(4.0 * placed_d, 16.0);
   while (static_cast<double>(cx) * cy > cap) {
     if (cx >= cy) {
       cx = (cx + 1) / 2;

@@ -53,20 +53,20 @@ class BenefitBounder {
   /// True when the bounds are valid for this cost model (requires
   /// non-negative K_M, K_T, K_U — see CostModel::SupportsBenefitBounds).
   /// When false, callers must fall back to exhaustive evaluation.
-  bool enabled() const { return enabled_; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
 
   /// True when the density-floor distance term is active: the procedure
   /// covers the bounding union, the estimator guarantees a positive
   /// density on a support containing every query, and K_T > 0. Only then
   /// can far-apart pairs be pruned without any evaluation (SearchWindow).
-  bool distance_aware() const { return distance_aware_; }
+  [[nodiscard]] bool distance_aware() const { return distance_aware_; }
 
   /// Builds the summary of a group, computing (or re-reading memoized)
   /// exact group statistics.
-  GroupSummary Summarize(const QueryGroup& group) const;
+  [[nodiscard]] GroupSummary Summarize(const QueryGroup& group) const;
 
   /// Admissible upper bound: UpperBound(a, b) >= MergeBenefit(a, b).
-  double UpperBound(const GroupSummary& a, const GroupSummary& b) const;
+  [[nodiscard]] double UpperBound(const GroupSummary& a, const GroupSummary& b) const;
 
   /// Window around g's bounding box outside which no partner group of
   /// cost <= max_partner_cost can have a positive benefit bound. Returns
@@ -75,7 +75,7 @@ class BenefitBounder {
   /// anywhere qualifies. Partners with empty bounding boxes are exempt —
   /// SpatialGrid keeps those in its boundless bucket, which every query
   /// returns.
-  Rect SearchWindow(const GroupSummary& g, double max_partner_cost) const;
+  [[nodiscard]] Rect SearchWindow(const GroupSummary& g, double max_partner_cost) const;
 
   /// Multiplier under 1 applied to every merged-size lower bound, so the
   /// bounds stay admissible under floating-point rounding (the bound and

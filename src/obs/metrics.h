@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace qsp {
 namespace obs {
 
@@ -146,11 +148,11 @@ class Histogram {
 
  private:
   mutable std::mutex mu_;
-  std::array<uint64_t, kNumBuckets> buckets_{};
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::array<uint64_t, kNumBuckets> buckets_ QSP_GUARDED_BY(mu_){};
+  uint64_t count_ QSP_GUARDED_BY(mu_) = 0;
+  double sum_ QSP_GUARDED_BY(mu_) = 0.0;
+  double min_ QSP_GUARDED_BY(mu_) = 0.0;
+  double max_ QSP_GUARDED_BY(mu_) = 0.0;
 };
 
 /// One exported metric, for snapshot-style consumers.
@@ -209,9 +211,12 @@ class MetricRegistry {
   /// Guards the maps (not the metrics inside them).
   mutable std::mutex mu_;
   // Ordered maps so every export is deterministically sorted by name.
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  // The mutex guards the maps only; the metric objects inside the nodes
+  // synchronize themselves (sharded atomics / their own mutex).
+  std::map<std::string, Counter, std::less<>> counters_ QSP_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ QSP_GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      QSP_GUARDED_BY(mu_);
 };
 
 /// --------------------------------------------- convenience entry points

@@ -11,6 +11,7 @@
 #include "query/merge_procedure.h"
 #include "query/query.h"
 #include "stats/size_estimator.h"
+#include "util/thread_annotations.h"
 
 namespace qsp {
 
@@ -98,7 +99,8 @@ class MergeContext {
   static constexpr size_t kGroupShards = 16;
   struct GroupShard {
     mutable std::mutex mu;
-    std::unordered_map<QueryGroup, GroupStats, GroupHash> cache;
+    std::unordered_map<QueryGroup, GroupStats, GroupHash> cache
+        QSP_GUARDED_BY(mu);
   };
 
   GroupStats Compute(const QueryGroup& group) const;
@@ -106,9 +108,9 @@ class MergeContext {
   const QuerySet* queries_;
   const SizeEstimator* estimator_;
   const MergeProcedure* procedure_;
-  mutable std::mutex size_mu_;  // Guards size_cache_/size_known_.
-  mutable std::vector<double> size_cache_;
-  mutable std::vector<bool> size_known_;
+  mutable std::mutex size_mu_;
+  mutable std::vector<double> size_cache_ QSP_GUARDED_BY(size_mu_);
+  mutable std::vector<bool> size_known_ QSP_GUARDED_BY(size_mu_);
   mutable std::array<GroupShard, kGroupShards> group_shards_;
 
   // Memoization hit/miss counters of the default registry (ctx.*).

@@ -23,7 +23,13 @@ enum class StatusCode {
 
 /// A cheap, copyable success-or-error value. OK statuses carry no
 /// allocation; error statuses carry a code and a human-readable message.
-class Status {
+///
+/// The type is [[nodiscard]]: a call that returns a Status and drops it
+/// on the floor is a compile error under the project's -Werror wall.
+/// When discarding really is correct (a best-effort cleanup path), say so
+/// explicitly with QSP_IGNORE_RESULT below — a bare (void) cast is
+/// rejected by tools/qsp_lint.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -52,8 +58,8 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// Renders "OK" or "<CODE>: <message>" for logs and test failures.
@@ -66,9 +72,9 @@ class Status {
 
 /// Either a value of type T or an error Status. Accessors die on misuse
 /// (value() on an error), which keeps call sites honest in a library that
-/// does not throw.
+/// does not throw. [[nodiscard]] for the same reason Status is.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error status, so functions can
   /// `return x;` or `return Status::InvalidArgument(...)`.
@@ -80,7 +86,7 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
 
   const Status& status() const {
     static const Status kOk;
@@ -116,6 +122,14 @@ class Result {
 
   std::variant<T, Status> data_;
 };
+
+/// Deliberately discards a [[nodiscard]] Status/Result. The marker the
+/// static-analysis layer requires at intentional-drop sites: the compiler
+/// wall rejects a silently dropped value, and tools/qsp_lint rejects a
+/// bare (void) cast of one — this macro is the single sanctioned spelling,
+/// so every intentional drop is greppable. Pair it with a comment saying
+/// why dropping is correct.
+#define QSP_IGNORE_RESULT(expr) static_cast<void>(expr)
 
 /// Propagates an error status to the caller.
 #define QSP_RETURN_IF_ERROR(expr)              \

@@ -1,0 +1,26 @@
+// qsp_lint fixture: every way to silently drop a Status/Result.
+// Not compiled — linted by tests/lint_test.cc, which asserts the exact
+// lines below fire. Keep line numbers in sync with the test.
+#include <string>
+
+namespace qsp {
+
+class Status {};
+template <typename T>
+class Result {};
+
+Status SaveCheckpoint(const std::string& path);
+Result<int> FetchRowCount();
+
+struct Store {
+  Status Flush();
+};
+
+void Caller(Store& store) {
+  SaveCheckpoint("plan.bin");             // line 20: bare drop
+  store.Flush();                          // line 21: member-call drop
+  (void)SaveCheckpoint("plan.bin");       // line 22: raw void cast
+  static_cast<void>(FetchRowCount());     // line 23: raw static_cast
+}
+
+}  // namespace qsp

@@ -1,0 +1,14 @@
+// qsp_lint fixture: stdout writes from library code. Linted as
+// FileKind::kLibrary; keep line numbers in sync with the test.
+#include <cstdio>
+#include <iostream>
+
+namespace qsp {
+
+void ReportProgress(int round) {
+  std::cout << "round " << round << "\n";   // line 9
+  printf("round %d\n", round);              // line 10
+  puts("done");                             // line 11
+}
+
+}  // namespace qsp

@@ -1,0 +1,22 @@
+// qsp_lint fixture: nondeterminism sources in library code. Linted as
+// FileKind::kLibrary by tests/lint_test.cc; keep line numbers in sync.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace qsp {
+
+double JitterSeed() {
+  std::random_device entropy;                          // line 11
+  return static_cast<double>(entropy() + rand());      // line 12
+}
+
+long StampPlan() {
+  const long stamp = time(nullptr);                    // line 16
+  auto t0 = std::chrono::steady_clock::now();          // line 17
+  (void)t0;
+  return stamp;
+}
+
+}  // namespace qsp

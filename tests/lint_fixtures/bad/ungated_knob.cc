@@ -1,0 +1,30 @@
+// qsp_lint fixture: ServiceConfig feature knobs consumed without their
+// gates. Linted as FileKind::kLibrary with a non-core path; keep line
+// numbers in sync with the test.
+
+namespace qsp {
+
+struct FaultPolicy {
+  double drop_rate = 0.0;
+  int max_retx = 0;
+};
+
+struct ServiceConfig {
+  FaultPolicy fault;
+  bool telemetry = false;
+  bool pruning = true;
+};
+
+double LossBudget(const ServiceConfig& config) {
+  return config.fault.drop_rate * config.fault.max_retx;  // line 19 (x2)
+}
+
+bool ShouldTrace(const ServiceConfig& config) {
+  return config.telemetry;                                // line 23
+}
+
+bool UsePruning(const ServiceConfig& config) {
+  return config.pruning;                                  // line 27
+}
+
+}  // namespace qsp

@@ -1,0 +1,25 @@
+// qsp_lint fixture: planner decisions fed by unordered iteration order.
+// Linted as FileKind::kLibrary; keep line numbers in sync with the test.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace qsp {
+
+struct Planner {
+  std::unordered_map<int, double> benefit_cache_;
+  std::unordered_set<int> frontier_;
+
+  std::vector<int> PickOrder() const {
+    std::vector<int> order;
+    for (const auto& entry : benefit_cache_) {        // line 15
+      order.push_back(entry.first);
+    }
+    for (int id : frontier_) {                        // line 18
+      order.push_back(id);
+    }
+    return order;
+  }
+};
+
+}  // namespace qsp

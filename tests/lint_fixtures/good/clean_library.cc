@@ -1,0 +1,64 @@
+// qsp_lint fixture: library code that exercises the patterns next door
+// in bad/ the *right* way. tests/lint_test.cc asserts zero findings.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qsp {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+template <typename T>
+class Result {};
+
+#define QSP_IGNORE_RESULT(expr) static_cast<void>(expr)
+
+Status SaveCheckpoint(const std::string& path);
+Result<int> FetchRowCount();
+
+struct FaultPolicy {
+  double drop_rate = 0.0;
+  bool Engaged() const { return drop_rate > 0.0; }
+};
+
+struct ServiceConfig {
+  FaultPolicy fault;
+};
+
+void Caller() {
+  // Handled result: fine.
+  const Status status = SaveCheckpoint("plan.bin");
+  if (!status.ok()) {
+    std::fprintf(stderr, "checkpoint failed\n");  // stderr is allowed
+  }
+  // Sanctioned drop: best-effort persistence, failure already logged.
+  QSP_IGNORE_RESULT(SaveCheckpoint("plan.bak"));
+}
+
+double GatedLossBudget(const ServiceConfig& config) {
+  // Knob read behind its gate: fine.
+  if (!config.fault.Engaged()) return 0.0;
+  return config.fault.drop_rate;
+}
+
+void ConfigureFault(ServiceConfig& config) {
+  config.fault.drop_rate = 0.25;  // writes configure, never gated
+}
+
+std::vector<int> DeterministicOrder(
+    const std::unordered_map<int, double>& weights) {
+  // Unordered lookups are fine; only iteration order is banned. Feed
+  // decisions through an ordered copy.
+  std::map<int, double> sorted(weights.begin(), weights.end());
+  std::vector<int> order;
+  for (const auto& entry : sorted) {
+    order.push_back(entry.first);
+  }
+  return order;
+}
+
+}  // namespace qsp

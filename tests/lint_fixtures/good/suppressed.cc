@@ -1,0 +1,15 @@
+// qsp_lint fixture: the suppression marker. Each banned pattern below
+// carries a `qsp-lint: allow(<rule>) <reason>` comment, so the file must
+// lint clean; the test also checks that the same code WITHOUT markers
+// fires (bad/ corpus).
+#include <ctime>
+
+namespace qsp {
+
+long BootstrapEpoch() {
+  // One-time startup stamp recorded into the run report, never read by
+  // the planner.
+  return time(nullptr);  // qsp-lint: allow(nondeterminism) startup stamp
+}
+
+}  // namespace qsp

@@ -1,0 +1,104 @@
+#ifndef QSP_TOOLS_LINT_LINT_H_
+#define QSP_TOOLS_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+/// qsp_lint: a token-level linter for project invariants that clang-tidy
+/// and the compiler wall cannot know (DESIGN.md §9). It deliberately has
+/// no libclang dependency — rules work on comment- and string-stripped
+/// source text, which keeps the tool buildable everywhere the library is
+/// and fast enough to run as a ctest over the whole tree.
+///
+/// Rules (ids are what suppression comments name):
+///   discarded-status   A call returning qsp::Status / qsp::Result<T> as
+///                      a bare expression statement, or laundered through
+///                      a raw (void)/static_cast<void> cast. The one
+///                      sanctioned spelling for an intentional drop is
+///                      QSP_IGNORE_RESULT (util/status.h).
+///   nondeterminism     rand()/srand(), std::random_device, time()/
+///                      clock()/gettimeofday(), and *_clock::now() in
+///                      library code outside src/obs/. The planner must
+///                      be bit-deterministic under a fixed seed; wall
+///                      clocks live in the telemetry layer only.
+///   unordered-iter     Range-for over a std::unordered_{map,set}
+///                      declared in the same file, in library code.
+///                      Unordered iteration order feeding a planner
+///                      decision silently breaks run-to-run determinism.
+///   ungated-knob       ServiceConfig feature knobs read outside their
+///                      gate: `.fault.<field>` without FaultPolicy::
+///                      Engaged() in the same file, or any knob read
+///                      (telemetry/pruning/client_cache/threads/fault)
+///                      outside src/core/ — knobs are resolved once at
+///                      the service boundary and passed down as plain
+///                      values.
+///   library-io         std::cout / printf / puts in library code.
+///                      Library output goes through qsp::obs or the
+///                      table printers; stderr (fprintf/std::cerr) stays
+///                      available for fatal diagnostics.
+///
+/// Suppression: a line containing `// qsp-lint: allow(<rule>) <reason>`
+/// silences that rule on that line. The reason is mandatory by
+/// convention and enforced in review, not by the tool.
+namespace qsp {
+namespace lint {
+
+/// How a file is treated by path-scoped rules.
+enum class FileKind {
+  /// Library code under src/ — every rule applies.
+  kLibrary,
+  /// Library code under src/obs/ — the telemetry layer; exempt from
+  /// `nondeterminism` (it owns the process's clocks) but nothing else.
+  kLibraryObs,
+  /// Tests, benches, tools, examples — only `discarded-status` applies
+  /// (benches legitimately time things and print to stdout).
+  kOther,
+};
+
+/// One source file handed to the linter.
+struct SourceFile {
+  std::string path;
+  std::string content;
+  FileKind kind = FileKind::kLibrary;
+};
+
+/// One rule violation.
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Classifies a path by its directory: src/obs/ -> kLibraryObs, src/ ->
+/// kLibrary, everything else -> kOther. Path separators may be '/' only
+/// (the tree is linted in-repo).
+FileKind ClassifyPath(const std::string& path);
+
+/// Scans every file for function declarations returning qsp::Status or
+/// qsp::Result<T> and returns the function names. The set is what makes
+/// `discarded-status` work without an AST: a bare statement call is only
+/// flagged when its callee is known to return one of these types.
+std::set<std::string> CollectStatusReturners(
+    const std::vector<SourceFile>& files);
+
+/// Lints one file against every rule its kind admits.
+std::vector<Finding> LintFile(const SourceFile& file,
+                              const std::set<std::string>& status_returners);
+
+/// Two-pass convenience: collect returners across all files, then lint
+/// each. Findings are ordered by (file, line).
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files);
+
+/// Strips // and /* */ comments, string literals, and char literals,
+/// replacing them with spaces (newlines preserved, so line numbers and
+/// column positions survive). Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+}  // namespace lint
+}  // namespace qsp
+
+#endif  // QSP_TOOLS_LINT_LINT_H_

@@ -1,0 +1,130 @@
+// qsp_lint: project-invariant linter (see lint/lint.h and DESIGN.md §9).
+//
+// Usage:
+//   qsp_lint [--as-library] <file-or-dir>...
+//
+// Directories are walked recursively for *.h / *.cc files; the directory
+// named `lint_fixtures` is skipped unless named explicitly (it holds the
+// linter's own known-bad test corpus). Path-scoped rules classify each
+// file from its path (src/, src/obs/, everything else); --as-library
+// forces library classification for every input, which is how the fixture
+// corpus is linted.
+//
+// Exit status: 0 when the tree is clean, 1 when any rule fired, 2 on
+// usage or I/O errors. Findings print as `file:line: [rule] message`, one
+// per line, deterministically ordered.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using qsp::lint::ClassifyPath;
+using qsp::lint::FileKind;
+using qsp::lint::Finding;
+using qsp::lint::SourceFile;
+
+bool IsSourcePath(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool LoadFile(const std::string& path, bool as_library,
+              std::vector<SourceFile>* files) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "qsp_lint: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  SourceFile file;
+  file.path = path;
+  file.content = contents.str();
+  file.kind = as_library ? FileKind::kLibrary : ClassifyPath(path);
+  files->push_back(std::move(file));
+  return true;
+}
+
+bool CollectInputs(const std::string& arg, bool as_library,
+                   std::vector<SourceFile>* files) {
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    std::vector<std::string> paths;
+    for (fs::recursive_directory_iterator it(arg, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && IsSourcePath(it->path())) {
+        paths.push_back(it->path().generic_string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "qsp_lint: error walking %s: %s\n", arg.c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& path : paths) {
+      if (!LoadFile(path, as_library, files)) return false;
+    }
+    return true;
+  }
+  if (fs::is_regular_file(arg, ec)) {
+    return LoadFile(arg, as_library, files);
+  }
+  std::fprintf(stderr, "qsp_lint: no such file or directory: %s\n",
+               arg.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_library = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--as-library") {
+      as_library = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: qsp_lint [--as-library] <file-or-dir>...\n");
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: qsp_lint [--as-library] <file-or-dir>...\n");
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  for (const std::string& arg : args) {
+    if (!CollectInputs(arg, as_library, &files)) return 2;
+  }
+
+  const std::vector<Finding> findings = qsp::lint::LintFiles(files);
+  for (const Finding& finding : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", finding.file.c_str(),
+                 finding.line, finding.rule.c_str(), finding.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "qsp_lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "qsp_lint: %zu file(s) clean\n", files.size());
+  return 0;
+}
