@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Golden EXPLAIN check (DESIGN.md §10): the text EXPLAIN of the fig16
+# scenario under the pair merger must match the checked-in golden byte for
+# byte. A diff means either plan output drifted (a planner regression) or
+# the EXPLAIN format changed deliberately — regenerate with:
+#   qsp_explain --scenario fig16 --merger pair > tests/golden/fig16_explain.txt
+set -euo pipefail
+
+EXPLAIN_BIN="${1:?usage: check_explain_golden.sh <qsp_explain> <golden>}"
+GOLDEN="${2:?usage: check_explain_golden.sh <qsp_explain> <golden>}"
+
+actual="$(mktemp)"
+trap 'rm -f "$actual"' EXIT
+
+"$EXPLAIN_BIN" --scenario fig16 --merger pair > "$actual"
+
+if ! diff -u "$GOLDEN" "$actual"; then
+  echo "golden EXPLAIN mismatch (see diff above)" >&2
+  exit 1
+fi
+echo "golden EXPLAIN ok"

@@ -44,7 +44,12 @@ done
     [ -e "$f" ] || continue
     [ "$first" -eq 1 ] || printf ','
     first=0
-    printf '"%s":' "$(basename "$f" .json)"
+    # JSON-escape the key: bench basenames are tame today, but a stray
+    # backslash or quote in a filename must not corrupt the merged report.
+    key="$(basename "$f" .json)"
+    key="${key//\\/\\\\}"
+    key="${key//\"/\\\"}"
+    printf '"%s":' "$key"
     tr -d '\n' < "$f"
   done
   printf '}\n'

@@ -36,16 +36,22 @@ MergeOutcome ChannelCostEvaluator::Plan(
     const std::vector<ClientId>& channel_clients) const {
   const std::vector<QueryId> queries =
       clients_->QueriesOfClients(channel_clients);
+  const CostModel channel_model = ChannelModel(channel_clients);
+  Partition start;
+  start.reserve(queries.size());
+  for (QueryId q : queries) start.push_back({q});
+  return merger_.MergeFrom(*ctx_, channel_model, std::move(start));
+}
+
+CostModel ChannelCostEvaluator::ChannelModel(
+    const std::vector<ClientId>& channel_clients) const {
   // Every client on the channel checks every message broadcast on it, so
   // the per-message constant grows with the channel's population — the
   // k6 * num(Clients) * |M| term of Section 4, scoped to this channel.
   CostModel channel_model = model_;
   channel_model.k_m +=
       model_.k_check * static_cast<double>(channel_clients.size());
-  Partition start;
-  start.reserve(queries.size());
-  for (QueryId q : queries) start.push_back({q});
-  return merger_.MergeFrom(*ctx_, channel_model, std::move(start));
+  return channel_model;
 }
 
 double ChannelCostEvaluator::TotalCost(const Allocation& allocation) const {

@@ -43,6 +43,12 @@ class ChannelCostEvaluator {
   /// Full merge plan for one channel (uncached; for reporting/serving).
   MergeOutcome Plan(const std::vector<ClientId>& channel_clients) const;
 
+  /// The cost model the channel's merge actually ran under: k_m inflated
+  /// by k_check per client on the channel (the k6 * num(Clients) * |M|
+  /// term of Section 4, scoped to this channel). Exposed so EXPLAIN can
+  /// re-derive per-group cost terms exactly as Plan() charged them.
+  CostModel ChannelModel(const std::vector<ClientId>& channel_clients) const;
+
   /// Total cost of an allocation, including K_D per used channel.
   double TotalCost(const Allocation& allocation) const;
 

@@ -1,5 +1,6 @@
 #include "core/subscription_service.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "channel/channel_cost.h"
@@ -74,6 +75,19 @@ SubscriptionService::SubscriptionService(Table table, const Rect& domain,
       estimator_ = std::make_unique<ExactEstimator>(index_.get());
       break;
   }
+  if (config_.telemetry && config_.sample_interval_ms > 0 &&
+      !config_.sample_path.empty()) {
+    obs::PeriodicSampler::Options options;
+    options.interval_ms = config_.sample_interval_ms;
+    options.path = config_.sample_path;
+    sampler_ = std::make_unique<obs::PeriodicSampler>(std::move(options));
+    const Status started = sampler_->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "metric sampler disabled: %s\n",
+                   started.ToString().c_str());
+      sampler_.reset();
+    }
+  }
 }
 
 SubscriptionService::~SubscriptionService() = default;
@@ -129,6 +143,8 @@ Result<PlanReport> SubscriptionService::Plan() {
     plan_.allocation.push_back(clients_.AllClients());
     plan_.channel_partitions.push_back(outcome.value().partition);
     report.estimated_cost = outcome.value().cost;
+    report.bounds_refined = outcome.value().bounds_refined;
+    report.bounds_pruned = outcome.value().bounds_pruned;
   } else {
     obs::ScopedSpan allocate_span("allocate");
     ChannelCostEvaluator evaluator(context_.get(), config_.cost_model,
@@ -140,8 +156,10 @@ Result<PlanReport> SubscriptionService::Plan() {
     report.estimated_cost = outcome.value().cost;
     plan_.allocation = outcome.value().allocation;
     for (const auto& channel_clients : plan_.allocation) {
-      plan_.channel_partitions.push_back(
-          evaluator.Plan(channel_clients).partition);
+      MergeOutcome channel_outcome = evaluator.Plan(channel_clients);
+      report.bounds_refined += channel_outcome.bounds_refined;
+      report.bounds_pruned += channel_outcome.bounds_pruned;
+      plan_.channel_partitions.push_back(std::move(channel_outcome.partition));
     }
   }
 

@@ -1,7 +1,9 @@
 #ifndef QSP_CORE_SUBSCRIPTION_SERVICE_H_
 #define QSP_CORE_SUBSCRIPTION_SERVICE_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "channel/client_set.h"
@@ -12,6 +14,7 @@
 #include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/simulator.h"
+#include "obs/exporter.h"
 #include "query/merge_context.h"
 #include "query/merge_procedure.h"
 #include "query/predicate.h"
@@ -96,6 +99,14 @@ struct ServiceConfig {
   /// rate routes rounds through the lossy channel and the bounded
   /// NACK/retransmission protocol.
   FaultPolicy fault;
+  /// Service-mode metric sampling (DESIGN.md §10): with telemetry on, a
+  /// nonzero interval, and a sink path set, the service runs an
+  /// obs::PeriodicSampler for its lifetime, appending gauge/histogram-
+  /// percentile rows to `sample_path` (JSONL) every `sample_interval_ms`.
+  /// Both default off, so nothing in the one-shot figure harnesses
+  /// changes.
+  uint64_t sample_interval_ms = 0;
+  std::string sample_path;
 };
 
 /// Summary of a planning pass.
@@ -108,6 +119,12 @@ struct PlanReport {
   double initial_cost = 0.0;
   /// Total merged groups across channels.
   size_t num_groups = 0;
+  /// BenefitBounder effort accounting summed over every merge run the
+  /// plan needed (one for single-channel, one per channel otherwise);
+  /// zero when the configured merger does not use bounds. See
+  /// MergeOutcome.
+  uint64_t bounds_refined = 0;
+  uint64_t bounds_pruned = 0;
 };
 
 /// The public facade: register clients and subscriptions, plan
@@ -167,6 +184,11 @@ class SubscriptionService {
   std::unique_ptr<MergeProcedure> procedure_;
   std::unique_ptr<MergeContext> context_;
   std::unique_ptr<MulticastSimulator> simulator_;
+  /// Service-mode metric sampler; non-null only when the sampling knobs
+  /// are set (see ServiceConfig::sample_interval_ms). Stopped by
+  /// destruction order before the metrics it reads go away (the sampler
+  /// reads the process-global registry, which outlives every service).
+  std::unique_ptr<obs::PeriodicSampler> sampler_;
   bool has_plan_ = false;
   DisseminationPlan plan_;
 };

@@ -1,0 +1,55 @@
+#include "exec/periodic.h"
+
+#include <utility>
+
+namespace qsp {
+namespace exec {
+
+void PeriodicTask::Start(uint64_t interval_ms, std::function<void()> fn) {
+  if (interval_ms == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  trigger_ = false;
+  thread_ = std::thread(&PeriodicTask::Loop, this, interval_ms,
+                        std::move(fn));
+}
+
+void PeriodicTask::Stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    worker = std::move(thread_);
+  }
+  cv_.notify_all();
+  worker.join();
+}
+
+void PeriodicTask::TriggerNow() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    trigger_ = true;
+  }
+  cv_.notify_all();
+}
+
+void PeriodicTask::Loop(uint64_t interval_ms, std::function<void()> fn) {
+  const auto interval = std::chrono::milliseconds(interval_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Wait out one interval, but wake early for Stop or TriggerNow.
+    cv_.wait_for(lock, interval, [this] { return stop_ || trigger_; });
+    if (stop_) return;
+    trigger_ = false;
+    lock.unlock();
+    fn();
+    lock.lock();
+    if (stop_) return;
+  }
+}
+
+}  // namespace exec
+}  // namespace qsp

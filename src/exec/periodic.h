@@ -1,0 +1,66 @@
+#ifndef QSP_EXEC_PERIODIC_H_
+#define QSP_EXEC_PERIODIC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/thread_annotations.h"
+
+namespace qsp {
+namespace exec {
+
+/// Runs a callback at a fixed interval on a dedicated background thread.
+/// The service-mode substrate: the obs::PeriodicSampler drives its
+/// metric sampling through one of these. A dedicated thread (rather than
+/// a ThreadPool task) because the pool's workers are sized for the
+/// planner's parallel loops and a sleeper would pin one for the process
+/// lifetime.
+///
+/// Start() spawns the thread; Stop() wakes it and joins. The callback
+/// runs once per interval, not at all before the first interval elapses,
+/// and never concurrently with itself. Destruction stops the task.
+/// Thread-safe: Start/Stop/TriggerNow may be called from any thread, but
+/// concurrent Start calls are a caller bug.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Begins invoking `fn` every `interval_ms` milliseconds. No-op if the
+  /// task is already running or interval_ms == 0.
+  void Start(uint64_t interval_ms, std::function<void()> fn);
+
+  /// Stops the background thread (waits for an in-flight callback to
+  /// finish). Safe to call when not running.
+  void Stop();
+
+  /// Wakes the thread to run the callback immediately (test hook; also
+  /// resets the interval timer). No-op when not running.
+  void TriggerNow();
+
+  bool running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return thread_.joinable();
+  }
+
+ private:
+  void Loop(uint64_t interval_ms, std::function<void()> fn);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ QSP_GUARDED_BY(mu_) = false;
+  bool trigger_ QSP_GUARDED_BY(mu_) = false;
+  std::thread thread_ QSP_GUARDED_BY(mu_);
+};
+
+}  // namespace exec
+}  // namespace qsp
+
+#endif  // QSP_EXEC_PERIODIC_H_

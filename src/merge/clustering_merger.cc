@@ -164,6 +164,8 @@ Result<MergeOutcome> ClusteringMerger::DoMerge(const MergeContext& ctx,
       ++subsolves_exact;
       MergeOutcome sub = ExactPartitionSearch(ctx, model, cluster);
       outcome.candidates += sub.candidates;
+      outcome.bounds_refined += sub.bounds_refined;
+      outcome.bounds_pruned += sub.bounds_pruned;
       for (auto& group : sub.partition) {
         outcome.partition.push_back(std::move(group));
       }
@@ -174,6 +176,8 @@ Result<MergeOutcome> ClusteringMerger::DoMerge(const MergeContext& ctx,
       for (QueryId id : cluster) start.push_back({id});
       MergeOutcome sub = pair_merger.MergeFrom(ctx, model, std::move(start));
       outcome.candidates += sub.candidates;
+      outcome.bounds_refined += sub.bounds_refined;
+      outcome.bounds_pruned += sub.bounds_pruned;
       for (auto& group : sub.partition) {
         outcome.partition.push_back(std::move(group));
       }
@@ -181,6 +185,7 @@ Result<MergeOutcome> ClusteringMerger::DoMerge(const MergeContext& ctx,
   }
   CanonicalizePartition(&outcome.partition);
   outcome.cost = model.PartitionCost(ctx, outcome.partition);
+  outcome.bounds_pruned += pairs_pruned;
   obs::Count("merge.clustering.pairs_pruned", pairs_pruned);
   obs::Count("merge.clustering.subsolves_exact", subsolves_exact);
   obs::Count("merge.clustering.subsolves_greedy", subsolves_greedy);

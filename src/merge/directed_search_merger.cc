@@ -231,6 +231,8 @@ Result<MergeOutcome> DirectedSearchMerger::DoMerge(
              counters.accepted_extracts);
   obs::Count("plan.bounds.pruned", counters.bounds_pruned);
   obs::Count("plan.bounds.refined", counters.bounds_refined);
+  best.bounds_pruned = counters.bounds_pruned;
+  best.bounds_refined = counters.bounds_refined;
   CanonicalizePartition(&best.partition);
   best.cost = model.PartitionCost(ctx, best.partition);
   return best;

@@ -19,6 +19,13 @@ struct MergeOutcome {
   /// Candidate solutions (or local moves) evaluated; a search-effort
   /// metric used by the algorithm-comparison benchmarks.
   uint64_t candidates = 0;
+  /// BenefitBounder effort accounting (zero for mergers that do not use
+  /// bounds): candidate merges whose admissible bound had to be refined
+  /// to an exact evaluation, and candidates pruned on the bound alone.
+  /// Surfaced by PlanExplainer so an EXPLAIN shows how much exact work
+  /// the bounds saved.
+  uint64_t bounds_refined = 0;
+  uint64_t bounds_pruned = 0;
 };
 
 /// Common interface of the query-merging algorithms of Section 6. All

@@ -215,8 +215,8 @@ MergeOutcome PairMerger::MergeFromPruned(const MergeContext& ctx,
   MergeOutcome outcome;
   uint64_t merges_applied = 0;
   uint64_t stale_heap_pops = 0;
-  uint64_t bounds_pruned = 0;
-  uint64_t bounds_refined = 0;
+  uint64_t& bounds_pruned = outcome.bounds_pruned;
+  uint64_t& bounds_refined = outcome.bounds_refined;
   const plan::BenefitBounder bounder(ctx, model);
   std::vector<QueryGroup> groups = std::move(start);
   std::vector<bool> alive(groups.size(), true);

@@ -214,6 +214,9 @@ RoundStats MulticastSimulator::RunRound(const DisseminationPlan& plan,
                                         const MergeProcedure& procedure,
                                         ExtractionMode mode) {
   obs::ScopedSpan round_span("simulate");
+  // Per-round wall-time distribution — the dissemination-side SLO
+  // histogram the PeriodicSampler exports in service mode.
+  obs::ScopedTimer round_timer("net.round.latency_us");
   RoundStats stats;
 
   // Build the client processes per the allocation; when the allocation

@@ -1,0 +1,42 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace qsp {
+namespace obs {
+
+namespace {
+
+/// Default time source: monotonic wall clock.
+class SteadyClock : public Clock {
+ public:
+  double NowMicros() override {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double, std::micro>(now).count();
+  }
+};
+
+SteadyClock& DefaultClock() {
+  static SteadyClock* clock = new SteadyClock();
+  return *clock;
+}
+
+std::atomic<Clock*>& ClockSlot() {
+  static std::atomic<Clock*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+Clock* CurrentClock() {
+  Clock* clock = ClockSlot().load(std::memory_order_acquire);
+  return clock != nullptr ? clock : &DefaultClock();
+}
+
+void SetClock(Clock* clock) {
+  ClockSlot().store(clock, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace qsp

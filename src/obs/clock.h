@@ -1,0 +1,65 @@
+#ifndef QSP_OBS_CLOCK_H_
+#define QSP_OBS_CLOCK_H_
+
+#include <mutex>
+
+namespace qsp {
+namespace obs {
+
+/// Time source for the telemetry layer. Everything in qsp::obs that
+/// reads a wall clock (ScopedTimer, PhaseTracer, PeriodicSampler rows)
+/// goes through CurrentClock(), so tests and golden-output runs can
+/// substitute a deterministic clock and make timing fields byte-identical
+/// run-to-run — the wall-clock nondeterminism that previously kept
+/// fig15's run report from being diffable.
+///
+/// The default clock is std::chrono::steady_clock. Implementations must
+/// be thread-safe and monotone non-decreasing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary epoch.
+  virtual double NowMicros() = 0;
+};
+
+/// The clock currently in effect (never null).
+Clock* CurrentClock();
+
+/// Installs a clock for the whole process; nullptr restores the
+/// steady_clock default. The caller keeps ownership and must keep the
+/// clock alive until it is replaced. Not intended for concurrent
+/// swapping — install before the instrumented work starts.
+void SetClock(Clock* clock);
+
+/// Deterministic clock for tests and golden runs: every NowMicros() call
+/// returns the previous value advanced by a fixed tick, so any sequence
+/// of timing reads yields the same values on every run regardless of
+/// machine load. Thread-safe.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double tick_us = 1.0) : tick_us_(tick_us) {}
+
+  double NowMicros() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_us_ += tick_us_;
+    return now_us_;
+  }
+
+  /// Moves the clock forward without a read (e.g. to simulate a long
+  /// phase between two samples).
+  void AdvanceMicros(double delta_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_us_ += delta_us;
+  }
+
+ private:
+  std::mutex mu_;
+  double now_us_ = 0.0;
+  const double tick_us_;
+};
+
+}  // namespace obs
+}  // namespace qsp
+
+#endif  // QSP_OBS_CLOCK_H_

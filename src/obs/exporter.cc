@@ -1,0 +1,166 @@
+#include "obs/exporter.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <utility>
+
+#include "obs/clock.h"
+#include "util/json_writer.h"
+
+namespace qsp {
+namespace obs {
+
+namespace {
+
+/// Maps a dotted qsp metric name onto the Prometheus metric charset:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*. Every out-of-charset byte becomes '_'
+/// (colons are reserved for recording rules, so we do not emit them).
+std::string PrometheusName(const std::string& prefix,
+                           const std::string& name) {
+  std::string out = prefix.empty() ? "" : prefix + "_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void AppendSample(const std::string& name, const std::string& labels,
+                  const std::string& value, std::string* out) {
+  *out += name;
+  *out += labels;
+  *out += ' ';
+  *out += value;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricRegistry& registry,
+                             const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    const std::string pname = PrometheusName(prefix, name);
+    out += "# TYPE " + pname + " counter\n";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    AppendSample(pname, "", buf, &out);
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    const std::string pname = PrometheusName(prefix, name);
+    out += "# TYPE " + pname + " gauge\n";
+    AppendSample(pname, "", FormatDouble(value), &out);
+  }
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    const std::string pname = PrometheusName(prefix, name);
+    out += "# TYPE " + pname + " summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      AppendSample(pname,
+                   "{quantile=\"" + FormatDouble(q) + "\"}",
+                   FormatDouble(histogram->Percentile(q * 100.0)), &out);
+    }
+    AppendSample(pname + "_sum", "", FormatDouble(histogram->sum()), &out);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, histogram->count());
+    AppendSample(pname + "_count", "", buf, &out);
+  }
+  return out;
+}
+
+PeriodicSampler::PeriodicSampler(Options options, MetricRegistry* registry)
+    : options_(std::move(options)), registry_(registry) {}
+
+PeriodicSampler::~PeriodicSampler() { Stop(); }
+
+Status PeriodicSampler::Start() {
+  if (options_.interval_ms == 0) {
+    return Status::InvalidArgument("sampler interval must be > 0");
+  }
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("sampler sink path must be set");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_ != nullptr) {
+      return Status::FailedPrecondition("sampler already started");
+    }
+    sink_ = std::fopen(options_.path.c_str(), "a");
+    if (sink_ == nullptr) {
+      return Status::NotFound("cannot open sampler sink: " + options_.path);
+    }
+    sample_index_ = 0;
+    start_us_ = CurrentClock()->NowMicros();
+  }
+  task_.Start(options_.interval_ms, [this] { SampleOnce(); });
+  return Status::OK();
+}
+
+void PeriodicSampler::Stop() {
+  task_.Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+void PeriodicSampler::SampleOnce() {
+  const std::string row = RenderRow();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ == nullptr) return;
+  std::fwrite(row.data(), 1, row.size(), sink_);
+  std::fflush(sink_);
+}
+
+uint64_t PeriodicSampler::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sample_index_;
+}
+
+std::string PeriodicSampler::RenderRow() {
+  double elapsed_us = 0.0;
+  uint64_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    elapsed_us = CurrentClock()->NowMicros() - start_us_;
+    index = sample_index_++;
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("sample").UInt(index);
+  json.Key("elapsed_us").Number(elapsed_us);
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : registry_->GaugeValues()) {
+    json.Key(name).Number(value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : registry_->Histograms()) {
+    json.Key(name).BeginObject();
+    json.Key("count").UInt(histogram->count());
+    json.Key("sum").Number(histogram->sum());
+    for (const double p : options_.percentiles) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "p%g", p);
+      json.Key(key).Number(histogram->Percentile(p));
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str() + "\n";
+}
+
+}  // namespace obs
+}  // namespace qsp

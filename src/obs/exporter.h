@@ -1,0 +1,91 @@
+#ifndef QSP_OBS_EXPORTER_H_
+#define QSP_OBS_EXPORTER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/periodic.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace qsp {
+namespace obs {
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one `# TYPE` line per metric family followed by its
+/// samples. Counters export as `counter`, gauges as `gauge`, histograms
+/// as `summary` (quantile-labelled percentile samples plus `_sum` and
+/// `_count`). Dotted qsp metric names are sanitized to the Prometheus
+/// charset by mapping every character outside [a-zA-Z0-9_] to '_', and
+/// `prefix` is prepended ("net.recover.retx" -> "qsp_net_recover_retx").
+/// Output is sorted by metric name, so it is diffable run-to-run.
+std::string ToPrometheusText(const MetricRegistry& registry,
+                             const std::string& prefix = "qsp");
+
+/// Samples the registry on a background thread (exec::PeriodicTask) and
+/// appends one JSON object per sample to a JSONL sink — the service-mode
+/// time-series substrate (ROADMAP item 1: per-batch SLO latencies need a
+/// trajectory, not just a final snapshot). Each row carries a
+/// monotonically increasing sample index, the elapsed time since Start()
+/// as read from obs::CurrentClock() (deterministic under a FakeClock),
+/// every gauge, and for every histogram its count/sum and the configured
+/// percentiles.
+///
+/// The sampler is gated by the caller (SubscriptionService starts one
+/// only when ServiceConfig::telemetry is on and the sampling knobs are
+/// set); it does not flip the global obs switch itself.
+class PeriodicSampler {
+ public:
+  struct Options {
+    /// Sampling period. 0 disables Start() entirely.
+    uint64_t interval_ms = 1000;
+    /// JSONL sink path; appended to, one object per line.
+    std::string path;
+    /// Histogram percentiles to record per sample.
+    std::vector<double> percentiles = {50.0, 90.0, 99.0};
+  };
+
+  explicit PeriodicSampler(Options options,
+                           MetricRegistry* registry =
+                               &MetricRegistry::Default());
+  ~PeriodicSampler();
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  /// Opens the sink and starts the background thread. Fails if the sink
+  /// cannot be opened or the interval is 0.
+  Status Start();
+
+  /// Stops sampling and closes the sink. Idempotent.
+  void Stop();
+
+  /// Takes one sample synchronously (also used by the background
+  /// thread). Requires Start() to have succeeded.
+  void SampleOnce();
+
+  /// Samples taken so far.
+  uint64_t samples_taken() const;
+
+ private:
+  /// Renders one JSONL row.
+  std::string RenderRow();
+
+  const Options options_;
+  MetricRegistry* const registry_;
+  exec::PeriodicTask task_;
+
+  mutable std::mutex mu_;
+  std::FILE* sink_ QSP_GUARDED_BY(mu_) = nullptr;
+  uint64_t sample_index_ QSP_GUARDED_BY(mu_) = 0;
+  double start_us_ QSP_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace obs
+}  // namespace qsp
+
+#endif  // QSP_OBS_EXPORTER_H_

@@ -136,6 +136,28 @@ std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterValues()
   return values;
 }
 
+std::vector<std::pair<std::string, double>> MetricRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> values;
+  values.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    values.emplace_back(name, gauge.value());
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> values;
+  values.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    values.emplace_back(name, &histogram);
+  }
+  return values;
+}
+
 void MetricRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter.Reset();

@@ -3,7 +3,6 @@
 
 #include <array>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -12,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/clock.h"
 #include "util/thread_annotations.h"
 
 namespace qsp {
@@ -189,6 +189,14 @@ class MetricRegistry {
   /// All counters in name order (used by PhaseTracer to diff spans).
   std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
 
+  /// All gauges in name order (used by the exporter and sampler).
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+
+  /// All histograms in name order. The pointers stay valid for the
+  /// registry's lifetime (std::map nodes are stable) and the histograms
+  /// synchronize themselves, so callers may read them lock-free.
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
   size_t num_metrics() const {
     std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
@@ -240,15 +248,16 @@ inline void Observe(std::string_view name, double value) {
   MetricRegistry::Default().histogram(name).Record(value);
 }
 
-/// Records the wall time (steady_clock, microseconds) of a scope into a
-/// histogram of the default registry. Captures the enabled state at
-/// construction, so toggling mid-scope cannot mismatch start/stop.
+/// Records the wall time (obs::CurrentClock(), microseconds) of a scope
+/// into a histogram of the default registry. Captures the enabled state
+/// at construction, so toggling mid-scope cannot mismatch start/stop.
+/// Under a FakeClock the recorded durations are deterministic.
 class ScopedTimer {
  public:
   explicit ScopedTimer(std::string_view name) {
     if (!Enabled()) return;
     histogram_ = &MetricRegistry::Default().histogram(name);
-    start_ = std::chrono::steady_clock::now();
+    start_us_ = CurrentClock()->NowMicros();
   }
 
   ~ScopedTimer() {
@@ -261,13 +270,12 @@ class ScopedTimer {
   /// Microseconds since construction (0 when telemetry was disabled).
   double ElapsedMicros() const {
     if (histogram_ == nullptr) return 0.0;
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    return std::chrono::duration<double, std::micro>(elapsed).count();
+    return CurrentClock()->NowMicros() - start_us_;
   }
 
  private:
   Histogram* histogram_ = nullptr;
-  std::chrono::steady_clock::time_point start_;
+  double start_us_ = 0.0;
 };
 
 }  // namespace obs

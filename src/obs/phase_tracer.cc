@@ -67,7 +67,7 @@ void PhaseTracer::Begin(std::string_view name) {
   OpenSpan open;
   open.span.name = std::string(name);
   open.counters_at_start = MetricRegistry::Default().CounterValues();
-  open.start = std::chrono::steady_clock::now();
+  open.start_us = CurrentClock()->NowMicros();
   open_.push_back(std::move(open));
 }
 
@@ -75,9 +75,7 @@ void PhaseTracer::End() {
   if (open_.empty()) return;
   OpenSpan open = std::move(open_.back());
   open_.pop_back();
-  const auto elapsed = std::chrono::steady_clock::now() - open.start;
-  open.span.wall_us =
-      std::chrono::duration<double, std::micro>(elapsed).count();
+  open.span.wall_us = CurrentClock()->NowMicros() - open.start_us;
   open.span.counter_deltas = DiffCounters(
       open.counters_at_start, MetricRegistry::Default().CounterValues());
   if (open_.empty()) {

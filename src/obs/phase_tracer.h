@@ -1,7 +1,6 @@
 #ifndef QSP_OBS_PHASE_TRACER_H_
 #define QSP_OBS_PHASE_TRACER_H_
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -29,7 +28,7 @@ class PhaseTracer {
  public:
   struct Span {
     std::string name;
-    /// Wall time of the span, microseconds (steady_clock).
+    /// Wall time of the span, microseconds (obs::CurrentClock()).
     double wall_us = 0.0;
     /// Counters of the default registry that advanced during the span
     /// (name, delta), including work done by child spans.
@@ -66,7 +65,8 @@ class PhaseTracer {
  private:
   struct OpenSpan {
     Span span;
-    std::chrono::steady_clock::time_point start;
+    /// Start time in microseconds, read from obs::CurrentClock().
+    double start_us = 0.0;
     std::vector<std::pair<std::string, uint64_t>> counters_at_start;
   };
 

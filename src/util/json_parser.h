@@ -1,0 +1,99 @@
+#ifndef QSP_UTIL_JSON_PARSER_H_
+#define QSP_UTIL_JSON_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qsp {
+
+/// A parsed JSON document node. The counterpart of JsonWriter: everything
+/// the observability layer emits (metric registries, run reports, EXPLAIN
+/// dumps, bench reports) can be read back through ParseJson for
+/// round-trip tests and for tools/bench_compare.
+///
+/// Objects preserve insertion order (a vector of key/value pairs, not a
+/// map) so that re-serialization and comparison stay deterministic and
+/// duplicate keys — legal JSON, if unwise — survive parsing.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue MakeNumber(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue MakeString(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; die (QSP_CHECK) on kind mismatch, which keeps test
+  /// and tool call sites honest without exceptions.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  /// Mutable builders used by the parser (and available to tests).
+  std::vector<JsonValue>& MutableArray();
+  std::vector<std::pair<std::string, JsonValue>>& MutableObject();
+
+  /// First value under `key` in an object, or nullptr when absent (or
+  /// when this node is not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace after the
+/// document, unterminated containers, bad escapes and numbers surface as
+/// InvalidArgument with a byte offset in the message. Nesting deeper than
+/// an internal limit (well beyond anything the exporters emit) is
+/// rejected rather than risking stack exhaustion.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace qsp
+
+#endif  // QSP_UTIL_JSON_PARSER_H_

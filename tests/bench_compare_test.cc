@@ -1,0 +1,194 @@
+// tools/bench_compare: the perf-regression gate. Pins the flattening of
+// bench_report.json, which leaves gate, the threshold arithmetic, and the
+// BENCH_trajectory.json append/find round trip.
+#include "tools/bench_compare/compare.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qsp {
+namespace benchcmp {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? parsed.value() : JsonValue();
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(nullptr, f) << path;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+TEST(FlattenNumbers, DottedPathsNumbersOnlyArraysSkipped) {
+  const JsonValue doc = Parse(
+      "{\"fig15\": {\"name\": \"fig15\","
+      "  \"metrics\": {\"counters\": {\"merge.runs\": 3},"
+      "                \"histograms\": {\"core.plan.latency_us\":"
+      "                  {\"count\": 3, \"mean\": 120.5}}},"
+      "  \"trace\": [{\"phase\": \"plan\", \"wall_us\": 9}]},"
+      " \"flag\": true, \"note\": \"text\"}");
+  const std::map<std::string, double> flat = FlattenNumbers(doc);
+  ASSERT_EQ(3u, flat.size());
+  EXPECT_DOUBLE_EQ(3.0, flat.at("fig15.metrics.counters.merge.runs"));
+  EXPECT_DOUBLE_EQ(
+      3.0,
+      flat.at("fig15.metrics.histograms.core.plan.latency_us.count"));
+  EXPECT_DOUBLE_EQ(
+      120.5,
+      flat.at("fig15.metrics.histograms.core.plan.latency_us.mean"));
+  // Arrays (trace), booleans, and strings never become gateable leaves.
+  EXPECT_EQ(0u, flat.count("fig15.trace.0.wall_us"));
+  EXPECT_EQ(0u, flat.count("flag"));
+}
+
+TEST(MetricSelection, LatencyAndGatedPredicates) {
+  const std::string mean =
+      "fig15.metrics.histograms.core.plan.latency_us.mean";
+  const std::string p99 =
+      "fig15.metrics.histograms.core.plan.latency_us.p99";
+  const std::string counter = "fig15.metrics.counters.merge.runs";
+  EXPECT_TRUE(IsLatencyMetric(mean));
+  EXPECT_TRUE(IsLatencyMetric(p99));
+  EXPECT_FALSE(IsLatencyMetric(counter));
+  // Only histogram means gate; tail percentiles ride along unjudged.
+  EXPECT_TRUE(IsGatedMetric(mean));
+  EXPECT_FALSE(IsGatedMetric(p99));
+  EXPECT_FALSE(IsGatedMetric(counter));
+}
+
+TEST(Compare, FlagsOnlyRegressionsBeyondThreshold) {
+  const std::string a = "a.latency_us.mean";
+  const std::string b = "b.latency_us.mean";
+  const std::string c = "c.latency_us.mean";
+  std::map<std::string, double> baseline = {{a, 100.0}, {b, 100.0},
+                                            {c, 100.0}};
+  std::map<std::string, double> current = {{a, 100.0}, {b, 124.0},
+                                           {c, 150.0}};
+  CompareOptions options;
+  options.threshold_pct = 25.0;
+  const CompareResult result = Compare(baseline, current, options);
+  ASSERT_EQ(3u, result.deltas.size());
+  EXPECT_EQ(1u, result.num_regressions);
+  EXPECT_FALSE(result.deltas[0].regression);  // a: unchanged.
+  EXPECT_FALSE(result.deltas[1].regression);  // b: +24% < threshold.
+  EXPECT_TRUE(result.deltas[2].regression);   // c: +50%.
+  EXPECT_NEAR(50.0, result.deltas[2].pct_change, 1e-9);
+  EXPECT_DOUBLE_EQ(100.0, result.deltas[2].baseline);
+  EXPECT_DOUBLE_EQ(150.0, result.deltas[2].current);
+}
+
+TEST(Compare, ImprovementsNeverFail) {
+  const std::string a = "a.latency_us.mean";
+  std::map<std::string, double> baseline = {{a, 200.0}};
+  std::map<std::string, double> current = {{a, 50.0}};
+  const CompareResult result = Compare(baseline, current, CompareOptions());
+  EXPECT_EQ(0u, result.num_regressions);
+  EXPECT_NEAR(-75.0, result.deltas[0].pct_change, 1e-9);
+}
+
+TEST(Compare, DisjointMetricsReportedNotFailed) {
+  std::map<std::string, double> baseline = {
+      {"gone.latency_us.mean", 10.0}, {"both.latency_us.mean", 10.0}};
+  std::map<std::string, double> current = {
+      {"new.latency_us.mean", 10.0}, {"both.latency_us.mean", 10.0}};
+  const CompareResult result = Compare(baseline, current, CompareOptions());
+  EXPECT_EQ(0u, result.num_regressions);
+  ASSERT_EQ(1u, result.only_in_baseline.size());
+  EXPECT_EQ("gone.latency_us.mean", result.only_in_baseline[0]);
+  ASSERT_EQ(1u, result.only_in_current.size());
+  EXPECT_EQ("new.latency_us.mean", result.only_in_current[0]);
+}
+
+TEST(Compare, NonGatedLeavesAreIgnored) {
+  // A huge swing on a counter or a p99 must not trip the gate.
+  std::map<std::string, double> baseline = {
+      {"a.latency_us.mean", 100.0},
+      {"a.latency_us.p99", 100.0},
+      {"counters.merge.runs", 10.0}};
+  std::map<std::string, double> current = {{"a.latency_us.mean", 101.0},
+                                           {"a.latency_us.p99", 900.0},
+                                           {"counters.merge.runs", 9000.0}};
+  const CompareResult result = Compare(baseline, current, CompareOptions());
+  EXPECT_EQ(0u, result.num_regressions);
+  ASSERT_EQ(1u, result.deltas.size());
+  EXPECT_EQ("a.latency_us.mean", result.deltas[0].path);
+}
+
+TEST(Compare, ZeroBaselineNeverDividesOrFails) {
+  std::map<std::string, double> baseline = {{"a.latency_us.mean", 0.0}};
+  std::map<std::string, double> current = {{"a.latency_us.mean", 5.0}};
+  const CompareResult result = Compare(baseline, current, CompareOptions());
+  EXPECT_EQ(0u, result.num_regressions);
+}
+
+TEST(Trajectory, AppendAndFindLastRoundTrip) {
+  const std::string path = TempPath("trajectory.json");
+  WriteFile(path, "[]\n");
+
+  Result<JsonValue> loaded = LoadTrajectory(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  JsonValue trajectory = loaded.value();
+  EXPECT_TRUE(trajectory.AsArray().empty());
+  EXPECT_EQ(nullptr, FindLastEntry(trajectory, "default"));
+
+  std::map<std::string, double> first = {{"a.latency_us.mean", 100.0}};
+  ASSERT_TRUE(
+      AppendTrajectoryEntry(path, "default", first, &trajectory).ok());
+  std::map<std::string, double> second = {{"a.latency_us.mean", 110.0}};
+  ASSERT_TRUE(
+      AppendTrajectoryEntry(path, "default", second, &trajectory).ok());
+  std::map<std::string, double> other = {{"a.latency_us.mean", 1.0}};
+  ASSERT_TRUE(
+      AppendTrajectoryEntry(path, "nightly", other, &trajectory).ok());
+
+  // Re-load from disk: the file holds all three entries in order and
+  // FindLastEntry picks the latest with a matching label.
+  Result<JsonValue> reloaded = LoadTrajectory(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(3u, reloaded.value().AsArray().size());
+  const JsonValue* last = FindLastEntry(reloaded.value(), "default");
+  ASSERT_NE(nullptr, last);
+  EXPECT_DOUBLE_EQ(
+      110.0,
+      last->Find("metrics")->Find("a.latency_us.mean")->AsNumber());
+  const JsonValue* nightly = FindLastEntry(reloaded.value(), "nightly");
+  ASSERT_NE(nullptr, nightly);
+  EXPECT_DOUBLE_EQ(
+      1.0,
+      nightly->Find("metrics")->Find("a.latency_us.mean")->AsNumber());
+}
+
+TEST(Trajectory, LoadRejectsMissingFileAndNonArray) {
+  EXPECT_FALSE(LoadTrajectory(TempPath("does_not_exist.json")).ok());
+  const std::string path = TempPath("trajectory_bad.json");
+  WriteFile(path, "{\"not\": \"an array\"}");
+  EXPECT_FALSE(LoadTrajectory(path).ok());
+}
+
+TEST(LoadJsonFile, ParsesARealReportShape) {
+  const std::string path = TempPath("report.json");
+  WriteFile(path,
+            "{\"fig15\": {\"metrics\": {\"histograms\":"
+            " {\"core.plan.latency_us\": {\"count\": 3, \"mean\": 42}}}}}");
+  Result<JsonValue> doc = LoadJsonFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const std::map<std::string, double> flat = FlattenNumbers(doc.value());
+  EXPECT_DOUBLE_EQ(
+      42.0,
+      flat.at("fig15.metrics.histograms.core.plan.latency_us.mean"));
+}
+
+}  // namespace
+}  // namespace benchcmp
+}  // namespace qsp

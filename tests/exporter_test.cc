@@ -1,0 +1,231 @@
+// obs/exporter: Prometheus text exposition of a MetricRegistry and the
+// service-mode PeriodicSampler (JSONL time series), plus the
+// exec::PeriodicTask it rides on. Clocks are faked where timing would
+// otherwise make assertions racy.
+#include "obs/exporter.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/periodic.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "util/json_parser.h"
+
+namespace qsp {
+namespace obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(nullptr, f) << path;
+  if (f == nullptr) return std::string();
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PrometheusText, ExportsCountersGaugesAndSummaries) {
+  MetricRegistry registry;
+  registry.counter("merge.pair-merging.runs").Add(7);
+  registry.gauge("plan.est.cost").Set(252.5);
+  Histogram& h = registry.histogram("core.plan.latency_us");
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE qsp_merge_pair_merging_runs counter"));
+  EXPECT_NE(std::string::npos, text.find("qsp_merge_pair_merging_runs 7"));
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE qsp_plan_est_cost gauge"));
+  EXPECT_NE(std::string::npos, text.find("qsp_plan_est_cost 252.5"));
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE qsp_core_plan_latency_us summary"));
+  EXPECT_NE(std::string::npos,
+            text.find("qsp_core_plan_latency_us{quantile=\"0.5\"}"));
+  EXPECT_NE(std::string::npos,
+            text.find("qsp_core_plan_latency_us{quantile=\"0.99\"}"));
+  EXPECT_NE(std::string::npos, text.find("qsp_core_plan_latency_us_sum"));
+  EXPECT_NE(std::string::npos,
+            text.find("qsp_core_plan_latency_us_count 100"));
+  // Exposition ends with a newline (the 0.0.4 text format requires it).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ('\n', text.back());
+}
+
+TEST(PrometheusText, SanitizesHostileNamesAndPrefix) {
+  MetricRegistry registry;
+  registry.counter("evil name!with\"chars").Add(1);
+  registry.counter("0starts.with.digit").Add(2);
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(std::string::npos, text.find("qsp_evil_name_with_chars 1"));
+  EXPECT_NE(std::string::npos, text.find("qsp_0starts_with_digit 2"));
+  // No raw specials survive: the hostile bytes were mapped to '_', and
+  // with no histograms there is no quantile label to contribute quotes.
+  EXPECT_EQ(std::string::npos, text.find('!'));
+  EXPECT_EQ(std::string::npos, text.find('"'));
+}
+
+TEST(PrometheusText, EmptyRegistryIsEmpty) {
+  MetricRegistry registry;
+  EXPECT_TRUE(ToPrometheusText(registry).empty());
+}
+
+TEST(PeriodicSampler, StartValidatesOptions) {
+  MetricRegistry registry;
+  {
+    PeriodicSampler::Options options;  // interval set, no path
+    options.interval_ms = 10;
+    PeriodicSampler sampler(options, &registry);
+    EXPECT_FALSE(sampler.Start().ok());
+  }
+  {
+    PeriodicSampler::Options options;  // path set, zero interval
+    options.path = TempPath("sampler_invalid.jsonl");
+    options.interval_ms = 0;
+    PeriodicSampler sampler(options, &registry);
+    EXPECT_FALSE(sampler.Start().ok());
+  }
+}
+
+TEST(PeriodicSampler, SampleOnceAppendsParsableJsonlRows) {
+  FakeClock clock(/*tick_us=*/100.0);
+  SetClock(&clock);
+
+  MetricRegistry registry;
+  registry.gauge("plan.est.cost").Set(42.0);
+  Histogram& h = registry.histogram("core.plan.latency_us");
+  for (int i = 1; i <= 16; ++i) h.Record(static_cast<double>(i));
+
+  const std::string path = TempPath("sampler_rows.jsonl");
+  std::remove(path.c_str());
+  PeriodicSampler::Options options;
+  options.interval_ms = 60000;  // Never fires on its own in this test.
+  options.path = path;
+  PeriodicSampler sampler(options, &registry);
+  ASSERT_TRUE(sampler.Start().ok());
+  sampler.SampleOnce();
+  sampler.SampleOnce();
+  sampler.Stop();
+  SetClock(nullptr);
+
+  const std::string content = ReadFile(path);
+  // One JSON object per line.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < content.size()) {
+    const size_t eol = content.find('\n', start);
+    ASSERT_NE(std::string::npos, eol) << "unterminated JSONL row";
+    lines.push_back(content.substr(start, eol - start));
+    start = eol + 1;
+  }
+  ASSERT_EQ(2u, lines.size());
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Result<JsonValue> parsed = ParseJson(lines[i]);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const JsonValue& row = parsed.value();
+    EXPECT_DOUBLE_EQ(static_cast<double>(i),
+                     row.Find("sample")->AsNumber());
+    // The fake clock ticks 100us per read, so elapsed is positive and
+    // strictly increasing across rows.
+    EXPECT_GT(row.Find("elapsed_us")->AsNumber(), 0.0);
+    const JsonValue* gauges = row.Find("gauges");
+    ASSERT_NE(nullptr, gauges);
+    EXPECT_DOUBLE_EQ(42.0, gauges->Find("plan.est.cost")->AsNumber());
+    const JsonValue* hist =
+        row.Find("histograms")->Find("core.plan.latency_us");
+    ASSERT_NE(nullptr, hist);
+    EXPECT_DOUBLE_EQ(16.0, hist->Find("count")->AsNumber());
+    EXPECT_NE(nullptr, hist->Find("p50"));
+    EXPECT_NE(nullptr, hist->Find("p90"));
+    EXPECT_NE(nullptr, hist->Find("p99"));
+  }
+  const double first = ParseJson(lines[0])
+                           .value()
+                           .Find("elapsed_us")
+                           ->AsNumber();
+  const double second = ParseJson(lines[1])
+                            .value()
+                            .Find("elapsed_us")
+                            ->AsNumber();
+  EXPECT_GT(second, first);
+  EXPECT_EQ(2u, sampler.samples_taken());
+}
+
+TEST(PeriodicSampler, BackgroundThreadSamplesOnInterval) {
+  MetricRegistry registry;
+  registry.gauge("plan.num_groups").Set(5.0);
+  const std::string path = TempPath("sampler_bg.jsonl");
+  std::remove(path.c_str());
+  PeriodicSampler::Options options;
+  options.interval_ms = 1;
+  options.path = path;
+  PeriodicSampler sampler(options, &registry);
+  ASSERT_TRUE(sampler.Start().ok());
+  // Generous deadline; typically satisfied within a few ms.
+  for (int i = 0; i < 2000 && sampler.samples_taken() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.Stop();
+  EXPECT_GE(sampler.samples_taken(), 3u);
+  // Stop is idempotent and a stopped sampler takes no more samples.
+  const uint64_t after_stop = sampler.samples_taken();
+  sampler.Stop();
+  EXPECT_EQ(after_stop, sampler.samples_taken());
+}
+
+TEST(PeriodicTask, RunsAndStops) {
+  exec::PeriodicTask task;
+  std::atomic<int> fires{0};
+  task.Start(1, [&fires] { fires.fetch_add(1); });
+  EXPECT_TRUE(task.running());
+  for (int i = 0; i < 2000 && fires.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  task.Stop();
+  EXPECT_FALSE(task.running());
+  EXPECT_GE(fires.load(), 2);
+}
+
+TEST(PeriodicTask, TriggerNowFiresWithoutWaiting) {
+  exec::PeriodicTask task;
+  std::atomic<int> fires{0};
+  task.Start(3600000, [&fires] { fires.fetch_add(1); });  // 1h interval.
+  task.TriggerNow();
+  for (int i = 0; i < 2000 && fires.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  task.Stop();
+  EXPECT_GE(fires.load(), 1);
+}
+
+TEST(PeriodicTask, StartWhileRunningIsANoOp) {
+  exec::PeriodicTask task;
+  std::atomic<int> a{0}, b{0};
+  task.Start(1, [&a] { a.fetch_add(1); });
+  task.Start(1, [&b] { b.fetch_add(1); });  // Ignored: already running.
+  for (int i = 0; i < 2000 && a.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  task.Stop();
+  EXPECT_GE(a.load(), 1);
+  EXPECT_EQ(0, b.load());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qsp

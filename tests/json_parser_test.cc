@@ -1,0 +1,196 @@
+// util/json_parser: the read-back half of the observability JSON story.
+// Everything JsonWriter (and the exporters built on it) emits must parse
+// back losslessly — including hostile metric/span names, which pins the
+// escaping in util/json_writer.cc.
+#include "util/json_parser.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "util/json_writer.h"
+
+namespace qsp {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << text << " -> " << parsed.status().ToString();
+  return parsed.ok() ? parsed.value() : JsonValue();
+}
+
+TEST(JsonParser, Scalars) {
+  EXPECT_TRUE(Parse("null").is_null());
+  EXPECT_TRUE(Parse("true").AsBool());
+  EXPECT_FALSE(Parse("false").AsBool());
+  EXPECT_DOUBLE_EQ(42.0, Parse("42").AsNumber());
+  EXPECT_DOUBLE_EQ(-1.5e3, Parse("-1.5e3").AsNumber());
+  EXPECT_DOUBLE_EQ(0.25, Parse("2.5e-1").AsNumber());
+  EXPECT_EQ("hi", Parse("\"hi\"").AsString());
+  EXPECT_EQ("", Parse("\"\"").AsString());
+}
+
+TEST(JsonParser, WhitespaceAroundDocument) {
+  EXPECT_DOUBLE_EQ(7.0, Parse("  \n\t 7 \r\n").AsNumber());
+}
+
+TEST(JsonParser, Containers) {
+  const JsonValue doc = Parse("{\"a\":[1,2,3],\"b\":{\"c\":true},\"d\":[]}");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(nullptr, a);
+  ASSERT_EQ(3u, a->AsArray().size());
+  EXPECT_DOUBLE_EQ(2.0, a->AsArray()[1].AsNumber());
+  const JsonValue* c = doc.Find("b")->Find("c");
+  ASSERT_NE(nullptr, c);
+  EXPECT_TRUE(c->AsBool());
+  EXPECT_TRUE(doc.Find("d")->AsArray().empty());
+  EXPECT_EQ(nullptr, doc.Find("missing"));
+}
+
+TEST(JsonParser, ObjectsPreserveInsertionOrder) {
+  const JsonValue doc = Parse("{\"z\":1,\"a\":2,\"m\":3}");
+  const auto& entries = doc.AsObject();
+  ASSERT_EQ(3u, entries.size());
+  EXPECT_EQ("z", entries[0].first);
+  EXPECT_EQ("a", entries[1].first);
+  EXPECT_EQ("m", entries[2].first);
+}
+
+TEST(JsonParser, StringEscapes) {
+  EXPECT_EQ("a\"b\\c/d", Parse("\"a\\\"b\\\\c\\/d\"").AsString());
+  EXPECT_EQ("\b\f\n\r\t", Parse("\"\\b\\f\\n\\r\\t\"").AsString());
+  EXPECT_EQ(std::string("\x01"), Parse("\"\\u0001\"").AsString());
+  // BMP escapes decode to UTF-8.
+  EXPECT_EQ("\xc2\xa9", Parse("\"\\u00a9\"").AsString());
+  EXPECT_EQ("\xe2\x82\xac", Parse("\"\\u20ac\"").AsString());
+}
+
+TEST(JsonParser, Errors) {
+  const char* const kBad[] = {
+      "",         "{",       "[1,",     "{\"a\"}",   "{\"a\":}",
+      "tru",      "01",      "1.",      "+1",        "\"unterminated",
+      "\"\\q\"",  "\"\\u12\"", "[1] extra", "{\"a\":1,}", "nan",
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "should reject: " << text;
+  }
+}
+
+TEST(JsonParser, RejectsControlCharactersInStrings) {
+  EXPECT_FALSE(ParseJson("\"a\nb\"").ok());
+}
+
+TEST(JsonParser, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string fine = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(ParseJson(fine).ok());
+}
+
+TEST(JsonParser, DuplicateKeysSurvive) {
+  const JsonValue doc = Parse("{\"k\":1,\"k\":2}");
+  ASSERT_EQ(2u, doc.AsObject().size());
+  // Find returns the first.
+  EXPECT_DOUBLE_EQ(1.0, doc.Find("k")->AsNumber());
+}
+
+/// JsonWriter -> ParseJson round trip over hostile strings: every key and
+/// value written must come back byte-identical. This pins the escaping of
+/// metric names containing quotes, backslashes, and control bytes.
+TEST(JsonParser, RoundTripsHostileStringsThroughJsonWriter) {
+  const std::vector<std::string> hostile = {
+      "plain",
+      "with \"quotes\"",
+      "back\\slash",
+      "new\nline and tab\t",
+      std::string("nul\0byte", 8),
+      "control\x01\x1f chars",
+      "bell\b form\f feed",
+      "utf8 \xc2\xa9 passthrough",
+      "</script><b>&amp;",
+  };
+  JsonWriter json;
+  json.BeginObject();
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    json.Key(hostile[i]).String(hostile[i]);
+  }
+  json.EndObject();
+
+  const JsonValue doc = Parse(json.str());
+  const auto& entries = doc.AsObject();
+  ASSERT_EQ(hostile.size(), entries.size());
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(hostile[i], entries[i].first) << "key " << i;
+    EXPECT_EQ(hostile[i], entries[i].second.AsString()) << "value " << i;
+  }
+}
+
+TEST(JsonParser, RoundTripsNumbers) {
+  const double values[] = {0.0,    -0.0,   1.0,      -17.25,
+                           1e-9,   3.5e12, 0.0005,   123456789.0,
+                           1.0 / 3.0};
+  for (double v : values) {
+    JsonWriter json;
+    json.BeginArray();
+    json.Number(v);
+    json.EndArray();
+    const JsonValue doc = Parse(json.str());
+    EXPECT_NEAR(v, doc.AsArray()[0].AsNumber(),
+                1e-9 * (1.0 + std::fabs(v)));
+  }
+}
+
+TEST(JsonParser, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::nan(""));
+  json.Number(HUGE_VAL);
+  json.EndArray();
+  const JsonValue doc = Parse(json.str());
+  EXPECT_TRUE(doc.AsArray()[0].is_null());
+  EXPECT_TRUE(doc.AsArray()[1].is_null());
+}
+
+/// MetricRegistry::ToJson with hostile metric names parses and round
+/// trips (satellite of DESIGN.md §10: exporters must never emit invalid
+/// JSON, whatever the registry holds).
+TEST(JsonParser, MetricRegistryJsonWithHostileNamesParses) {
+  obs::MetricRegistry registry;
+  const std::string evil = "evil\"name\\with\nnasties\x02";
+  registry.counter(evil).Add(3);
+  registry.gauge("ok.gauge").Set(1.5);
+  registry.histogram(evil).Record(2.0);
+  const JsonValue doc = Parse(registry.ToJson());
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(nullptr, counters);
+  ASSERT_NE(nullptr, counters->Find(evil));
+  EXPECT_DOUBLE_EQ(3.0, counters->Find(evil)->AsNumber());
+  const JsonValue* histograms = doc.Find("histograms");
+  ASSERT_NE(nullptr, histograms);
+  EXPECT_NE(nullptr, histograms->Find(evil));
+}
+
+/// RunReport::ToJson with hostile names and text values parses.
+TEST(JsonParser, RunReportJsonWithHostileContentParses) {
+  obs::MetricRegistry registry;
+  registry.counter("a\"b").Add(1);
+  obs::RunReport report("name \"quoted\"");
+  report.AddText("desc\\key", "text\nwith\nnewlines and \"quotes\"");
+  report.AddMetrics(registry);
+  const JsonValue doc = Parse(report.ToJson());
+  ASSERT_NE(nullptr, doc.Find("name"));
+  EXPECT_EQ("name \"quoted\"", doc.Find("name")->AsString());
+  ASSERT_NE(nullptr, doc.Find("desc\\key"));
+  EXPECT_EQ("text\nwith\nnewlines and \"quotes\"",
+            doc.Find("desc\\key")->AsString());
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,22 @@
+// qsp_lint fixture: malformed metric/span names handed to the obs API.
+// Linted as FileKind::kLibrary; keep line numbers in sync with the test.
+#include <string>
+
+namespace qsp {
+
+void Record(double v, const std::string& dynamic) {
+  obs::Count("Merge.runs");                       // line 8: uppercase
+  obs::Count("runs");                             // line 9: one segment
+  obs::SetGauge("plan.est.cost.total.extra", v);  // line 10: five segments
+  obs::Observe("net..latency_us", v);             // line 11: empty segment
+  obs::Count("merge.pair merging.runs");          // line 12: space
+  obs::Count("merge." + dynamic);                 // line 13: concatenated
+  obs::ScopedTimer timer(".plan.latency_us");     // line 14: leading dot
+  obs::ScopedSpan span("Broadcast");              // line 15: uppercase span
+  obs::ScopedSpan other("plan.merge");            // line 16: dots in a span
+  obs::Count(dynamic);          // dynamic names are not checkable: silent
+  obs::Count("merge.heap.pops", 3);               // well-formed: silent
+  obs::ScopedSpan fine("broadcast/ch0");          // well-formed: silent
+}
+
+}  // namespace qsp

@@ -1,0 +1,23 @@
+// qsp_lint fixture: well-formed metric and span names — the rule must
+// stay silent on all of these (FileKind::kLibrary).
+#include <string>
+
+namespace qsp {
+
+void Record(double v, const std::string& dynamic, int channel) {
+  obs::Count("merge.pair-merging.runs");
+  obs::Count("net.round.payload_bytes", 7);
+  obs::SetGauge("plan.est.cost", v);
+  obs::Observe("core.plan.latency_us", v);
+  obs::ScopedTimer timer("core.round.latency_us");
+  obs::ScopedSpan span("plan");
+  obs::ScopedSpan sub("broadcast/ch3");
+  obs::ScopedSpan built("retx" + std::to_string(channel));
+  obs::ScopedSpan nested("merge/" + dynamic);
+  obs::Count(dynamic);  // Dynamic names are the caller's problem.
+  registry.counter("ctx.size_cache.hits");
+  registry.gauge("plan.num_groups");
+  registry.histogram("net.round.latency_us");
+}
+
+}  // namespace qsp

@@ -172,9 +172,38 @@ TEST(LintFixtures, LibraryIoExemptOutsideLibrary) {
   EXPECT_TRUE(LintFixture("bad/library_io.cc", FileKind::kOther).empty());
 }
 
+TEST(LintFixtures, MetricName) {
+  const auto got =
+      LinesAndRules(LintFixture("bad/metric_name.cc", FileKind::kLibrary));
+  const Expected want = {{8, "metric-name"},
+                         {9, "metric-name"},
+                         {10, "metric-name"},
+                         {11, "metric-name"},
+                         {12, "metric-name"},
+                         {13, "metric-name"},
+                         {14, "metric-name"},
+                         {15, "metric-name"},
+                         {16, "metric-name"}};
+  EXPECT_EQ(want, got);
+}
+
+TEST(LintFixtures, MetricNameAppliesInObsLayerToo) {
+  // The obs layer is exempt from nondeterminism, not from naming.
+  const auto got =
+      LinesAndRules(LintFixture("bad/metric_name.cc", FileKind::kLibraryObs));
+  EXPECT_EQ(9u, got.size());
+  for (const auto& [line, rule] : got) EXPECT_EQ("metric-name", rule);
+}
+
+TEST(LintFixtures, MetricNameExemptOutsideLibrary) {
+  // Tests and benches may register whatever scratch names they like.
+  EXPECT_TRUE(LintFixture("bad/metric_name.cc", FileKind::kOther).empty());
+}
+
 TEST(LintFixtures, GoodCorpusIsClean) {
   for (const std::string rel :
-       {"good/clean_library.cc", "good/suppressed.cc"}) {
+       {"good/clean_library.cc", "good/suppressed.cc",
+        "good/metric_names.cc"}) {
     const auto findings = LintFixture(rel, FileKind::kLibrary);
     EXPECT_TRUE(findings.empty())
         << rel << ": " << findings.size() << " unexpected finding(s), first: "

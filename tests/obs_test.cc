@@ -3,14 +3,18 @@
 // exporters (including the bench DistanceToOptimal guard that rides on the
 // same PR).
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "bench/bench_common.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/phase_tracer.h"
 #include "obs/run_report.h"
@@ -246,6 +250,114 @@ TEST_F(ObsTest, DistanceToOptimalClampsAndFlags) {
   EXPECT_DOUBLE_EQ(bench::DistanceToOptimal(100.0 - 1e-10, 100.0, 200.0), 0.0);
   // ...but a heuristic genuinely beating the "optimum" is a sentinel NaN.
   EXPECT_TRUE(std::isnan(bench::DistanceToOptimal(90.0, 100.0, 200.0)));
+}
+
+TEST_F(ObsTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram h;
+  for (double p : {-5.0, 0.0, 50.0, 100.0, 150.0}) {
+    EXPECT_DOUBLE_EQ(0.0, h.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST_F(ObsTest, PercentileOfSingleSampleIsThatSample) {
+  Histogram h;
+  h.Record(7.0);
+  for (double p : {-5.0, 0.0, 1.0, 50.0, 99.0, 100.0, 150.0}) {
+    EXPECT_DOUBLE_EQ(7.0, h.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST_F(ObsTest, PercentileOutOfRangePinsToEnvelope) {
+  Histogram h;
+  h.Record(2.0);
+  h.Record(100.0);
+  EXPECT_DOUBLE_EQ(2.0, h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(2.0, h.Percentile(-10.0));
+  EXPECT_DOUBLE_EQ(100.0, h.Percentile(100.0));
+  EXPECT_DOUBLE_EQ(100.0, h.Percentile(200.0));
+}
+
+TEST_F(ObsTest, PercentileBucketZeroClampsToExactEnvelope) {
+  // Sub-1.0 values all land in bucket 0 (upper edge 1.0); the reported
+  // percentile must still respect the exact [min, max] envelope.
+  Histogram h;
+  h.Record(0.25);
+  h.Record(0.5);
+  EXPECT_DOUBLE_EQ(0.5, h.Percentile(50.0));
+  EXPECT_DOUBLE_EQ(0.5, h.Percentile(90.0));
+  EXPECT_DOUBLE_EQ(0.25, h.Percentile(0.0));
+}
+
+TEST_F(ObsTest, PercentileFactorOfTwoOracleOnDeterministicStream) {
+  // 1000 pseudo-random samples in [0, 1000): for every p the log-scale
+  // histogram's answer must bracket the exact order statistic within the
+  // structural factor-of-two bucket error, clamped to [min, max].
+  Histogram h;
+  std::vector<double> values;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = static_cast<double>((x >> 33) % 100000) / 100.0;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    const double exact = sorted[rank - 1];
+    const double approx = h.Percentile(p);
+    EXPECT_GE(approx, exact - 1e-12) << "p=" << p;
+    EXPECT_LE(approx, std::max(2.0 * exact, 1.0) + 1e-12) << "p=" << p;
+    EXPECT_GE(approx, sorted.front());
+    EXPECT_LE(approx, sorted.back());
+  }
+}
+
+TEST_F(ObsTest, FakeClockMakesScopedTimerDeterministic) {
+  // Two timed runs under fresh FakeClocks must record byte-identical
+  // latency histograms — the property the fig15 golden report rides on.
+  SetEnabled(true);
+  double sums[2];
+  uint64_t counts[2];
+  for (int run = 0; run < 2; ++run) {
+    MetricRegistry::Default().Reset();
+    FakeClock clock(/*tick_us=*/25.0);
+    SetClock(&clock);
+    {
+      ScopedTimer outer("det.plan.latency_us");
+      ScopedTimer inner("det.merge.latency_us");
+    }
+    SetClock(nullptr);
+    const Histogram& h =
+        MetricRegistry::Default().histogram("det.plan.latency_us");
+    sums[run] = h.sum();
+    counts[run] = h.count();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_DOUBLE_EQ(sums[0], sums[1]);
+  EXPECT_GT(sums[0], 0.0);
+}
+
+TEST_F(ObsTest, FakeClockMakesTracerSpansDeterministic) {
+  SetEnabled(true);
+  double walls[2];
+  for (int run = 0; run < 2; ++run) {
+    PhaseTracer::Default().Clear();
+    FakeClock clock(/*tick_us=*/10.0);
+    SetClock(&clock);
+    PhaseTracer& tracer = PhaseTracer::Default();
+    tracer.Begin("plan");
+    tracer.Begin("merge");
+    tracer.End();
+    tracer.End();
+    SetClock(nullptr);
+    ASSERT_EQ(1u, tracer.spans().size());
+    walls[run] = tracer.spans()[0].wall_us;
+  }
+  EXPECT_DOUBLE_EQ(walls[0], walls[1]);
+  EXPECT_GT(walls[0], 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+// bench_compare — the perf-regression gate (DESIGN.md §10).
+//
+//   bench_compare --current bench_report.json
+//                 [--baseline FILE]            explicit baseline report
+//                 [--trajectory FILE]          [BENCH_trajectory.json]
+//                 [--label NAME]               [default]
+//                 [--threshold-pct F]          [25]
+//                 [--no-append]                compare only
+//
+// Compares the current merged bench report against a baseline — an
+// explicit --baseline report, or else the most recent same-label entry in
+// the trajectory file — and appends the current latency metrics to the
+// trajectory. With no baseline at all (first ever run) it records and
+// exits 0.
+//
+// Exit codes: 0 ok, 1 regression past the threshold, 2 usage / IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench_compare/compare.h"
+
+namespace qsp {
+namespace benchcmp {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string current_path;
+  std::string baseline_path;
+  std::string trajectory_path = "BENCH_trajectory.json";
+  std::string label = "default";
+  CompareOptions options;
+  bool append = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--current") {
+      current_path = value();
+    } else if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--trajectory") {
+      trajectory_path = value();
+    } else if (arg == "--label") {
+      label = value();
+    } else if (arg == "--threshold-pct") {
+      options.threshold_pct = std::atof(value().c_str());
+    } else if (arg == "--no-append") {
+      append = false;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --current bench_report.json "
+                 "[--baseline FILE] [--trajectory FILE] [--label NAME] "
+                 "[--threshold-pct F] [--no-append]\n");
+    return 2;
+  }
+
+  Result<JsonValue> current = LoadJsonFile(current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "--current: %s\n",
+                 current.status().ToString().c_str());
+    return 2;
+  }
+  const std::map<std::string, double> flattened =
+      FlattenNumbers(current.value());
+  std::map<std::string, double> latency;
+  for (const auto& [path, v] : flattened) {
+    if (IsLatencyMetric(path)) latency[path] = v;
+  }
+
+  Result<JsonValue> trajectory = LoadTrajectory(trajectory_path);
+  if (!trajectory.ok()) {
+    std::fprintf(stderr, "--trajectory: %s\n",
+                 trajectory.status().ToString().c_str());
+    return 2;
+  }
+
+  // Resolve the baseline metric map.
+  std::map<std::string, double> baseline;
+  bool have_baseline = false;
+  if (!baseline_path.empty()) {
+    Result<JsonValue> loaded = LoadJsonFile(baseline_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--baseline: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    baseline = FlattenNumbers(loaded.value());
+    have_baseline = true;
+  } else {
+    const JsonValue* entry = FindLastEntry(trajectory.value(), label);
+    if (entry != nullptr) {
+      const JsonValue* metrics = entry->Find("metrics");
+      if (metrics != nullptr) baseline = FlattenNumbers(*metrics);
+      have_baseline = true;
+    }
+  }
+
+  int exit_code = 0;
+  if (have_baseline) {
+    const CompareResult result = Compare(baseline, latency, options);
+    for (const MetricDelta& delta : result.deltas) {
+      std::printf("%s %-60s %12.3f -> %12.3f  (%+.1f%%)\n",
+                  delta.regression ? "REGRESSION" : "ok        ",
+                  delta.path.c_str(), delta.baseline, delta.current,
+                  delta.pct_change);
+    }
+    for (const std::string& path : result.only_in_baseline) {
+      std::printf("gone       %s\n", path.c_str());
+    }
+    for (const std::string& path : result.only_in_current) {
+      std::printf("new        %s\n", path.c_str());
+    }
+    if (result.num_regressions > 0) {
+      std::printf("%zu metric(s) regressed past %.1f%%\n",
+                  result.num_regressions, options.threshold_pct);
+      exit_code = 1;
+    } else {
+      std::printf("no regressions past %.1f%% (%zu gated metrics)\n",
+                  options.threshold_pct, result.deltas.size());
+    }
+  } else {
+    std::printf("no baseline for label '%s'; recording only\n",
+                label.c_str());
+  }
+
+  if (append) {
+    const Status appended = AppendTrajectoryEntry(
+        trajectory_path, label, latency, &trajectory.value());
+    if (!appended.ok()) {
+      std::fprintf(stderr, "trajectory append: %s\n",
+                   appended.ToString().c_str());
+      return 2;
+    }
+    std::printf("appended entry '%s' (%zu metrics) to %s\n", label.c_str(),
+                latency.size(), trajectory_path.c_str());
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace benchcmp
+}  // namespace qsp
+
+int main(int argc, char** argv) {
+  return qsp::benchcmp::Run(argc, argv);
+}

@@ -1,0 +1,171 @@
+#include "bench_compare/compare.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace qsp {
+namespace benchcmp {
+
+namespace {
+
+void FlattenInto(const JsonValue& value, const std::string& prefix,
+                 std::map<std::string, double>* out) {
+  if (value.is_number()) {
+    (*out)[prefix] = value.AsNumber();
+    return;
+  }
+  if (value.is_object()) {
+    for (const auto& [key, child] : value.AsObject()) {
+      FlattenInto(child, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  }
+  // Arrays (per-row tables, phase traces) and non-numeric leaves are not
+  // gateable scalars; skip them.
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::map<std::string, double> FlattenNumbers(const JsonValue& value) {
+  std::map<std::string, double> out;
+  FlattenInto(value, "", &out);
+  return out;
+}
+
+bool IsLatencyMetric(const std::string& path) {
+  return path.find("latency_us.") != std::string::npos;
+}
+
+bool IsGatedMetric(const std::string& path) {
+  return IsLatencyMetric(path) && EndsWith(path, ".mean");
+}
+
+CompareResult Compare(const std::map<std::string, double>& baseline,
+                      const std::map<std::string, double>& current,
+                      const CompareOptions& options) {
+  CompareResult result;
+  for (const auto& [path, base_value] : baseline) {
+    if (!IsGatedMetric(path)) continue;
+    const auto it = current.find(path);
+    if (it == current.end()) {
+      result.only_in_baseline.push_back(path);
+      continue;
+    }
+    MetricDelta delta;
+    delta.path = path;
+    delta.baseline = base_value;
+    delta.current = it->second;
+    if (base_value > 0.0) {
+      delta.pct_change = 100.0 * (delta.current - base_value) / base_value;
+    }
+    delta.regression = delta.pct_change > options.threshold_pct;
+    if (delta.regression) ++result.num_regressions;
+    result.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [path, value] : current) {
+    (void)value;
+    if (IsGatedMetric(path) && baseline.find(path) == baseline.end()) {
+      result.only_in_current.push_back(path);
+    }
+  }
+  return result;
+}
+
+Result<JsonValue> LoadJsonFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(file);
+  Result<JsonValue> parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().ToString());
+  }
+  return parsed;
+}
+
+Result<JsonValue> LoadTrajectory(const std::string& path) {
+  Result<JsonValue> loaded = LoadJsonFile(path);
+  if (!loaded.ok()) return loaded.status();
+  if (!loaded.value().is_array()) {
+    return Status::InvalidArgument(path + ": trajectory is not an array");
+  }
+  return loaded;
+}
+
+const JsonValue* FindLastEntry(const JsonValue& trajectory,
+                               const std::string& label) {
+  if (!trajectory.is_array()) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const JsonValue& entry : trajectory.AsArray()) {
+    const JsonValue* entry_label = entry.Find("label");
+    if (entry_label != nullptr && entry_label->is_string() &&
+        entry_label->AsString() == label) {
+      found = &entry;
+    }
+  }
+  return found;
+}
+
+Status AppendTrajectoryEntry(const std::string& path,
+                             const std::string& label,
+                             const std::map<std::string, double>& metrics,
+                             JsonValue* trajectory) {
+  JsonValue entry = JsonValue::MakeObject();
+  entry.MutableObject().emplace_back("label", JsonValue::MakeString(label));
+  JsonValue metrics_node = JsonValue::MakeObject();
+  for (const auto& [metric_path, value] : metrics) {
+    metrics_node.MutableObject().emplace_back(metric_path,
+                                              JsonValue::MakeNumber(value));
+  }
+  entry.MutableObject().emplace_back("metrics", std::move(metrics_node));
+  trajectory->MutableArray().push_back(std::move(entry));
+
+  JsonWriter json;
+  json.BeginArray();
+  for (const JsonValue& e : trajectory->AsArray()) {
+    json.BeginObject();
+    const JsonValue* e_label = e.Find("label");
+    json.Key("label").String(
+        e_label != nullptr && e_label->is_string() ? e_label->AsString()
+                                                   : "");
+    json.Key("metrics").BeginObject();
+    const JsonValue* e_metrics = e.Find("metrics");
+    if (e_metrics != nullptr && e_metrics->is_object()) {
+      for (const auto& [key, value] : e_metrics->AsObject()) {
+        if (value.is_number()) json.Key(key).Number(value.AsNumber());
+      }
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot write " + path);
+  }
+  const std::string text = json.str() + "\n";
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  if (written != text.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace benchcmp
+}  // namespace qsp

@@ -1,0 +1,97 @@
+#ifndef QSP_TOOLS_BENCH_COMPARE_COMPARE_H_
+#define QSP_TOOLS_BENCH_COMPARE_COMPARE_H_
+
+/// bench_compare — the perf-regression gate (DESIGN.md §10).
+///
+/// Compares a current scripts/run_benches.sh merged report
+/// (bench_report.json) against a baseline and fails on significant
+/// latency regressions, while maintaining BENCH_trajectory.json — an
+/// append-only JSON array of labeled metric snapshots, one per gate run,
+/// that CI keeps as an artifact so the trajectory of every tracked metric
+/// across commits is one file.
+///
+/// Only wall-clock metrics gate (histogram means of *.latency_us):
+/// deterministic counters and costs are pinned by tests and goldens
+/// elsewhere, and gating them on a percentage threshold would only mask
+/// real changes. All latency leaves (mean, percentiles, sum, count) are
+/// recorded in the trajectory; only the means decide pass/fail, since
+/// tail percentiles of 3-sample bench histograms are pure noise.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json_parser.h"
+#include "util/status.h"
+
+namespace qsp {
+namespace benchcmp {
+
+/// Flattens every numeric leaf of `value` into dotted paths
+/// ("fig15.metrics.histograms.core.plan.latency_us.mean" -> number).
+/// Arrays are skipped: per-row tables and phase traces are shapes, not
+/// gateable scalars.
+std::map<std::string, double> FlattenNumbers(const JsonValue& value);
+
+/// True when `path` names a latency metric worth recording in the
+/// trajectory (any *.latency_us leaf).
+bool IsLatencyMetric(const std::string& path);
+
+/// True when `path` is one of the leaves that decide pass/fail (the
+/// histogram mean of a latency metric).
+bool IsGatedMetric(const std::string& path);
+
+struct CompareOptions {
+  /// A gated metric regressing by more than this fraction of its
+  /// baseline fails the gate.
+  double threshold_pct = 25.0;
+};
+
+struct MetricDelta {
+  std::string path;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Percent change relative to baseline (positive = slower).
+  double pct_change = 0.0;
+  bool regression = false;
+};
+
+struct CompareResult {
+  /// Every gated metric present on both sides, in path order.
+  std::vector<MetricDelta> deltas;
+  size_t num_regressions = 0;
+  /// Gated metrics present on only one side (renamed/added/removed
+  /// benches); reported, never failed on.
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_current;
+};
+
+/// Compares flattened metric maps; see CompareOptions.
+CompareResult Compare(const std::map<std::string, double>& baseline,
+                      const std::map<std::string, double>& current,
+                      const CompareOptions& options);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> LoadJsonFile(const std::string& path);
+
+/// Loads the trajectory array at `path`. The file must exist and hold a
+/// JSON array (the repo seeds it with []).
+Result<JsonValue> LoadTrajectory(const std::string& path);
+
+/// The most recent trajectory entry whose "label" matches, or nullptr.
+const JsonValue* FindLastEntry(const JsonValue& trajectory,
+                               const std::string& label);
+
+/// Appends {"label": label, "metrics": {path: value, ...}} to the
+/// trajectory array and rewrites `path` atomically enough for CI
+/// (write-whole-file). `metrics` should be the latency subset of a
+/// flattened report.
+Status AppendTrajectoryEntry(const std::string& path,
+                             const std::string& label,
+                             const std::map<std::string, double>& metrics,
+                             JsonValue* trajectory);
+
+}  // namespace benchcmp
+}  // namespace qsp
+
+#endif  // QSP_TOOLS_BENCH_COMPARE_COMPARE_H_

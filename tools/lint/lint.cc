@@ -513,6 +513,122 @@ void CheckLibraryIo(const FileScan& scan) {
   }
 }
 
+/// -------------------------------------------------------- rule: metric-name
+
+bool IsLowerAlnumSegChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '-';
+}
+
+/// `subsystem.noun[.verb[.qualifier]]`: 2..4 dot-separated segments of
+/// [a-z0-9_-]; the first segment starts with a letter, later segments may
+/// start with a digit (p50-style leaves).
+bool ValidMetricName(const std::string& name) {
+  size_t segments = 0;
+  size_t i = 0;
+  while (true) {
+    const size_t start = i;
+    while (i < name.size() && name[i] != '.') ++i;
+    if (i == start) return false;  // Empty segment.
+    const char first = name[start];
+    if (segments == 0 && !(first >= 'a' && first <= 'z')) return false;
+    for (size_t j = start; j < i; ++j) {
+      if (!IsLowerAlnumSegChar(name[j])) return false;
+    }
+    ++segments;
+    if (i == name.size()) break;
+    ++i;  // Skip the dot.
+  }
+  return segments >= 2 && segments <= 4;
+}
+
+/// Span names are slash-separated lowercase segments ("plan",
+/// "broadcast/ch3"). `concatenated` marks a literal that is only the
+/// prefix of a runtime-built name ("retx" + std::to_string(n)), where a
+/// trailing '/' or partial segment is fine.
+bool ValidSpanName(const std::string& name, bool concatenated) {
+  if (name.empty()) return false;
+  if (!(name[0] >= 'a' && name[0] <= 'z')) return false;
+  for (char c : name) {
+    if (!IsLowerAlnumSegChar(c) && c != '/') return false;
+  }
+  if (!concatenated && (name.back() == '/' || name.find("//") != std::string::npos)) {
+    return false;
+  }
+  return true;
+}
+
+struct ObsApi {
+  const char* name;
+  bool is_span;      // Span convention instead of metric convention.
+  bool needs_member; // Must be reached via '.'/'->' (registry accessors).
+  bool needs_scope;  // Must be reached via '::' (free functions).
+};
+
+void CheckMetricNames(const FileScan& scan) {
+  static const std::string kRule = "metric-name";
+  const std::string& s = scan.stripped;
+  const std::string& raw = scan.file->content;
+  static const ObsApi kApis[] = {
+      {"Count", false, false, true},     {"SetGauge", false, false, true},
+      {"Observe", false, false, true},   {"ScopedTimer", false, false, false},
+      {"counter", false, true, false},   {"gauge", false, true, false},
+      {"histogram", false, true, false}, {"ScopedSpan", true, false, false},
+      {"Begin", true, true, false},
+  };
+  for (const ObsApi& api : kApis) {
+    const std::string name(api.name);
+    size_t pos = 0;
+    while ((pos = s.find(name, pos)) != std::string::npos) {
+      const size_t here = pos;
+      pos += name.size();
+      if (!WordAt(s, here, name)) continue;
+      if (api.needs_member || api.needs_scope) {
+        size_t before = here;
+        while (before > 0 && IsSpace(s[before - 1])) --before;
+        if (before == 0) continue;
+        const char prev = s[before - 1];
+        if (api.needs_member && prev != '.' && prev != '>') continue;
+        if (api.needs_scope && prev != ':') continue;
+      }
+      size_t j = SkipSpaces(s, here + name.size());
+      // ScopedTimer/ScopedSpan are types: allow `ScopedTimer t("...")`.
+      if (!api.needs_member && !api.needs_scope) {
+        const std::string var = ReadIdent(s, j);
+        if (!var.empty()) j = SkipSpaces(s, j + var.size());
+      }
+      if (j >= s.size() || s[j] != '(') continue;
+      // The stripped text blanks literals to spaces (offsets preserved),
+      // so skip whitespace in the RAW content — where the quote survives.
+      j = SkipSpaces(raw, j + 1);
+      if (j >= raw.size() || raw[j] != '"') continue;  // Dynamic name.
+      size_t end = j + 1;
+      std::string literal;
+      while (end < raw.size() && raw[end] != '"') {
+        if (raw[end] == '\\') ++end;
+        if (end < raw.size()) literal += raw[end];
+        ++end;
+      }
+      size_t after = SkipSpaces(raw, end + 1);
+      const bool concatenated = after < raw.size() && raw[after] == '+';
+      const bool valid = api.is_span
+                             ? ValidSpanName(literal, concatenated)
+                             : (ValidMetricName(literal) && !concatenated);
+      if (!valid) {
+        scan.Report(
+            j, kRule,
+            "'" + literal + "' passed to " + name +
+                (api.is_span
+                     ? " is not a valid span name (lowercase "
+                       "slash-separated segments, e.g. \"broadcast/ch3\")"
+                     : " is not a valid metric name (lowercase "
+                       "subsystem.noun[.verb] with 2..4 dot segments, "
+                       "e.g. \"merge.pair-merging.runs\")"));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string StripCommentsAndStrings(const std::string& content) {
@@ -690,6 +806,7 @@ std::vector<Finding> LintFile(const SourceFile& file,
     CheckUnorderedIteration(scan);
     CheckUngatedKnobs(scan);
     CheckLibraryIo(scan);
+    CheckMetricNames(scan);
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -37,6 +37,19 @@
 ///                      Library output goes through qsp::obs or the
 ///                      table printers; stderr (fprintf/std::cerr) stays
 ///                      available for fatal diagnostics.
+///   metric-name        A string literal handed to the qsp::obs API
+///                      (obs::Count/SetGauge/Observe, ScopedTimer,
+///                      registry .counter/.gauge/.histogram) that does
+///                      not follow the metric naming convention:
+///                      lowercase `subsystem.noun[.verb[.qualifier]]` —
+///                      2..4 dot-separated segments of [a-z0-9_-], the
+///                      first starting with a letter. Span names
+///                      (ScopedSpan, PhaseTracer .Begin) are
+///                      slash-separated lowercase segments instead
+///                      ("plan", "broadcast/ch3"). Dynamic (non-literal)
+///                      names are not checked. Library code only — the
+///                      exporters key on these names forever, so they
+///                      must be born well-formed.
 ///
 /// Suppression: a line containing `// qsp-lint: allow(<rule>) <reason>`
 /// silences that rule on that line. The reason is mandatory by

@@ -1,0 +1,187 @@
+// qsp_explain — EXPLAIN a merge plan (DESIGN.md §10).
+//
+//   qsp_explain [options]
+//
+// Loads a scenario, runs a merger over it, and prints the structured
+// PlanExplain: per merged group its members, MBR, estimated (and
+// optionally exact) size, the Section 4 cost terms, and the
+// BenefitBounder's bound/refinement accounting.
+//
+// Options (defaults in brackets):
+//   --scenario fig16|workload [fig16]
+//       fig16    the Figure 16 evaluation setting (hybrid clustered
+//                workload, adversarial cost constants, uniform estimator)
+//       workload the qspctl-style generic workload knobs below
+//   --queries N [12]    --seed N [fig16: 1000*queries; workload: 42]
+//   --merger pair|directed|clustering|exact [pair]
+//   --no-pruning        disable the BenefitBounder fast path
+//   --exact             also report exact merged sizes, measured against
+//                       a generated table (--objects N [5000])
+//   --format text|json [text]
+//   workload-mode knobs: --cf F [0.6] --sf F [0.5] --df F [0.03]
+//       --min-extent F [0.02] --max-extent F [0.1] --density F [0.0005]
+//       --km F [10] --kt F [9] --ku F [4]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "core/subscription_service.h"
+#include "obs/plan_explain.h"
+#include "relation/generator.h"
+#include "relation/grid_index.h"
+#include "stats/exact_estimator.h"
+
+namespace qsp {
+namespace {
+
+/// Minimal --key value argument map (same shape as qspctl's).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";  // Boolean flag.
+      }
+    }
+  }
+
+  double F(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t I(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  std::string S(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+MergerKind MergerFromArgs(const Args& args, std::string* name) {
+  *name = args.S("merger", "pair");
+  if (*name == "pair") return MergerKind::kPairMerging;
+  if (*name == "directed") return MergerKind::kDirectedSearch;
+  if (*name == "clustering") return MergerKind::kClustering;
+  if (*name == "exact") return MergerKind::kPartitionExact;
+  std::fprintf(stderr, "unknown --merger '%s'\n", name->c_str());
+  std::exit(2);
+}
+
+int Run(const Args& args) {
+  const std::string scenario = args.S("scenario", "fig16");
+  const size_t num_queries = static_cast<size_t>(args.I("queries", 12));
+
+  QueryGenConfig workload;
+  double density = 0.0;
+  CostModel model;
+  uint64_t seed = 0;
+  if (scenario == "fig16") {
+    workload = bench::Fig16WorkloadConfig(num_queries);
+    density = bench::kFig16Density;
+    model = bench::Fig16CostModel();
+    // The seed of trial 0 at this |Q| in the fig16 harness.
+    seed = static_cast<uint64_t>(
+        args.I("seed", static_cast<int64_t>(1000 * num_queries)));
+  } else if (scenario == "workload") {
+    workload.domain = Rect(0, 0, 1000, 1000);
+    workload.num_queries = num_queries;
+    workload.cf = args.F("cf", 0.6);
+    workload.sf = args.F("sf", 0.5);
+    workload.df = args.F("df", 0.03);
+    workload.min_extent = args.F("min-extent", 0.02);
+    workload.max_extent = args.F("max-extent", 0.1);
+    density = args.F("density", bench::kFig16Density);
+    model.k_m = args.F("km", 10.0);
+    model.k_t = args.F("kt", 9.0);
+    model.k_u = args.F("ku", 4.0);
+    seed = static_cast<uint64_t>(args.I("seed", 42));
+  } else {
+    std::fprintf(stderr, "unknown --scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+
+  bench::Instance instance(workload, seed, density);
+
+  std::string merger_name;
+  const MergerKind merger_kind = MergerFromArgs(args, &merger_name);
+  const bool pruning = !args.Has("no-pruning");
+  const auto merger = MakeMerger(merger_kind, seed, pruning);
+  Result<MergeOutcome> outcome = merger->Merge(*instance.ctx, model);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  obs::PlanExplainer explainer(instance.ctx.get(), model);
+  explainer.AddLabel("scenario", scenario);
+  explainer.AddLabel("merger", merger_name);
+  explainer.AddLabel("procedure", "rect");
+  explainer.AddLabel("estimator", "uniform");
+  explainer.set_initial_cost(model.InitialCost(*instance.ctx));
+  explainer.set_refinement(outcome->bounds_refined, outcome->bounds_pruned);
+
+  // --exact: measure merged sizes against a real table so the EXPLAIN
+  // shows the estimator's error per group.
+  std::unique_ptr<Table> table;
+  std::unique_ptr<GridIndex> index;
+  std::unique_ptr<ExactEstimator> exact_estimator;
+  std::unique_ptr<MergeContext> exact_ctx;
+  if (args.Has("exact")) {
+    Rng rng(seed);
+    TableGeneratorConfig tconfig;
+    tconfig.domain = workload.domain;
+    tconfig.num_objects = static_cast<size_t>(args.I("objects", 5000));
+    tconfig.clustered_fraction = 0.5;
+    table = std::make_unique<Table>(GenerateTable(tconfig, &rng));
+    index = std::make_unique<GridIndex>(*table, workload.domain);
+    exact_estimator = std::make_unique<ExactEstimator>(index.get());
+    exact_ctx = std::make_unique<MergeContext>(
+        &instance.queries, exact_estimator.get(), &instance.procedure);
+    explainer.set_exact_context(exact_ctx.get());
+  }
+
+  const obs::PlanExplain explain = explainer.Explain(outcome->partition);
+
+  const std::string format = args.S("format", "text");
+  if (format == "text") {
+    std::fputs(explain.ToText().c_str(), stdout);
+  } else if (format == "json") {
+    std::printf("%s\n", explain.ToJson().c_str());
+  } else {
+    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main(int argc, char** argv) {
+  const qsp::Args args(argc, argv, 1);
+  if (args.Has("help")) {
+    std::fputs("see the header of tools/qsp_explain.cc for options\n",
+               stderr);
+    return 2;
+  }
+  return qsp::Run(args);
+}
