@@ -1,0 +1,256 @@
+// Live-service churn matrix (DESIGN.md §11): the lease/admission/repair
+// loop under crash + late-join churn, across population scales, churn
+// intensities, and plan-maintenance policies. Reports per-batch
+// maintenance latency percentiles (wall clock — the number the perf
+// trajectory gates), final plan cost against a from-scratch yardstick,
+// the incremental-vs-fresh evaluation ratio, and the lease/shed/replan
+// counters. Exits nonzero if any structural invariant of the maintained
+// plan is violated.
+//
+// `--soak` appends a 100k-subscription cell (the robustness acceptance
+// scale); `--seed N` offsets every cell's seed so CI can sweep fault
+// seeds.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/run_report.h"
+#include "sim/churn.h"
+#include "util/table_printer.h"
+
+namespace qsp {
+namespace {
+
+struct PolicyCell {
+  const char* name;
+  LiveServiceConfig service;
+  double clock_tick_us = 0.0;
+};
+
+std::vector<PolicyCell> Policies() {
+  std::vector<PolicyCell> cells;
+  {
+    PolicyCell greedy{"greedy", {}, 0.0};
+    greedy.service.repair_max_moves = -1;
+    cells.push_back(greedy);
+  }
+  {
+    PolicyCell repair{"repair", {}, 0.0};
+    repair.service.repair_max_moves = 0;
+    cells.push_back(repair);
+  }
+  {
+    // The service's realistic steady-state setting: a fixed move budget
+    // per batch keeps repair work bounded regardless of population.
+    PolicyCell budget{"repair+budget", {}, 0.0};
+    budget.service.repair_max_moves = 8;
+    cells.push_back(budget);
+  }
+  {
+    // Budgeted repair plus cost-drift replanning — the full loop.
+    PolicyCell drift{"repair+replan", {}, 0.0};
+    drift.service.repair_max_moves = 8;
+    drift.service.replan_drift_factor = 1.25;
+    drift.service.drift_check_every_batches = 8;
+    cells.push_back(drift);
+  }
+  return cells;
+}
+
+struct Percentiles {
+  double p50 = 0.0, p95 = 0.0, max = 0.0;
+};
+
+Percentiles LatencyPercentiles(const ChurnOutcome& outcome) {
+  std::vector<double> samples;
+  samples.reserve(outcome.rounds.size());
+  for (const ChurnRoundStats& r : outcome.rounds) {
+    samples.push_back(r.wall_batch_us);
+  }
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const size_t i = static_cast<size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return samples[i];
+  };
+  p.p50 = at(0.50);
+  p.p95 = at(0.95);
+  p.max = samples.back();
+  return p;
+}
+
+std::string Fixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return std::string(buf);
+}
+
+std::string Ratio(double num, double den) {
+  if (den <= 0.0) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fx", num / den);
+  return std::string(buf);
+}
+
+int Run(bool soak, uint64_t seed_offset) {
+  bench::PrintHeader(
+      "Live-service churn matrix (DESIGN.md §11)",
+      "Leased subscriptions heartbeat against the live service loop while "
+      "the fault injector crashes clients (missed heartbeats -> expiry) "
+      "and replays late joins. Policies: greedy placement only; repair to "
+      "local minimum; repair under a per-batch deadline; repair plus "
+      "cost-drift replanning. latency = wall-clock ProcessBatch time.");
+
+  struct Scale {
+    size_t subs;
+    int rounds;
+    size_t arrivals;
+    size_t departures;
+    size_t check_every;
+  };
+  std::vector<Scale> scales = {{800, 30, 24, 12, 1}, {4000, 20, 48, 24, 2}};
+  if (soak) scales.push_back({100000, 12, 400, 200, 6});
+
+  struct Churn {
+    const char* name;
+    double crash_rate;
+    double late_join_rate;
+  };
+  const std::vector<Churn> churns = {{"calm", 0.02, 0.3},
+                                     {"stormy", 0.15, 0.5}};
+
+  const bool telemetry = bench::EnableTelemetryIfReportRequested();
+  TablePrinter table({"subs", "churn", "policy", "final cost", "vs fresh",
+                      "evals vs fresh/rd", "sheds", "expired", "replans a/b",
+                      "batch p50us", "batch p95us", "batch maxus"});
+  bool invariants_ok = true;
+  std::string first_violation;
+
+  for (const Scale& scale : scales) {
+    for (const Churn& churn : churns) {
+      for (const PolicyCell& policy : Policies()) {
+        ChurnConfig config;
+        config.rounds = scale.rounds;
+        config.initial_subs = scale.subs;
+        config.arrivals_per_round = scale.arrivals;
+        config.departures_per_round = scale.departures;
+        config.invariant_check_every = scale.check_every;
+        config.fault.crash_rate = churn.crash_rate;
+        config.fault.late_join_rate = churn.late_join_rate;
+        // At soak scale, only the service's realistic steady-state
+        // policy runs (budgeted repair): repair-to-local-minimum is
+        // quadratic-ish per batch, and the other policies' behavior is
+        // already characterized by the smaller scales above.
+        if (scale.subs >= 50000 &&
+            std::strcmp(policy.name, "repair+budget") != 0) {
+          continue;
+        }
+        // The from-scratch yardstick is a full pair merge over the final
+        // population — superlinear, and well past an hour at 100k. The
+        // soak cell's acceptance signal is the structural invariants and
+        // the batch-latency percentiles; the vs-fresh ratio is
+        // characterized at the smaller scales.
+        if (scale.subs >= 50000) config.compare_fresh = false;
+        config.service = policy.service;
+        config.clock_tick_us = policy.clock_tick_us;
+        // Size admission for the cell: batches large enough to absorb a
+        // round's churn, queue bounded relative to the population (the
+        // shed path is exercised by the unit tests, not the matrix).
+        config.service.admission_batch_max =
+            std::max<size_t>(256, 2 * scale.arrivals);
+        config.service.admission_queue_limit = 2 * scale.subs;
+        // Seeding drains in batches too, and every batch pays at least
+        // one full repair scan — O(population). At soak scale, let
+        // warm-up use bulk batches so the per-batch repair cost lands on
+        // the measured steady-state rounds, not on 100+ seeding batches.
+        if (scale.subs >= 50000) {
+          config.service.admission_batch_max = scale.subs / 4;
+        }
+        config.query_shape = bench::Fig16WorkloadConfig(1);
+        config.seed = 9000 + seed_offset;
+
+        Result<ChurnOutcome> result = RunServiceChurn(config);
+        if (!result.ok()) {
+          std::fprintf(stderr, "churn run failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        const ChurnOutcome& outcome = result.value();
+        if (!outcome.invariants_ok() && invariants_ok) {
+          invariants_ok = false;
+          first_violation = outcome.invariant_error;
+        }
+        const Percentiles lat = LatencyPercentiles(outcome);
+        if (telemetry) {
+          for (const ChurnRoundStats& r : outcome.rounds) {
+            obs::Observe("churn.batch.latency_us", r.wall_batch_us);
+          }
+          obs::SetGauge("churn.final.cost", outcome.final_cost);
+          if (outcome.fresh_cost > 0.0) {
+            obs::SetGauge("churn.final.drift",
+                          outcome.final_cost / outcome.fresh_cost);
+          }
+        }
+        table.AddRow(
+            {std::to_string(scale.subs), churn.name, policy.name,
+             Fixed(outcome.final_cost),
+             Ratio(outcome.final_cost, outcome.fresh_cost),
+             // Steady-state maintenance work vs replanning from scratch
+             // every round — the paper-facing efficiency claim. Seeding
+             // is excluded: every policy pays that bootstrap identically.
+             Ratio(static_cast<double>(outcome.maintenance_evals),
+                   static_cast<double>(outcome.fresh_evals) *
+                       static_cast<double>(scale.rounds)),
+             std::to_string(outcome.final_stats.sheds),
+             std::to_string(outcome.final_stats.expired),
+             std::to_string(outcome.final_stats.replans_adopted) + "/" +
+                 std::to_string(outcome.final_stats.replans_abandoned),
+             Fixed(lat.p50), Fixed(lat.p95), Fixed(lat.max)});
+      }
+    }
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  if (!invariants_ok) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n",
+                 first_violation.c_str());
+  } else {
+    std::printf(
+        "All structural invariants held (partition covers exactly the live "
+        "leases, no duplicate members, maintained cost matches a "
+        "recomputation).\n");
+  }
+
+  if (telemetry) {
+    obs::RunReport report("service_churn");
+    report.AddTable("matrix", table);
+    report.AddBool("invariants_ok", invariants_ok);
+    report.AddBool("soak", soak);
+    report.AddMetrics(obs::MetricRegistry::Default());
+    bench::WriteReportIfRequested(report);
+  }
+  return invariants_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qsp
+
+int main(int argc, char** argv) {
+  bool soak = false;
+  uint64_t seed_offset = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed_offset = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return qsp::Run(soak, seed_offset);
+}

@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
-# Golden EXPLAIN check (DESIGN.md §10): the text EXPLAIN of the fig16
-# scenario under the pair merger must match the checked-in golden byte for
-# byte. A diff means either plan output drifted (a planner regression) or
-# the EXPLAIN format changed deliberately — regenerate with:
+# Golden EXPLAIN checks (DESIGN.md §10/§11): the text EXPLAIN of each
+# pinned scenario must match its checked-in golden byte for byte. A diff
+# means either plan output drifted (a planner or live-service regression)
+# or the EXPLAIN format changed deliberately — regenerate with:
 #   qsp_explain --scenario fig16 --merger pair > tests/golden/fig16_explain.txt
+#   qsp_explain --scenario live > tests/golden/live_explain.txt
 set -euo pipefail
 
-EXPLAIN_BIN="${1:?usage: check_explain_golden.sh <qsp_explain> <golden>}"
-GOLDEN="${2:?usage: check_explain_golden.sh <qsp_explain> <golden>}"
+EXPLAIN_BIN="${1:?usage: check_explain_golden.sh <qsp_explain> <fig16_golden> [live_golden]}"
+GOLDEN="${2:?usage: check_explain_golden.sh <qsp_explain> <fig16_golden> [live_golden]}"
+LIVE_GOLDEN="${3:-}"
 
 actual="$(mktemp)"
 trap 'rm -f "$actual"' EXIT
 
 "$EXPLAIN_BIN" --scenario fig16 --merger pair > "$actual"
-
 if ! diff -u "$GOLDEN" "$actual"; then
-  echo "golden EXPLAIN mismatch (see diff above)" >&2
+  echo "golden EXPLAIN mismatch for fig16 (see diff above)" >&2
   exit 1
+fi
+
+if [[ -n "$LIVE_GOLDEN" ]]; then
+  "$EXPLAIN_BIN" --scenario live > "$actual"
+  if ! diff -u "$LIVE_GOLDEN" "$actual"; then
+    echo "golden EXPLAIN mismatch for live (see diff above)" >&2
+    exit 1
+  fi
 fi
 echo "golden EXPLAIN ok"

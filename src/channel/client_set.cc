@@ -15,6 +15,13 @@ void ClientSet::Subscribe(ClientId client, QueryId query) {
   if (it == queries.end() || *it != query) queries.insert(it, query);
 }
 
+void ClientSet::Unsubscribe(ClientId client, QueryId query) {
+  if (client >= subscriptions_.size()) return;
+  auto& queries = subscriptions_[client];
+  auto it = std::lower_bound(queries.begin(), queries.end(), query);
+  if (it != queries.end() && *it == query) queries.erase(it);
+}
+
 std::vector<ClientId> ClientSet::SubscribersOf(QueryId query) const {
   std::vector<ClientId> out;
   for (ClientId c = 0; c < subscriptions_.size(); ++c) {

@@ -29,6 +29,10 @@ class ClientSet {
   /// Records that `client` subscribed to `query`.
   void Subscribe(ClientId client, QueryId query);
 
+  /// Retires a subscription (lease expiry or voluntary departure in the
+  /// live service). No-op when the pair is not recorded.
+  void Unsubscribe(ClientId client, QueryId query);
+
   size_t num_clients() const { return subscriptions_.size(); }
 
   /// The queries client `c` subscribed to, ascending, deduplicated.

@@ -75,6 +75,15 @@ SubscriptionService::SubscriptionService(Table table, const Rect& domain,
       estimator_ = std::make_unique<ExactEstimator>(index_.get());
       break;
   }
+  if (config_.live.enabled && config_.num_channels <= 1) {
+    // Live mode owns the context for its whole lifetime (the QuerySet
+    // grows through the lease API; Plan() is rejected so nothing swaps
+    // the context out from under the maintainer).
+    context_ = std::make_unique<MergeContext>(&queries_, estimator_.get(),
+                                              procedure_.get());
+    live_ = std::make_unique<LivePlanManager>(
+        &queries_, context_.get(), config_.cost_model, config_.live);
+  }
   if (config_.telemetry && config_.sample_interval_ms > 0 &&
       !config_.sample_path.empty()) {
     obs::PeriodicSampler::Options options;
@@ -110,7 +119,100 @@ Result<QueryId> SubscriptionService::SubscribeWhere(
   return Subscribe(client, rect.value());
 }
 
+Status SubscriptionService::LiveGuard() const {
+  if (!config_.live.enabled) {
+    return Status::FailedPrecondition(
+        "live mode is off (set ServiceConfig::live.enabled)");
+  }
+  if (config_.num_channels > 1) {
+    return Status::InvalidArgument(
+        "live mode requires num_channels == 1 (basic broadcast model)");
+  }
+  return Status::OK();
+}
+
+Result<QueryId> SubscriptionService::SubscribeLeased(ClientId client,
+                                                     const Rect& rect,
+                                                     uint64_t ttl_ms) {
+  QSP_RETURN_IF_ERROR(LiveGuard());
+  if (client >= clients_.num_clients()) {
+    return Status::InvalidArgument("unknown client id");
+  }
+  Result<QueryId> id = live_->Subscribe(rect, ttl_ms);
+  if (!id.ok()) return id.status();
+  if (owner_of_query_.size() <= id.value()) {
+    owner_of_query_.resize(id.value() + 1, 0);
+  }
+  owner_of_query_[id.value()] = client;
+  return id;
+}
+
+Status SubscriptionService::RenewLease(QueryId id, uint64_t ttl_ms) {
+  QSP_RETURN_IF_ERROR(LiveGuard());
+  return live_->Renew(id, ttl_ms);
+}
+
+Status SubscriptionService::Unsubscribe(QueryId id) {
+  QSP_RETURN_IF_ERROR(LiveGuard());
+  return live_->Unsubscribe(id);
+}
+
+size_t SubscriptionService::SweepExpired() {
+  if (live_ == nullptr) return 0;
+  return live_->SweepExpired();
+}
+
+void SubscriptionService::ApplyBatch(const BatchReport& report) {
+  // ClientSet mirrors the *planned* population: a subscription joins it
+  // when placed and leaves when retired, so every round's verification
+  // checks exactly the queries the plan can serve.
+  for (QueryId id : report.placed) {
+    clients_.Subscribe(owner_of_query_[id], id);
+  }
+  for (QueryId id : report.retired) {
+    clients_.Unsubscribe(owner_of_query_[id], id);
+  }
+  plan_ = DisseminationPlan{};
+  plan_.allocation.push_back(clients_.AllClients());
+  plan_.channel_partitions.push_back(live_->PlanSnapshot());
+  has_plan_ = true;
+}
+
+BatchReport SubscriptionService::ProcessAdmissions() {
+  if (live_ == nullptr) return BatchReport{};
+  BatchReport report = live_->ProcessBatch();
+  ApplyBatch(report);
+  return report;
+}
+
+BatchReport SubscriptionService::DrainAdmissions() {
+  if (live_ == nullptr) return BatchReport{};
+  BatchReport report = live_->DrainAll();
+  ApplyBatch(report);
+  return report;
+}
+
+Status SubscriptionService::ReplanNow() {
+  QSP_RETURN_IF_ERROR(LiveGuard());
+  const Status replanned = live_->ReplanNow();
+  // Adopted or abandoned, the maintainer still has a valid plan —
+  // reinstall whatever it serves now.
+  BatchReport empty;
+  ApplyBatch(empty);
+  return replanned;
+}
+
+LiveStats SubscriptionService::live_stats() const {
+  if (live_ == nullptr) return LiveStats{};
+  return live_->Stats();
+}
+
 Result<PlanReport> SubscriptionService::Plan() {
+  if (live_ != nullptr) {
+    return Status::FailedPrecondition(
+        "live mode maintains its own plan; use ProcessAdmissions()/"
+        "ReplanNow()");
+  }
   if (queries_.empty()) {
     return Status::FailedPrecondition("no subscriptions to plan");
   }

@@ -8,6 +8,7 @@
 
 #include "channel/client_set.h"
 #include "channel/hill_climb_allocator.h"
+#include "core/live_plan.h"
 #include "cost/cost_model.h"
 #include "geom/rect.h"
 #include "merge/merger.h"
@@ -107,6 +108,13 @@ struct ServiceConfig {
   /// changes.
   uint64_t sample_interval_ms = 0;
   std::string sample_path;
+  /// Long-lived service loop (DESIGN.md §11): lease-based subscription
+  /// lifetime, batched admission with backpressure, incremental plan
+  /// repair under an SLO, and cost-drift replanning. Everything defaults
+  /// off, so the one-shot Subscribe/Plan/RunRound flow — and every
+  /// figure harness built on it — is untouched. Live mode requires
+  /// num_channels == 1 (the basic broadcast model).
+  LiveServiceConfig live;
 };
 
 /// Summary of a planning pass.
@@ -159,8 +167,49 @@ class SubscriptionService {
   Result<PlanReport> Plan();
 
   /// Executes one dissemination round under the most recent plan.
-  /// Requires a successful Plan() first.
+  /// Requires a successful Plan() first (or, in live mode, at least one
+  /// ProcessAdmissions()).
   Result<RoundStats> RunRound();
+
+  /// --- Live service mode (config.live.enabled; DESIGN.md §11). In
+  /// live mode the service maintains its plan continuously: leases are
+  /// granted and renewed, admissions batch through the incremental
+  /// merger, and Plan() is rejected (the plan is never rebuilt wholesale
+  /// behind the maintainer's back — use ReplanNow()).
+
+  /// Leases a subscription for `client` (0 TTL = the configured
+  /// default). The query joins the plan — and the client's ClientSet
+  /// entry — at the next processed batch. Sheds with retryable
+  /// ResourceExhausted under admission backpressure.
+  Result<QueryId> SubscribeLeased(ClientId client, const Rect& rect,
+                                  uint64_t ttl_ms = 0);
+
+  /// Heartbeat; fails with kNotFound once the lease lapsed.
+  Status RenewLease(QueryId id, uint64_t ttl_ms = 0);
+
+  /// Voluntary departure of a leased subscription.
+  Status Unsubscribe(QueryId id);
+
+  /// Retires leases whose TTL elapsed; returns how many.
+  size_t SweepExpired();
+
+  /// Applies one admission batch (adds/removes + budgeted repair + the
+  /// drift check), activates/retires ClientSet entries for placed and
+  /// retired ids, and installs the repaired partition as the round plan.
+  BatchReport ProcessAdmissions();
+
+  /// ProcessAdmissions until the admission queue drains.
+  BatchReport DrainAdmissions();
+
+  /// Synchronous from-scratch replan + adoption attempt; on abandonment
+  /// the previous plan stays live and an error reports it.
+  Status ReplanNow();
+
+  LiveStats live_stats() const;
+
+  /// The live plan maintainer (null unless live mode is on); exposed for
+  /// diagnostics (qsp_explain --live) and benches.
+  const LivePlanManager* live() const { return live_.get(); }
 
   const Table& table() const { return table_; }
   const QuerySet& queries() const { return queries_; }
@@ -191,6 +240,16 @@ class SubscriptionService {
   std::unique_ptr<obs::PeriodicSampler> sampler_;
   bool has_plan_ = false;
   DisseminationPlan plan_;
+
+  /// Live mode only. Owner of each leased query, dense by QueryId, so a
+  /// retirement knows whose ClientSet entry to drop.
+  std::unique_ptr<LivePlanManager> live_;
+  std::vector<ClientId> owner_of_query_;
+
+  Status LiveGuard() const;
+  /// Activates/retires ClientSet entries from a batch and installs the
+  /// current live partition as the round plan.
+  void ApplyBatch(const BatchReport& report);
 };
 
 /// Factory helpers shared with benches and tests.

@@ -1,12 +1,26 @@
 #include "merge/plan_bounds.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <vector>
+
+#include "geom/spatial_grid.h"
 
 namespace qsp {
 namespace plan {
 
 BenefitBounder::BenefitBounder(const MergeContext& ctx, const CostModel& model)
+    : BenefitBounder(ctx, model, [&ctx] {
+        Rect universe = Rect::Empty();
+        for (QueryId id = 0; id < ctx.num_queries(); ++id) {
+          universe = universe.BoundingUnion(ctx.queries().rect(id));
+        }
+        return universe;
+      }()) {}
+
+BenefitBounder::BenefitBounder(const MergeContext& ctx, const CostModel& model,
+                               const Rect& universe)
     : ctx_(&ctx), model_(&model), traits_(ctx.procedure().traits()) {
   enabled_ = model.SupportsBenefitBounds();
   if (!enabled_) return;
@@ -17,10 +31,6 @@ BenefitBounder::BenefitBounder(const MergeContext& ctx, const CostModel& model)
   // bounding unions of query boxes, so the support must contain every
   // query (otherwise e.g. a histogram that clips to its domain would
   // under-count a rect hanging outside it, making the "bound" wrong).
-  Rect universe = Rect::Empty();
-  for (QueryId id = 0; id < ctx.num_queries(); ++id) {
-    universe = universe.BoundingUnion(ctx.queries().rect(id));
-  }
   if (!floor.support.Contains(universe)) return;
   distance_aware_ = true;
   density_ = floor.density;
@@ -110,6 +120,41 @@ Rect BenefitBounder::SearchWindow(const GroupSummary& g,
   const double ry = w > 0.0 ? std::max(0.0, cap / w - h) : kInf;
   return Rect(g.bbox.x_lo() - rx, g.bbox.y_lo() - ry, g.bbox.x_hi() + rx,
               g.bbox.y_hi() + ry);
+}
+
+double FreshPlanCostLowerBound(const MergeContext& ctx, const CostModel& model,
+                               const std::vector<QueryId>& live) {
+  if (live.empty() || !model.SupportsBenefitBounds()) return 0.0;
+  std::vector<QueryId> ordered = live;
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<Rect> rects;
+  rects.reserve(ordered.size());
+  for (QueryId id : ordered) rects.push_back(ctx.queries().rect(id));
+  SpatialGrid grid = SpatialGrid::ForRects(rects);
+  std::vector<Rect> chosen;
+  std::vector<uint32_t> candidates;
+  double chosen_size_sum = 0.0;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const Rect& rect = rects[i];
+    // Empty rects carry no area to be disjoint about; skipping them only
+    // weakens the bound (size 0 anyway under a measure-like estimator).
+    if (rect.IsEmpty()) continue;
+    candidates.clear();
+    grid.Query(rect, &candidates);
+    bool disjoint = true;
+    for (uint32_t c : candidates) {
+      if (chosen[c].Intersects(rect)) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    grid.Insert(static_cast<uint32_t>(chosen.size()), rect);
+    chosen.push_back(rect);
+    chosen_size_sum += ctx.Size(ordered[i]);
+  }
+  return model.k_m +
+         model.k_t * BenefitBounder::kSlack * chosen_size_sum;
 }
 
 }  // namespace plan

@@ -50,6 +50,16 @@ class BenefitBounder {
  public:
   BenefitBounder(const MergeContext& ctx, const CostModel& model);
 
+  /// Same, but takes the bounding union of every query the caller will
+  /// ever pass through Summarize/UpperBound instead of scanning the
+  /// QuerySet. The incremental merger uses this: its population grows
+  /// after construction, so it maintains the universe itself and
+  /// re-derives a (cheap) bounder whenever the universe grows — the
+  /// distance term must be dropped the moment a query escapes the
+  /// estimator's density-floor support.
+  BenefitBounder(const MergeContext& ctx, const CostModel& model,
+                 const Rect& universe);
+
   /// True when the bounds are valid for this cost model (requires
   /// non-negative K_M, K_T, K_U — see CostModel::SupportsBenefitBounds).
   /// When false, callers must fall back to exhaustive evaluation.
@@ -91,6 +101,26 @@ class BenefitBounder {
   bool distance_aware_ = false;
   double density_ = 0.0;
 };
+
+/// Admissible lower bound on the total cost of ANY partition of `live`
+/// (no U term, so it also lower-bounds the K_M/K_T portion alone):
+///   LB = K_M + K_T * kSlack * sum_{q in S} size(q)
+/// for a greedily chosen pairwise-disjoint subset S of the live query
+/// rectangles. Justification: every partition has >= 1 group; each
+/// group's merged regions cover its member rectangles, so by additivity
+/// of the (measure-like) estimator over disjoint sets the group sizes
+/// sum to at least the chosen disjoint sizes — the same coverage
+/// argument as the disjoint-boxes case of UpperBound. Ids are visited
+/// in ascending order with a SpatialGrid over the chosen rects, so the
+/// bound is deterministic and near-linear.
+///
+/// Returns 0 when `live` is empty or the model rejects benefit bounds
+/// (negative coefficients). The live service compares its maintained
+/// plan cost against this bound to trigger a from-scratch replan
+/// (DESIGN.md §11); it is advisory — never used for correctness.
+[[nodiscard]] double FreshPlanCostLowerBound(const MergeContext& ctx,
+                                             const CostModel& model,
+                                             const std::vector<QueryId>& live);
 
 }  // namespace plan
 }  // namespace qsp

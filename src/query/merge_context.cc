@@ -1,5 +1,7 @@
 #include "query/merge_context.h"
 
+#include <algorithm>
+
 #include "geom/region.h"
 #include "util/status.h"
 
@@ -84,12 +86,41 @@ const GroupStats& MergeContext::Stats(const QueryGroup& group) const {
 }
 
 size_t MergeContext::groups_evaluated() const {
+  size_t total = groups_evicted_.load(std::memory_order_relaxed);
+  for (const GroupShard& shard : group_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.cache.size();
+  }
+  return total;
+}
+
+size_t MergeContext::cached_groups() const {
   size_t total = 0;
   for (const GroupShard& shard : group_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     total += shard.cache.size();
   }
   return total;
+}
+
+size_t MergeContext::EvictGroupsContaining(QueryId id) const {
+  size_t erased = 0;
+  for (GroupShard& shard : group_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.cache.begin(); it != shard.cache.end();) {
+      // Groups are canonical (sorted ascending), so membership is a
+      // binary search.
+      if (std::binary_search(it->first.begin(), it->first.end(), id)) {
+        it = shard.cache.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  groups_evicted_.fetch_add(erased, std::memory_order_relaxed);
+  obs::Count("ctx.group_cache.evictions", erased);
+  return erased;
 }
 
 GroupStats MergeContext::Compute(const QueryGroup& group) const {

@@ -2,6 +2,7 @@
 #define QSP_QUERY_MERGE_CONTEXT_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -78,8 +79,24 @@ class MergeContext {
   /// Number of distinct groups evaluated so far (search-effort metric).
   /// With parallel callers this can exceed the serial count slightly
   /// (racing threads may both compute a group before one inserts), so it
-  /// is reported as telemetry, never used in cost decisions.
+  /// is reported as telemetry, never used in cost decisions. Evicted
+  /// groups stay counted — eviction reclaims memory, not effort history.
   size_t groups_evaluated() const;
+
+  /// Groups currently memoized (groups_evaluated() minus evictions).
+  size_t cached_groups() const;
+
+  /// Evicts every memoized group that contains `id`, returning how many
+  /// entries were erased. The long-lived service calls this when a
+  /// subscription retires: ids are never reused (QuerySet is
+  /// append-only), so entries mentioning a dead id can only ever be
+  /// re-read by accident — dropping them bounds the memo's footprint
+  /// under sustained churn instead of letting it grow with the total
+  /// number of subscriptions ever seen. Correctness is unaffected
+  /// (entries are a pure function of the group's ids). Thread-safe, but
+  /// concurrent evaluators of a group containing `id` may re-insert it;
+  /// the service only evicts ids it already removed from every plan.
+  size_t EvictGroupsContaining(QueryId id) const;
 
  private:
   struct GroupHash {
@@ -112,6 +129,9 @@ class MergeContext {
   mutable std::vector<double> size_cache_ QSP_GUARDED_BY(size_mu_);
   mutable std::vector<bool> size_known_ QSP_GUARDED_BY(size_mu_);
   mutable std::array<GroupShard, kGroupShards> group_shards_;
+  /// Entries erased by EvictGroupsContaining, folded back into
+  /// groups_evaluated() so the effort metric stays monotone.
+  mutable std::atomic<size_t> groups_evicted_{0};
 
   // Memoization hit/miss counters of the default registry (ctx.*).
   // Resolved once at construction — null when telemetry was off then, so

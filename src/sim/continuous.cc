@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
+#include <limits>
 
-#include "geom/point.h"
-#include "merge/incremental_merger.h"
-#include "merge/pair_merger.h"
+#include "core/live_plan.h"
 #include "query/merge_context.h"
 #include "stats/size_estimator.h"
 #include "util/rng.h"
@@ -52,14 +50,32 @@ Result<ContinuousOutcome> RunContinuous(const ContinuousConfig& config) {
   BoundingRectProcedure procedure;
   MergeContext ctx(&queries, &estimator, &procedure);
 
-  IncrementalMerger incremental(&ctx, config.cost_model);
+  // The scenario rides the live service loop: arrivals and departures go
+  // through the lease/admission path and the plan is maintained by the
+  // LivePlanManager. Batches are unbounded and leases never expire — the
+  // harness drives churn explicitly, so backpressure and TTLs stay out
+  // of the measurement.
+  LiveServiceConfig opts;
+  opts.enabled = true;
+  opts.admission_batch_max = std::numeric_limits<size_t>::max();
+  opts.admission_queue_limit = std::numeric_limits<size_t>::max();
+  switch (config.maintenance) {
+    case PlanMaintenance::kIncremental:
+    case PlanMaintenance::kReplanEachRound:
+      opts.repair_max_moves = -1;  // Greedy placement only.
+      break;
+    case PlanMaintenance::kIncrementalRepair:
+      opts.repair_max_moves = 0;  // Repair to a local minimum per batch.
+      break;
+  }
   // kReplanEachRound is the *naive* baseline the incremental policies are
-  // measured against, so it runs the exhaustive (unpruned) pair merger —
-  // its maintenance_evals then count every pair evaluation, the work a
-  // from-scratch replan fundamentally redoes each round. (The pruned
-  // merger returns the identical partition while evaluating almost
-  // nothing, which would make the baseline meaningless as a yardstick.)
-  const PairMerger scratch(/*use_heap=*/true, /*pruning=*/false);
+  // measured against, so its from-scratch replans run the exhaustive
+  // (unpruned) pair merger — their maintenance_evals then count every
+  // pair evaluation, the work a replan fundamentally redoes each round.
+  // (The pruned merger returns the identical partition while evaluating
+  // almost nothing, which would make the baseline meaningless.)
+  opts.replan_pruning = false;
+  LivePlanManager live(&queries, &ctx, config.cost_model, opts);
 
   // Active subscriptions, FIFO for departures.
   std::deque<QueryId> active;
@@ -68,59 +84,47 @@ Result<ContinuousOutcome> RunContinuous(const ContinuousConfig& config) {
   shape.num_queries = 1;
   auto new_subscription = [&]() {
     const Rect rect = GenerateQueries(shape, &rng)[0];
-    const QueryId id = queries.Add(rect);
-    active.push_back(id);
-    incremental.AddQuery(id);
+    Result<QueryId> id = live.Subscribe(rect);
+    QSP_CHECK(id.ok());  // Unbounded queue: never sheds.
+    active.push_back(id.value());
   };
   for (size_t i = 0; i < config.initial_queries; ++i) new_subscription();
+  QSP_IGNORE_RESULT(live.DrainAll());  // Initial placement, outside stats.
 
   ContinuousOutcome outcome;
   outcome.all_deltas_correct = true;
-  uint64_t evals_before = incremental.evaluations();
-
-  Partition replan_partition;  // Used by kReplanEachRound.
+  uint64_t evals_before = live.evaluations();
+  uint64_t replan_evals_before = live.Stats().replan_evaluations;
 
   for (int round = 0; round < config.rounds; ++round) {
     // --- Subscription churn.
     for (size_t i = 0; i < config.arrivals_per_round; ++i) new_subscription();
     for (size_t i = 0;
          i < config.departures_per_round && active.size() > 1; ++i) {
-      incremental.RemoveQuery(active.front());
+      QSP_CHECK(live.Unsubscribe(active.front()).ok());
       active.pop_front();
     }
 
-    // --- Plan maintenance.
+    // --- Plan maintenance: drain the round's admissions (greedy
+    // placement + per-batch repair per policy), then — for the naive
+    // baseline — replace the plan from scratch.
     ContinuousRoundStats stats;
     stats.round = round;
     stats.active_queries = active.size();
-    const Partition* plan = nullptr;
-    switch (config.maintenance) {
-      case PlanMaintenance::kIncremental:
-        plan = &incremental.partition();
-        stats.plan_cost = incremental.cost();
-        break;
-      case PlanMaintenance::kIncrementalRepair:
-        incremental.Repair();
-        plan = &incremental.partition();
-        stats.plan_cost = incremental.cost();
-        break;
-      case PlanMaintenance::kReplanEachRound: {
-        Partition start;
-        for (QueryId q : active) start.push_back({q});
-        MergeOutcome merged =
-            scratch.MergeFrom(ctx, config.cost_model, std::move(start));
-        stats.maintenance_evals += merged.candidates;
-        stats.plan_cost = merged.cost;
-        replan_partition = std::move(merged.partition);
-        plan = &replan_partition;
-        break;
-      }
+    QSP_IGNORE_RESULT(live.DrainAll());
+    if (config.maintenance == PlanMaintenance::kReplanEachRound) {
+      QSP_CHECK(live.ReplanNow().ok());
+      const uint64_t replan_evals = live.Stats().replan_evaluations;
+      stats.maintenance_evals = replan_evals - replan_evals_before;
+      replan_evals_before = replan_evals;
+      evals_before = live.evaluations();
+    } else {
+      stats.maintenance_evals = live.evaluations() - evals_before;
+      evals_before = live.evaluations();
     }
-    if (config.maintenance != PlanMaintenance::kReplanEachRound) {
-      stats.maintenance_evals = incremental.evaluations() - evals_before;
-      evals_before = incremental.evaluations();
-    }
-    stats.groups = plan->size();
+    stats.plan_cost = live.cost();
+    const Partition plan = live.PlanSnapshot();
+    stats.groups = plan.size();
 
     // --- New objects this round.
     Delta delta;
@@ -144,7 +148,7 @@ Result<ContinuousOutcome> RunContinuous(const ContinuousConfig& config) {
     // --- Delta dissemination per merged group. Continuous queries
     // receive only this round's new objects; one message per merged
     // query, extractor = original rectangle (Section 3.1).
-    for (const QueryGroup& group : *plan) {
+    for (const QueryGroup& group : plan) {
       for (const MergedQuery& merged : procedure.Merge(queries, group)) {
         ++stats.messages;
         // Payload: delta points inside the merged region.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -132,6 +133,97 @@ TEST_F(IncrementalTest, RepairRespectsMoveBudget) {
   const double unlimited = inc.Repair(0);
   const double limited = clone.Repair(1);
   EXPECT_LE(unlimited, limited + 1e-9);
+}
+
+TEST_F(IncrementalTest, RemoveQueryEvictsStaleCacheEntries) {
+  // Regression: RemoveQuery must invalidate the MergeContext cache
+  // entries that mention the removed id — a later group with the same
+  // shape must not resurrect stale statistics, and the memo must not
+  // grow monotonically under churn.
+  const QueryId a = queries_.Add(Rect(0, 0, 2, 2));
+  const QueryId b = queries_.Add(Rect(0, 0, 2, 2));
+  IncrementalMerger inc(&ctx_, model_);
+  inc.AddQuery(a);
+  inc.AddQuery(b);
+  ASSERT_EQ(inc.partition(), (Partition{{a, b}}));
+  // Memoize groups on both sides of the removal.
+  ctx_.Stats(QueryGroup{a});
+  ctx_.Stats(QueryGroup{b});
+  ctx_.Stats(QueryGroup{a, b});
+  const size_t cached_before = ctx_.cached_groups();
+  ASSERT_GE(cached_before, 3u);
+  inc.RemoveQuery(a);
+  // Every memoized group containing `a` ({a} and {a,b}) is gone; the
+  // survivor {b} (re-memoized by the removal's regrouping) remains.
+  EXPECT_LE(ctx_.cached_groups(), cached_before - 2);
+  EXPECT_NEAR(inc.cost(), model_.PartitionCost(ctx_, inc.partition()), 1e-9);
+}
+
+TEST_F(IncrementalTest, AddRemoveRepairInterleaveKeepsPartitionExact) {
+  // Regression for the removal path: interleaved Add/Remove/Repair must
+  // leave a partition that covers exactly the live ids — no emptied
+  // groups linger, no retired id survives, no id is double-planned.
+  Rng rng(17);
+  QueryGenConfig config;
+  config.num_queries = 40;
+  config.cf = 0.7;
+  const std::vector<Rect> rects = GenerateQueries(config, &rng);
+
+  IncrementalMerger inc(&ctx_, model_);
+  std::vector<QueryId> live;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const QueryId id = queries_.Add(rects[i]);
+    inc.AddQuery(id);
+    live.push_back(id);
+    // Every third step retires the oldest survivor; every fifth repairs.
+    if (i % 3 == 2) {
+      inc.RemoveQuery(live.front());
+      live.erase(live.begin());
+    }
+    if (i % 5 == 4) inc.Repair(2);
+
+    std::vector<QueryId> planned;
+    for (const QueryGroup& group : inc.partition()) {
+      ASSERT_FALSE(group.empty()) << "empty group after step " << i;
+      planned.insert(planned.end(), group.begin(), group.end());
+    }
+    std::sort(planned.begin(), planned.end());
+    ASSERT_EQ(planned, live) << "after step " << i;
+    ASSERT_NEAR(inc.cost(), model_.PartitionCost(ctx_, inc.partition()),
+                1e-9);
+  }
+}
+
+TEST_F(IncrementalTest, PruningNeverChangesInterleavedDecisions) {
+  // Decision identity (DESIGN.md §8 applied incrementally): with and
+  // without the BenefitBounder fast path, the same Add/Remove/Repair
+  // sequence must produce the same partition — pruning may only skip
+  // evaluations whose outcome is already decided.
+  Rng rng(23);
+  QueryGenConfig config;
+  config.num_queries = 30;
+  config.cf = 0.6;
+  const std::vector<Rect> rects = GenerateQueries(config, &rng);
+  for (const Rect& r : rects) queries_.Add(r);
+
+  IncrementalMerger pruned(&ctx_, model_, /*pruning=*/true);
+  IncrementalMerger plain(&ctx_, model_, /*pruning=*/false);
+  for (QueryId id = 0; id < rects.size(); ++id) {
+    pruned.AddQuery(id);
+    plain.AddQuery(id);
+    if (id % 4 == 3) {
+      pruned.RemoveQuery(id - 2);
+      plain.RemoveQuery(id - 2);
+    }
+    if (id % 6 == 5) {
+      pruned.Repair(3);
+      plain.Repair(3);
+    }
+    ASSERT_EQ(pruned.partition(), plain.partition()) << "after id " << id;
+  }
+  EXPECT_NEAR(pruned.cost(), plain.cost(), 1e-9);
+  // The fast path must actually be fast: strictly fewer evaluations.
+  EXPECT_LT(pruned.evaluations(), plain.evaluations());
 }
 
 /// Property (the Section 11 question): the incremental partition's cost

@@ -1,0 +1,457 @@
+// Lease, admission, repair, and replan semantics of the long-lived
+// service loop (DESIGN.md §11), all under an injected FakeClock so
+// every timing assertion is exact and every run is reproducible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/live_plan.h"
+#include "core/subscription_service.h"
+#include "obs/clock.h"
+#include "query/merge_context.h"
+#include "query/merge_procedure.h"
+#include "relation/generator.h"
+#include "sim/churn.h"
+#include "stats/size_estimator.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+class LiveServiceTest : public ::testing::Test {
+ protected:
+  LiveServiceTest()
+      : estimator_(0.0005), ctx_(&queries_, &estimator_, &procedure_),
+        clock_(0.0) {}
+
+  /// Live config wired to the frozen test clock: time only moves when a
+  /// test calls clock_.AdvanceMicros.
+  LiveServiceConfig Opts() {
+    LiveServiceConfig opts;
+    opts.enabled = true;
+    opts.clock = &clock_;
+    opts.default_ttl_ms = 30;
+    return opts;
+  }
+
+  Rect At(double x, double y) const { return Rect(x, y, x + 10, y + 10); }
+
+  QuerySet queries_;
+  UniformDensityEstimator estimator_;
+  BoundingRectProcedure procedure_;
+  MergeContext ctx_;
+  obs::FakeClock clock_;
+  CostModel model_{10.0, 1.0, 0.5, 0.0};
+};
+
+TEST_F(LiveServiceTest, RenewalExtendsLease) {
+  LivePlanManager live(&queries_, &ctx_, model_, Opts());
+  Result<QueryId> id = live.Subscribe(At(0, 0), 30);
+  ASSERT_TRUE(id.ok());
+  live.DrainAll();
+
+  clock_.AdvanceMicros(20000);  // t = 20ms, deadline 30ms.
+  ASSERT_TRUE(live.Renew(id.value(), 30).ok());  // Deadline -> 50ms.
+  clock_.AdvanceMicros(20000);                   // t = 40ms.
+  EXPECT_EQ(live.SweepExpired(), 0u);
+  EXPECT_EQ(live.LiveIds(), std::vector<QueryId>{id.value()});
+
+  clock_.AdvanceMicros(10000);  // t = 50ms: exactly the renewed deadline.
+  EXPECT_EQ(live.SweepExpired(), 1u);
+  live.DrainAll();
+  EXPECT_TRUE(live.LiveIds().empty());
+  EXPECT_TRUE(live.PlanSnapshot().empty());
+}
+
+TEST_F(LiveServiceTest, MissedHeartbeatExpiresExactlyAtTtl) {
+  LivePlanManager live(&queries_, &ctx_, model_, Opts());
+  ASSERT_TRUE(live.Subscribe(At(0, 0), 30).ok());
+  live.DrainAll();
+
+  clock_.AdvanceMicros(29999);  // One microsecond before the deadline.
+  EXPECT_EQ(live.SweepExpired(), 0u);
+  clock_.AdvanceMicros(1);  // now == deadline: the lease is gone.
+  EXPECT_EQ(live.SweepExpired(), 1u);
+  EXPECT_EQ(live.Stats().expired, 1u);
+}
+
+TEST_F(LiveServiceTest, RenewAfterExpiryIsNotFoundAndRejoinGetsNewId) {
+  LivePlanManager live(&queries_, &ctx_, model_, Opts());
+  Result<QueryId> id = live.Subscribe(At(0, 0), 30);
+  ASSERT_TRUE(id.ok());
+  live.DrainAll();
+  clock_.AdvanceMicros(30000);
+  ASSERT_EQ(live.SweepExpired(), 1u);
+
+  // The crashed client's heartbeat bounces; it must re-subscribe.
+  EXPECT_EQ(live.Renew(id.value(), 30).code(), StatusCode::kNotFound);
+  Result<QueryId> rejoin = live.Subscribe(At(0, 0), 30);
+  ASSERT_TRUE(rejoin.ok());
+  EXPECT_NE(rejoin.value(), id.value());
+  live.DrainAll();
+  EXPECT_EQ(live.LiveIds(), std::vector<QueryId>{rejoin.value()});
+}
+
+TEST_F(LiveServiceTest, ZeroTtlNeverExpires) {
+  LiveServiceConfig opts = Opts();
+  opts.default_ttl_ms = 0;
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  ASSERT_TRUE(live.Subscribe(At(0, 0), 0).ok());
+  live.DrainAll();
+  clock_.AdvanceMicros(1e12);
+  EXPECT_EQ(live.SweepExpired(), 0u);
+  EXPECT_EQ(live.LiveIds().size(), 1u);
+}
+
+TEST_F(LiveServiceTest, ExpiryOfStillQueuedSubscriptionIsSafe) {
+  // A subscription whose lease lapses while its admission is still
+  // queued: FIFO ordering guarantees the add is applied before the
+  // expiry's remove, so the plan transits through a consistent state.
+  LiveServiceConfig opts = Opts();
+  opts.admission_batch_max = 1;  // Force the ops into separate batches.
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  Result<QueryId> doomed = live.Subscribe(At(0, 0), 30);
+  ASSERT_TRUE(doomed.ok());
+  clock_.AdvanceMicros(30000);
+  ASSERT_EQ(live.SweepExpired(), 1u);  // Expired while still kPending.
+  Result<QueryId> keeper = live.Subscribe(At(50, 50), 0);
+  ASSERT_TRUE(keeper.ok());
+
+  const BatchReport report = live.DrainAll();
+  EXPECT_EQ(report.admitted, 2u);
+  EXPECT_EQ(report.removed, 1u);
+  ASSERT_EQ(report.retired.size(), 1u);
+  EXPECT_EQ(report.retired[0], doomed.value());
+  EXPECT_EQ(live.LiveIds(), std::vector<QueryId>{keeper.value()});
+}
+
+TEST_F(LiveServiceTest, BackpressureShedsSubscribesButNeverRemoves) {
+  LiveServiceConfig opts = Opts();
+  opts.admission_queue_limit = 2;
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  Result<QueryId> a = live.Subscribe(At(0, 0), 0);
+  Result<QueryId> b = live.Subscribe(At(20, 0), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  // Queue is at the limit: the next admission is shed with a retryable
+  // status, and no query id leaks into the set.
+  const size_t queries_before = queries_.size();
+  Result<QueryId> shed = live.Subscribe(At(40, 0), 0);
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queries_.size(), queries_before);
+  EXPECT_EQ(live.Stats().sheds, 1u);
+
+  // Removes always enqueue, even over the limit — shedding a departure
+  // would leak the lease.
+  EXPECT_TRUE(live.Unsubscribe(a.value()).ok());
+  live.DrainAll();
+  EXPECT_EQ(live.LiveIds(), std::vector<QueryId>{b.value()});
+  EXPECT_EQ(live.Stats().queue_depth, 0u);
+
+  // After the backlog drains, admission works again.
+  EXPECT_TRUE(live.Subscribe(At(40, 0), 0).ok());
+}
+
+TEST_F(LiveServiceTest, RepairDeadlineStopsMovesDeterministically) {
+  // A ticking clock makes control time pass inside the batch: with a
+  // 1us deadline the very first deadline check fires, so the batch
+  // admits its ops but spends zero repair moves.
+  obs::FakeClock ticking(5.0);
+  LiveServiceConfig opts = Opts();
+  opts.clock = &ticking;
+  opts.repair_max_moves = 0;
+  opts.repair_deadline_us = 1;
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  Rng rng(11);
+  QueryGenConfig shape;
+  shape.num_queries = 16;
+  shape.cf = 0.8;
+  for (const Rect& r : GenerateQueries(shape, &rng)) {
+    ASSERT_TRUE(live.Subscribe(r, 0).ok());
+  }
+  const BatchReport report = live.DrainAll();
+  EXPECT_TRUE(report.repair_deadline_hit);
+  EXPECT_EQ(report.repair_moves, 0);
+  EXPECT_EQ(live.LiveIds().size(), 16u);
+
+  // Same workload with no deadline: repair runs to a local minimum and
+  // never ends up costlier than the deadline-starved plan.
+  QuerySet queries2;
+  MergeContext ctx2(&queries2, &estimator_, &procedure_);
+  LiveServiceConfig opts2 = Opts();
+  opts2.repair_max_moves = 0;
+  LivePlanManager unbounded(&queries2, &ctx2, model_, opts2);
+  Rng rng2(11);
+  for (const Rect& r : GenerateQueries(shape, &rng2)) {
+    ASSERT_TRUE(unbounded.Subscribe(r, 0).ok());
+  }
+  const BatchReport full = unbounded.DrainAll();
+  EXPECT_FALSE(full.repair_deadline_hit);
+  EXPECT_LE(unbounded.cost(), live.cost() + 1e-9);
+}
+
+TEST_F(LiveServiceTest, DriftTriggerReplansAndAdoptionImproves) {
+  LiveServiceConfig opts = Opts();
+  opts.repair_max_moves = -1;      // Greedy placement only: drift builds.
+  opts.replan_drift_factor = 1.01;  // The LB is loose; this always trips.
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  Rng rng(21);
+  QueryGenConfig shape;
+  shape.num_queries = 24;
+  shape.cf = 0.7;
+  for (const Rect& r : GenerateQueries(shape, &rng)) {
+    ASSERT_TRUE(live.Subscribe(r, 0).ok());
+  }
+  const double greedy_cost = [&] {
+    LiveServiceConfig plain = Opts();
+    plain.repair_max_moves = -1;
+    QuerySet queries2;
+    MergeContext ctx2(&queries2, &estimator_, &procedure_);
+    LivePlanManager baseline(&queries2, &ctx2, model_, plain);
+    Rng rng2(21);
+    for (const Rect& r : GenerateQueries(shape, &rng2)) {
+      QSP_IGNORE_RESULT(baseline.Subscribe(r, 0));
+    }
+    baseline.DrainAll();
+    return baseline.cost();
+  }();
+
+  const BatchReport report = live.DrainAll();
+  EXPECT_TRUE(report.replan_triggered);
+  EXPECT_TRUE(report.replan_adopted);
+  EXPECT_GE(live.Stats().replans_adopted, 1u);
+  EXPECT_GT(live.Stats().replan_evaluations, 0u);
+  // The adopted from-scratch plan can only improve on pure greedy.
+  EXPECT_LE(live.cost(), greedy_cost + 1e-9);
+  // Every live lease survived the swap.
+  EXPECT_EQ(live.LiveIds().size(), 24u);
+}
+
+TEST_F(LiveServiceTest, InjectedReplanFailureLeavesOldPlanServing) {
+  LiveServiceConfig opts = Opts();
+  opts.inject_replan_failure = true;
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  Rng rng(31);
+  QueryGenConfig shape;
+  shape.num_queries = 12;
+  for (const Rect& r : GenerateQueries(shape, &rng)) {
+    ASSERT_TRUE(live.Subscribe(r, 0).ok());
+  }
+  live.DrainAll();
+  const Partition before = live.PlanSnapshot();
+  const double cost_before = live.cost();
+
+  const Status status = live.ReplanNow();
+  EXPECT_FALSE(status.ok());
+  // Graceful degradation: the abandonment is visible, the plan is not.
+  EXPECT_EQ(live.Stats().replans_abandoned, 1u);
+  EXPECT_EQ(live.Stats().replans_adopted, 0u);
+  EXPECT_EQ(live.PlanSnapshot(), before);
+  EXPECT_EQ(live.cost(), cost_before);
+}
+
+TEST_F(LiveServiceTest, LateBackgroundReplanIsAbandoned) {
+  LiveServiceConfig opts = Opts();
+  opts.repair_max_moves = -1;
+  opts.replan_background = true;
+  opts.replan_drift_factor = 1.01;   // Always trips (the LB is loose).
+  opts.replan_deadline_us = 1;       // Any control-clock delay is late.
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  Rng rng(41);
+  QueryGenConfig shape;
+  shape.num_queries = 16;
+  shape.cf = 0.7;
+  for (const Rect& r : GenerateQueries(shape, &rng)) {
+    ASSERT_TRUE(live.Subscribe(r, 0).ok());
+  }
+  live.DrainAll();  // Admits everyone and kicks off a background replan.
+  const Partition before = live.PlanSnapshot();
+
+  // Control time passes while the replan runs; every adoption attempt
+  // sees an expired deadline and abandons. Bounded retry loop because
+  // the background thread's completion is real-time, not control-time.
+  uint64_t abandoned = 0;
+  for (int i = 0; i < 2000 && abandoned == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    clock_.AdvanceMicros(1000.0);
+    live.ProcessBatch();
+    abandoned = live.Stats().replans_abandoned;
+  }
+  EXPECT_GE(abandoned, 1u);
+  EXPECT_EQ(live.Stats().replans_adopted, 0u);
+  // The service never went planless and never swapped in the late plan.
+  EXPECT_EQ(live.PlanSnapshot(), before);
+}
+
+TEST_F(LiveServiceTest, BackgroundTickSweepsAndDrains) {
+  // The periodic sweep-and-drain thread (sweep_interval_ms) admits
+  // queued subscriptions without explicit ProcessBatch calls. Real
+  // clock on purpose: the tick sleeps in real time.
+  LiveServiceConfig opts;
+  opts.enabled = true;
+  opts.sweep_interval_ms = 1;
+  LivePlanManager live(&queries_, &ctx_, model_, opts);
+  live.StartBackground();
+  ASSERT_TRUE(live.Subscribe(At(0, 0), 0).ok());
+  size_t active = 0;
+  for (int i = 0; i < 5000 && active == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    active = live.Stats().active;
+  }
+  live.StopBackground();
+  EXPECT_EQ(active, 1u);
+  EXPECT_EQ(live.LiveIds().size(), 1u);
+}
+
+TEST_F(LiveServiceTest, ProcessBatchOnEmptyQueueIsSafe) {
+  LivePlanManager live(&queries_, &ctx_, model_, Opts());
+  const BatchReport report = live.ProcessBatch();
+  EXPECT_EQ(report.admitted, 0u);
+  EXPECT_EQ(report.removed, 0u);
+  EXPECT_EQ(live.cost(), 0.0);
+  EXPECT_EQ(live.Unsubscribe(123).code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------
+// SubscriptionService facade in live mode.
+
+Table LiveWorldTable(uint64_t seed) {
+  Rng rng(seed);
+  TableGeneratorConfig config;
+  config.domain = Rect(0, 0, 100, 100);
+  config.num_objects = 500;
+  config.payload_fields = 1;
+  config.payload_bytes = 16;
+  return GenerateTable(config, &rng);
+}
+
+TEST(LiveFacadeTest, LeasedLifecycleThroughTheService) {
+  ServiceConfig config;
+  config.live.enabled = true;
+  config.live.default_ttl_ms = 0;
+  SubscriptionService service(LiveWorldTable(1), Rect(0, 0, 100, 100),
+                              config);
+  const ClientId c1 = service.AddClient();
+  const ClientId c2 = service.AddClient();
+
+  Result<QueryId> q1 = service.SubscribeLeased(c1, Rect(0, 0, 10, 10));
+  Result<QueryId> q2 = service.SubscribeLeased(c2, Rect(2, 2, 12, 12));
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+
+  // Live mode owns the plan: the one-shot Plan() entry point refuses.
+  EXPECT_EQ(service.Plan().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  BatchReport report = service.DrainAdmissions();
+  EXPECT_EQ(report.admitted, 2u);
+  EXPECT_EQ(service.live_stats().active, 2u);
+
+  // The maintained plan serves rounds end to end (the simulator checks
+  // every client's answers against its subscriptions).
+  EXPECT_TRUE(service.RunRound().ok());
+
+  ASSERT_TRUE(service.Unsubscribe(q1.value()).ok());
+  report = service.DrainAdmissions();
+  ASSERT_EQ(report.retired.size(), 1u);
+  EXPECT_EQ(service.live_stats().active, 1u);
+  EXPECT_TRUE(service.RunRound().ok());
+
+  // The maintained plan covers exactly the surviving lease.
+  ASSERT_NE(service.live(), nullptr);
+  EXPECT_EQ(service.live()->LiveIds(), std::vector<QueryId>{q2.value()});
+}
+
+TEST(LiveFacadeTest, LiveModeRequiresSingleChannel) {
+  ServiceConfig config;
+  config.live.enabled = true;
+  config.num_channels = 4;
+  SubscriptionService service(LiveWorldTable(2), Rect(0, 0, 100, 100),
+                              config);
+  const ClientId client = service.AddClient();
+  EXPECT_FALSE(service.SubscribeLeased(client, Rect(0, 0, 1, 1)).ok());
+}
+
+TEST(LiveFacadeTest, LiveCallsRejectedWhenDisabled) {
+  SubscriptionService service(LiveWorldTable(3), Rect(0, 0, 100, 100),
+                              ServiceConfig{});
+  const ClientId client = service.AddClient();
+  EXPECT_EQ(service.SubscribeLeased(client, Rect(0, 0, 1, 1)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Unsubscribe(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.SweepExpired(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Churn soak determinism and invariants.
+
+ChurnConfig SmallChurn(uint64_t seed) {
+  ChurnConfig config;
+  config.rounds = 12;
+  config.initial_subs = 60;
+  config.arrivals_per_round = 6;
+  config.departures_per_round = 3;
+  config.fault.crash_rate = 0.1;
+  config.fault.late_join_rate = 0.4;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ChurnSoakTest, FixedSeedRunsAreByteDeterministic) {
+  Result<ChurnOutcome> first = RunServiceChurn(SmallChurn(5));
+  Result<ChurnOutcome> second = RunServiceChurn(SmallChurn(5));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->invariants_ok()) << first->invariant_error;
+  EXPECT_EQ(first->digest, second->digest);
+  ASSERT_EQ(first->rounds.size(), second->rounds.size());
+  for (size_t i = 0; i < first->rounds.size(); ++i) {
+    EXPECT_EQ(first->rounds[i].cost, second->rounds[i].cost) << "round " << i;
+    EXPECT_EQ(first->rounds[i].evaluations, second->rounds[i].evaluations);
+  }
+}
+
+TEST(ChurnSoakTest, DifferentSeedsDiverge) {
+  Result<ChurnOutcome> a = RunServiceChurn(SmallChurn(5));
+  Result<ChurnOutcome> b = RunServiceChurn(SmallChurn(6));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->digest, b->digest);
+}
+
+TEST(ChurnSoakTest, InvariantsHoldAcrossMaintenancePolicies) {
+  for (const int moves : {-1, 0, 8}) {
+    ChurnConfig config = SmallChurn(7);
+    config.service.repair_max_moves = moves;
+    config.service.replan_drift_factor = 1.2;
+    config.service.drift_check_every_batches = 2;
+    Result<ChurnOutcome> outcome = RunServiceChurn(config);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->invariants_ok())
+        << "repair_max_moves=" << moves << ": " << outcome->invariant_error;
+    EXPECT_GT(outcome->final_stats.expired, 0u);
+  }
+}
+
+TEST(ChurnSoakTest, TickingClockSoakStaysDeterministic) {
+  // Nonzero tick = every clock read advances time (in-batch deadlines
+  // can fire); the digest must still be reproducible.
+  ChurnConfig config = SmallChurn(9);
+  config.clock_tick_us = 1.0;
+  config.service.repair_deadline_us = 200;
+  Result<ChurnOutcome> a = RunServiceChurn(config);
+  Result<ChurnOutcome> b = RunServiceChurn(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->invariants_ok()) << a->invariant_error;
+  EXPECT_EQ(a->digest, b->digest);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -8,10 +8,14 @@
 // BenefitBounder's bound/refinement accounting.
 //
 // Options (defaults in brackets):
-//   --scenario fig16|workload [fig16]
+//   --scenario fig16|workload|live [fig16]
 //       fig16    the Figure 16 evaluation setting (hybrid clustered
 //                workload, adversarial cost constants, uniform estimator)
 //       workload the qspctl-style generic workload knobs below
+//       live     the long-lived service loop: admit the fig16 workload
+//                through leased admission, retire every third query, and
+//                EXPLAIN the incrementally repaired plan it serves
+//                (honors --queries, --seed, --no-pruning, --format)
 //   --queries N [12]    --seed N [fig16: 1000*queries; workload: 42]
 //   --merger pair|directed|clustering|exact [pair]
 //   --no-pruning        disable the BenefitBounder fast path
@@ -29,11 +33,16 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "core/live_plan.h"
 #include "core/subscription_service.h"
+#include "obs/clock.h"
 #include "obs/plan_explain.h"
+#include "query/merge_procedure.h"
 #include "relation/generator.h"
 #include "relation/grid_index.h"
 #include "stats/exact_estimator.h"
+#include "stats/size_estimator.h"
+#include "workload/query_gen.h"
 
 namespace qsp {
 namespace {
@@ -85,8 +94,74 @@ MergerKind MergerFromArgs(const Args& args, std::string* name) {
   std::exit(2);
 }
 
+/// --scenario live: drive the long-lived service loop (DESIGN.md §11)
+/// through a scripted admit/retire sequence and EXPLAIN the repaired
+/// plan it is currently serving. Unlike the one-shot scenarios, this
+/// plan is the product of AddQuery/RemoveQuery/Repair maintenance, not
+/// of a single merge — the dump shows what the service would actually
+/// disseminate mid-lifetime.
+int RunLive(const Args& args) {
+  const size_t num_queries = static_cast<size_t>(args.I("queries", 12));
+  const QueryGenConfig workload = bench::Fig16WorkloadConfig(num_queries);
+  const CostModel model = bench::Fig16CostModel();
+  const uint64_t seed = static_cast<uint64_t>(
+      args.I("seed", static_cast<int64_t>(1000 * num_queries)));
+
+  QuerySet queries;
+  UniformDensityEstimator estimator(bench::kFig16Density);
+  BoundingRectProcedure procedure;
+  MergeContext ctx(&queries, &estimator, &procedure);
+
+  obs::FakeClock clock(0.0);
+  LiveServiceConfig opts;
+  opts.enabled = true;
+  opts.clock = &clock;
+  opts.admission_batch_max = static_cast<size_t>(-1);
+  opts.admission_queue_limit = static_cast<size_t>(-1);
+  opts.repair_max_moves = 0;  // Repair each batch to a local minimum.
+  opts.pruning = !args.Has("no-pruning");
+  LivePlanManager live(&queries, &ctx, model, opts);
+
+  Rng rng(seed);
+  for (const Rect& rect : GenerateQueries(workload, &rng)) {
+    if (!live.Subscribe(rect, 0).ok()) {
+      std::fprintf(stderr, "live subscribe failed\n");
+      return 1;
+    }
+  }
+  QSP_IGNORE_RESULT(live.DrainAll());
+  // Retire every third subscription so the dumped plan reflects
+  // removal-induced repair, then settle the queue again.
+  for (QueryId id = 0; id < num_queries; id += 3) {
+    QSP_IGNORE_RESULT(live.Unsubscribe(id));
+  }
+  QSP_IGNORE_RESULT(live.DrainAll());
+
+  obs::PlanExplainer explainer(&ctx, model);
+  explainer.AddLabel("scenario", "live");
+  explainer.AddLabel("merger", "incremental");
+  explainer.AddLabel("procedure", "rect");
+  explainer.AddLabel("estimator", "uniform");
+  // No initial-cost line: the context still holds retired queries (ids
+  // are stable for the service's lifetime), so Cost_initial over the
+  // whole QuerySet would not describe the live population.
+  const obs::PlanExplain explain = explainer.Explain(live.PlanSnapshot());
+
+  const std::string format = args.S("format", "text");
+  if (format == "text") {
+    std::fputs(explain.ToText().c_str(), stdout);
+  } else if (format == "json") {
+    std::printf("%s\n", explain.ToJson().c_str());
+  } else {
+    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 int Run(const Args& args) {
   const std::string scenario = args.S("scenario", "fig16");
+  if (scenario == "live") return RunLive(args);
   const size_t num_queries = static_cast<size_t>(args.I("queries", 12));
 
   QueryGenConfig workload;
