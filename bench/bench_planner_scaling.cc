@@ -12,18 +12,29 @@
 //               statistics were computed (the memo's size).
 //
 // `--smoke` runs the small sizes only (CI perf-smoke job).
+//
+// `--shards` switches to the sharded-planning matrix (DESIGN.md §12):
+// shards x threads over the ShardedPlanner at large |Q|, asserting that
+// shards=1 is byte-identical to the unsharded merger and that every
+// multi-shard plan costs within 2% of it. `--shards --big` adds a
+// single 10^6-query cell. The speedup acceptance (>= 3x at >= 4 shards
+// and >= 8 threads vs 1x1) engages only on machines with >= 4 hardware
+// threads; the identity and cost checks always run.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "exec/thread_pool.h"
 #include "merge/clustering_merger.h"
 #include "merge/directed_search_merger.h"
 #include "merge/pair_merger.h"
+#include "merge/sharded_planner.h"
 #include "obs/run_report.h"
 #include "util/table_printer.h"
 
@@ -191,13 +202,219 @@ int Run(bool smoke) {
   return identical ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// --shards: the sharded-planning matrix.
+
+struct ShardCell {
+  size_t n = 0;
+  int shards = 0;
+  int threads = 0;
+  double ms = 0.0;
+  double cost = 0.0;
+  size_t groups = 0;
+  size_t seam_groups = 0;
+  size_t seam_merges = 0;
+  Partition partition;
+};
+
+/// The 10^6-query workload. The fig16 hybrid puts ~40% of all queries
+/// into each of two clusters only ~3% of the domain wide, so one grid
+/// cell inherits the whole cluster and its inner merge never finishes
+/// at this scale — spatial sharding needs spatial dispersion to win.
+/// The big cell keeps a clustered component but spreads it (df=0.25)
+/// and shrinks rects so groups stay interior to 32x32 cells.
+QueryGenConfig BigWorkloadConfig(size_t n) {
+  QueryGenConfig config = bench::Fig16WorkloadConfig(n);
+  config.cf = 0.2;
+  config.df = 0.25;
+  config.min_extent = 0.002;
+  config.max_extent = 0.01;
+  return config;
+}
+
+/// One (n, shards, threads) cell: fresh instance and context (fair
+/// timing, no memo reuse across cells), clustering inner merger (the
+/// one whose grid join scales to these sizes).
+bool RunShardCell(const QueryGenConfig& workload, int shards, int threads,
+                  ShardCell* cell) {
+  const size_t n = workload.num_queries;
+  exec::SetDefaultThreads(threads);
+  bench::Instance inst(workload, kSeed, bench::kFig16Density);
+  const CostModel model = bench::Fig16CostModel();
+  const ClusteringMerger inner(/*exact_component_limit=*/10,
+                               /*tight_bound=*/true, /*pruning=*/true);
+  const ShardedPlanner planner(&inner, {shards, /*pruning=*/true});
+  const auto start = std::chrono::steady_clock::now();
+  auto outcome = planner.Plan(*inst.ctx, model);
+  const auto end = std::chrono::steady_clock::now();
+  exec::SetDefaultThreads(1);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "shards=%d threads=%d n=%zu failed: %s\n", shards,
+                 threads, n, outcome.status().ToString().c_str());
+    return false;
+  }
+  cell->n = n;
+  cell->shards = shards;
+  cell->threads = threads;
+  cell->ms = std::chrono::duration<double, std::milli>(end - start).count();
+  cell->cost = outcome->outcome.cost;
+  cell->groups = outcome->outcome.partition.size();
+  cell->seam_groups = outcome->seam_groups_in;
+  cell->seam_merges = outcome->seam_merges;
+  cell->partition = std::move(outcome->outcome.partition);
+  return true;
+}
+
+int RunShards(bool smoke, bool big) {
+  bench::EnableTelemetryIfReportRequested();
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  bench::PrintHeader(
+      "Sharded parallel planning — shards x threads (DESIGN.md 12)",
+      "ShardedPlanner over the hybrid workload, clustering inner merger, "
+      "pruning on. shards=1 must be byte-identical to the unsharded "
+      "merger; every multi-shard plan must cost within 2% of it. Fresh "
+      "instance per cell.");
+  std::printf("hardware threads: %u%s%s\n\n", hw, smoke ? "   [smoke]" : "",
+              big ? "   [big]" : "");
+
+  const size_t n = smoke ? 4000 : 100000;
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 4, 16} : std::vector<int>{1, 4, 16, 64};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 8};
+
+  TablePrinter table({"|Q|", "shards", "threads", "time ms", "cost",
+                      "groups", "seam in", "seam merges", "speedup"});
+  obs::RunReport report("planner_shards");
+  int failures = 0;
+
+  // Unsharded reference for the identity and cost-quality checks.
+  Cell reference;
+  if (!RunCell("clustering", n, /*pruning=*/true, &reference)) return 1;
+
+  double baseline_ms = 0.0;  // shards=1, threads=1
+  double best_parallel_ms = 0.0;
+  int best_shards = 0, best_threads = 0;
+  for (const int shards : shard_counts) {
+    for (const int threads : thread_counts) {
+      ShardCell cell;
+      if (!RunShardCell(bench::Fig16WorkloadConfig(n), shards, threads,
+                        &cell)) {
+        return 1;
+      }
+      if (shards == 1) {
+        // Delegation must be byte-identical to the plain merger run.
+        if (cell.partition != reference.partition ||
+            cell.cost != reference.cost) {
+          std::fprintf(stderr,
+                       "INVARIANT VIOLATED: shards=1 (threads=%d) differs "
+                       "from the unsharded plan at n=%zu\n",
+                       threads, n);
+          ++failures;
+        }
+        if (threads == 1) baseline_ms = cell.ms;
+      } else {
+        // Seam reconciliation keeps the plan near the unsharded one.
+        if (!(cell.cost <= reference.cost * 1.02)) {
+          std::fprintf(stderr,
+                       "INVARIANT VIOLATED: shards=%d threads=%d cost "
+                       "%.6g exceeds unsharded %.6g by more than 2%%\n",
+                       shards, threads, cell.cost, reference.cost);
+          ++failures;
+        }
+        if (shards >= 4 && threads >= thread_counts.back() &&
+            (best_parallel_ms == 0.0 || cell.ms < best_parallel_ms)) {
+          best_parallel_ms = cell.ms;
+          best_shards = shards;
+          best_threads = threads;
+        }
+      }
+      const double speedup =
+          (baseline_ms > 0.0 && cell.ms > 0.0) ? baseline_ms / cell.ms : 0.0;
+      table.AddRow({std::to_string(n), std::to_string(shards),
+                    std::to_string(threads), Fmt(cell.ms),
+                    Fmt(cell.cost, "%.6g"), std::to_string(cell.groups),
+                    std::to_string(cell.seam_groups),
+                    std::to_string(cell.seam_merges),
+                    speedup > 0.0 ? Fmt(speedup, "%.2fx") : ""});
+      const std::string key = "n" + std::to_string(n) + ".s" +
+                              std::to_string(shards) + ".t" +
+                              std::to_string(threads);
+      report.AddScalar(key + ".ms", cell.ms);
+      report.AddScalar(key + ".cost", cell.cost);
+      report.AddScalar(key + ".seam_groups",
+                       static_cast<double>(cell.seam_groups));
+    }
+  }
+
+  // The 10^6-query cell: completion + accounting, no baseline rerun (an
+  // unsharded pass at this size is exactly what sharding exists to
+  // avoid timing). Runs the dispersed big workload — see
+  // BigWorkloadConfig for why the hybrid can't shard at this scale.
+  if (big) {
+    const size_t big_n = 1000000;
+    const int big_shards = 1024;
+    const int big_threads = static_cast<int>(hw > 0 ? hw : 1u);
+    ShardCell cell;
+    if (!RunShardCell(BigWorkloadConfig(big_n), big_shards, big_threads,
+                      &cell)) {
+      return 1;
+    }
+    table.AddRow({std::to_string(big_n), std::to_string(big_shards),
+                  std::to_string(big_threads), Fmt(cell.ms),
+                  Fmt(cell.cost, "%.6g"), std::to_string(cell.groups),
+                  std::to_string(cell.seam_groups),
+                  std::to_string(cell.seam_merges), ""});
+    report.AddScalar("big.n1000000.ms", cell.ms);
+    report.AddScalar("big.n1000000.cost", cell.cost);
+    report.AddScalar("big.n1000000.groups",
+                     static_cast<double>(cell.groups));
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+
+  if (!smoke && hw >= 4) {
+    const double speedup =
+        best_parallel_ms > 0.0 ? baseline_ms / best_parallel_ms : 0.0;
+    std::printf(
+        "acceptance: best parallel cell (shards=%d, threads=%d) = %.2fx "
+        "vs 1x1 (need >= 3x)\n",
+        best_shards, best_threads, speedup);
+    report.AddScalar("best_parallel_speedup", speedup);
+    if (speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: sharded speedup below 3x\n");
+      ++failures;
+    }
+  } else {
+    std::printf(
+        "acceptance: speedup check skipped (%s — identity and 2%% cost "
+        "checks still enforced)\n",
+        smoke ? "smoke mode" : "fewer than 4 hardware threads");
+  }
+
+  report.AddText("description",
+                 "ShardedPlanner shards x threads matrix: wall time, plan "
+                 "cost, and seam accounting per cell.");
+  report.AddBool("smoke", smoke);
+  report.AddBool("checks_passed", failures == 0);
+  report.AddTable("planner_shards", table);
+  if (obs::Enabled()) report.AddMetrics(obs::MetricRegistry::Default());
+  bench::WriteReportIfRequested(report);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace qsp
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool shards = false;
+  bool big = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--shards") == 0) shards = true;
+    if (std::strcmp(argv[i], "--big") == 0) big = true;
   }
-  return qsp::Run(smoke);
+  return shards ? qsp::RunShards(smoke, big) : qsp::Run(smoke);
 }

@@ -212,7 +212,7 @@ void LivePlanManager::FinishReplan(BatchReport* report) {
 }
 
 BatchReport LivePlanManager::ProcessBatch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   BatchReport report;
   const double batch_start = NowUs();
   const uint64_t evals_before = merger_.evaluations();
@@ -303,6 +303,11 @@ BatchReport LivePlanManager::ProcessBatch() {
 
   report.evaluations = merger_.evaluations() - evals_before;
   PublishGauges();
+  const std::function<void(const BatchReport&)> cb = batch_cb_;
+  lock.unlock();
+  // The callback runs with mu_ released so it can call back into the
+  // manager (PlanSnapshot, Stats) without deadlocking.
+  if (cb) cb(report);
   return report;
 }
 
@@ -332,6 +337,12 @@ BatchReport LivePlanManager::DrainAll() {
     if (queue_.empty()) break;
   }
   return total;
+}
+
+void LivePlanManager::SetBatchCallback(
+    std::function<void(const BatchReport&)> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_cb_ = std::move(cb);
 }
 
 Status LivePlanManager::ReplanNow() {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -188,6 +189,16 @@ class LivePlanManager {
   /// ProcessBatch until the admission queue is empty; merges reports.
   BatchReport DrainAll();
 
+  /// Registers a callback invoked after every ProcessBatch with that
+  /// batch's report — including batches driven by the background tick,
+  /// which otherwise complete invisibly to the owner. The owner uses it
+  /// to mirror placed/retired ids into its client-side state. Invoked
+  /// with the manager's lock released, on whatever thread ran the batch
+  /// (the ticker thread in background mode), so the callback may call
+  /// back into const accessors such as PlanSnapshot. Set it before
+  /// StartBackground; pass an empty function to clear.
+  void SetBatchCallback(std::function<void(const BatchReport&)> cb);
+
   /// Synchronous from-scratch replan + adoption attempt (subject to the
   /// failure-injection hook; lateness cannot occur inline). Returns
   /// FailedPrecondition when a background replan is already running.
@@ -278,6 +289,7 @@ class LivePlanManager {
   uint64_t plan_age_batches_ = 0;
   uint64_t batches_since_drift_check_ = 0;
   std::unique_ptr<ReplanJob> replan_job_ QSP_GUARDED_BY(mu_);
+  std::function<void(const BatchReport&)> batch_cb_ QSP_GUARDED_BY(mu_);
   exec::PeriodicTask ticker_;
 };
 

@@ -10,6 +10,7 @@
 #include "merge/directed_search_merger.h"
 #include "merge/pair_merger.h"
 #include "merge/partition_merger.h"
+#include "merge/sharded_planner.h"
 #include "obs/metrics.h"
 #include "obs/phase_tracer.h"
 #include "relation/grid_index.h"
@@ -83,6 +84,13 @@ SubscriptionService::SubscriptionService(Table table, const Rect& domain,
                                               procedure_.get());
     live_ = std::make_unique<LivePlanManager>(
         &queries_, context_.get(), config_.cost_model, config_.live);
+    // Every processed batch mirrors into the ClientSet through this
+    // callback — in particular batches the background tick drives, which
+    // previously completed inside the maintainer without the facade ever
+    // seeing their placed/retired ids.
+    live_->SetBatchCallback(
+        [this](const BatchReport& report) { ApplyBatch(report); });
+    if (config_.live.sweep_interval_ms > 0) live_->StartBackground();
   }
   if (config_.telemetry && config_.sample_interval_ms > 0 &&
       !config_.sample_path.empty()) {
@@ -99,7 +107,11 @@ SubscriptionService::SubscriptionService(Table table, const Rect& domain,
   }
 }
 
-SubscriptionService::~SubscriptionService() = default;
+SubscriptionService::~SubscriptionService() {
+  // Stop the background tick before any facade member it reaches
+  // through ApplyBatch (clients_, plan_, owner_of_query_) is torn down.
+  if (live_ != nullptr) live_->StopBackground();
+}
 
 ClientId SubscriptionService::AddClient() { return clients_.AddClient(); }
 
@@ -138,6 +150,10 @@ Result<QueryId> SubscriptionService::SubscribeLeased(ClientId client,
   if (client >= clients_.num_clients()) {
     return Status::InvalidArgument("unknown client id");
   }
+  // live_mu_ is held across the enqueue AND the owner recording: the
+  // background tick can pop the admission as soon as Subscribe returns,
+  // but its ApplyBatch blocks on live_mu_ until the owner is on record.
+  std::lock_guard<std::mutex> lock(live_mu_);
   Result<QueryId> id = live_->Subscribe(rect, ttl_ms);
   if (!id.ok()) return id.status();
   if (owner_of_query_.size() <= id.value()) {
@@ -165,7 +181,9 @@ size_t SubscriptionService::SweepExpired() {
 void SubscriptionService::ApplyBatch(const BatchReport& report) {
   // ClientSet mirrors the *planned* population: a subscription joins it
   // when placed and leaves when retired, so every round's verification
-  // checks exactly the queries the plan can serve.
+  // checks exactly the queries the plan can serve. Runs on whatever
+  // thread processed the batch (the ticker thread in background mode).
+  std::lock_guard<std::mutex> lock(live_mu_);
   for (QueryId id : report.placed) {
     clients_.Subscribe(owner_of_query_[id], id);
   }
@@ -180,16 +198,15 @@ void SubscriptionService::ApplyBatch(const BatchReport& report) {
 
 BatchReport SubscriptionService::ProcessAdmissions() {
   if (live_ == nullptr) return BatchReport{};
-  BatchReport report = live_->ProcessBatch();
-  ApplyBatch(report);
-  return report;
+  // The registered batch callback applies the report (ClientSet
+  // mirroring + plan installation) before ProcessBatch returns.
+  return live_->ProcessBatch();
 }
 
 BatchReport SubscriptionService::DrainAdmissions() {
   if (live_ == nullptr) return BatchReport{};
-  BatchReport report = live_->DrainAll();
-  ApplyBatch(report);
-  return report;
+  // The batch callback applies each intermediate batch as it happens.
+  return live_->DrainAll();
 }
 
 Status SubscriptionService::ReplanNow() {
@@ -205,6 +222,13 @@ Status SubscriptionService::ReplanNow() {
 LiveStats SubscriptionService::live_stats() const {
   if (live_ == nullptr) return LiveStats{};
   return live_->Stats();
+}
+
+std::vector<QueryId> SubscriptionService::MirroredQueriesOf(
+    ClientId client) const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  if (client >= clients_.num_clients()) return {};
+  return clients_.QueriesOf(client);
 }
 
 Result<PlanReport> SubscriptionService::Plan() {
@@ -236,17 +260,38 @@ Result<PlanReport> SubscriptionService::Plan() {
   }
   plan_ = DisseminationPlan{};
 
+  plan_group_shard_.clear();
   if (config_.num_channels <= 1) {
     // Basic broadcast model: all clients on one channel, one merge run.
     const auto merger =
         MakeMerger(config_.merger, config_.seed, config_.pruning);
-    Result<MergeOutcome> outcome = merger->Merge(*context_, config_.cost_model);
-    if (!outcome.ok()) return outcome.status();
-    plan_.allocation.push_back(clients_.AllClients());
-    plan_.channel_partitions.push_back(outcome.value().partition);
-    report.estimated_cost = outcome.value().cost;
-    report.bounds_refined = outcome.value().bounds_refined;
-    report.bounds_pruned = outcome.value().bounds_pruned;
+    if (config_.shards > 1) {
+      // Sharded parallel planning (DESIGN.md §12): per-shard merges fan
+      // out across the exec pool, then the boundary pass reconciles the
+      // seam-touching groups. shards == 1 takes the branch below and is
+      // byte-identical by construction.
+      const ShardedPlanner planner(merger.get(),
+                                   {config_.shards, config_.pruning});
+      Result<ShardedMergeOutcome> outcome =
+          planner.Plan(*context_, config_.cost_model);
+      if (!outcome.ok()) return outcome.status();
+      plan_.allocation.push_back(clients_.AllClients());
+      plan_.channel_partitions.push_back(
+          std::move(outcome.value().outcome.partition));
+      plan_group_shard_ = std::move(outcome.value().group_shard);
+      report.estimated_cost = outcome.value().outcome.cost;
+      report.bounds_refined = outcome.value().outcome.bounds_refined;
+      report.bounds_pruned = outcome.value().outcome.bounds_pruned;
+    } else {
+      Result<MergeOutcome> outcome =
+          merger->Merge(*context_, config_.cost_model);
+      if (!outcome.ok()) return outcome.status();
+      plan_.allocation.push_back(clients_.AllClients());
+      plan_.channel_partitions.push_back(outcome.value().partition);
+      report.estimated_cost = outcome.value().cost;
+      report.bounds_refined = outcome.value().bounds_refined;
+      report.bounds_pruned = outcome.value().bounds_pruned;
+    }
   } else {
     obs::ScopedSpan allocate_span("allocate");
     ChannelCostEvaluator evaluator(context_.get(), config_.cost_model,
@@ -296,6 +341,11 @@ Result<PlanReport> SubscriptionService::Plan() {
 }
 
 Result<RoundStats> SubscriptionService::RunRound() {
+  // In live mode the background tick installs repaired plans and mutates
+  // the ClientSet concurrently; the round holds live_mu_ end to end so
+  // it executes under one consistent (plan, clients) snapshot. Uncontended
+  // in one-shot mode.
+  std::lock_guard<std::mutex> lock(live_mu_);
   if (!has_plan_) {
     return Status::FailedPrecondition("call Plan() before RunRound()");
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,16 @@ struct ServiceConfig {
   /// with pruning on or off; only planning time and the number of exact
   /// group evaluations change. On by default; this is the kill switch.
   bool pruning = true;
+  /// Sharded parallel planning (DESIGN.md §12): with a value N > 1 and a
+  /// single channel, Plan() partitions the object space into ~N grid
+  /// shards, plans each independently across the exec pool, then
+  /// reconciles cross-shard merges with a boundary pass over the groups
+  /// whose MBRs touch a shard seam. 1 — the default — calls the
+  /// configured merger directly: byte-identical partitions and costs, so
+  /// every figure harness is untouched. Ignored with num_channels > 1
+  /// (allocation already decomposes the problem) and in live mode (the
+  /// incremental maintainer owns the plan).
+  int shards = 1;
   /// Loss model + recovery budget for the dissemination rounds
   /// (DESIGN.md §6). With the default all-zero policy the simulator runs
   /// the lossless path and every figure stays byte-identical; any nonzero
@@ -194,8 +205,11 @@ class SubscriptionService {
   size_t SweepExpired();
 
   /// Applies one admission batch (adds/removes + budgeted repair + the
-  /// drift check), activates/retires ClientSet entries for placed and
-  /// retired ids, and installs the repaired partition as the round plan.
+  /// drift check). Every processed batch — explicit or driven by the
+  /// background tick (live.sweep_interval_ms > 0) — flows through the
+  /// maintainer's batch callback, which activates/retires ClientSet
+  /// entries for placed and retired ids and installs the repaired
+  /// partition as the round plan.
   BatchReport ProcessAdmissions();
 
   /// ProcessAdmissions until the admission queue drains.
@@ -206,6 +220,12 @@ class SubscriptionService {
   Status ReplanNow();
 
   LiveStats live_stats() const;
+
+  /// Race-free snapshot of a client's mirrored subscriptions. With the
+  /// background tick on, the ClientSet mutates on the ticker thread;
+  /// this read synchronizes with that mirroring (the bare clients()
+  /// accessor does not).
+  std::vector<QueryId> MirroredQueriesOf(ClientId client) const;
 
   /// The live plan maintainer (null unless live mode is on); exposed for
   /// diagnostics (qsp_explain --live) and benches.
@@ -220,6 +240,15 @@ class SubscriptionService {
   /// The context/estimator pair backing the current plan (valid after
   /// Plan(); exposed for diagnostics and benches).
   const MergeContext* context() const { return context_.get(); }
+
+  /// Shard attribution of the last Plan(): parallel to the single
+  /// channel's partition, each entry the shard that produced the group
+  /// (ShardedMergeOutcome::kSeamGroup for boundary-pass groups). Empty
+  /// unless the last plan ran sharded (config.shards > 1). Consumed by
+  /// the EXPLAIN path (qsp_explain --shards).
+  const std::vector<int32_t>& plan_group_shard() const {
+    return plan_group_shard_;
+  }
 
  private:
   Table table_;
@@ -240,7 +269,16 @@ class SubscriptionService {
   std::unique_ptr<obs::PeriodicSampler> sampler_;
   bool has_plan_ = false;
   DisseminationPlan plan_;
+  std::vector<int32_t> plan_group_shard_;
 
+  /// Live mode only. Serializes facade state shared with the background
+  /// tick thread: ClientSet mirroring and plan installation (ApplyBatch,
+  /// which runs on whatever thread processed the batch), owner_of_query_
+  /// growth in SubscribeLeased, and the plan_/clients_ reads of RunRound
+  /// (a round runs under one consistent plan). Lock order: live_mu_
+  /// before the maintainer's internal lock, never the reverse — the
+  /// batch callback fires with the maintainer unlocked.
+  mutable std::mutex live_mu_;
   /// Live mode only. Owner of each leased query, dense by QueryId, so a
   /// retirement knows whose ClientSet entry to drop.
   std::unique_ptr<LivePlanManager> live_;
@@ -248,7 +286,8 @@ class SubscriptionService {
 
   Status LiveGuard() const;
   /// Activates/retires ClientSet entries from a batch and installs the
-  /// current live partition as the round plan.
+  /// current live partition as the round plan. Registered as the
+  /// maintainer's batch callback so background-tick batches mirror too.
   void ApplyBatch(const BatchReport& report);
 };
 

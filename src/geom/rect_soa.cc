@@ -1,0 +1,154 @@
+#include "geom/rect_soa.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsp {
+
+void RectSoA::Reserve(size_t n) {
+  x_lo_.reserve(n);
+  y_lo_.reserve(n);
+  x_hi_.reserve(n);
+  y_hi_.reserve(n);
+}
+
+void RectSoA::Clear() {
+  x_lo_.clear();
+  y_lo_.clear();
+  x_hi_.clear();
+  y_hi_.clear();
+}
+
+void RectSoA::PushBack(const Rect& r) {
+  x_lo_.push_back(r.x_lo());
+  y_lo_.push_back(r.y_lo());
+  x_hi_.push_back(r.x_hi());
+  y_hi_.push_back(r.y_hi());
+}
+
+void RectSoA::Assign(const std::vector<Rect>& rects) {
+  Clear();
+  Reserve(rects.size());
+  for (const Rect& r : rects) PushBack(r);
+}
+
+void RectSoA::BatchIntersects(const Rect& window, unsigned char* out) const {
+  const size_t n = size();
+  const double wxl = window.x_lo(), wyl = window.y_lo();
+  const double wxh = window.x_hi(), wyh = window.y_hi();
+  if (window.IsEmpty()) {
+    std::fill(out, out + n, static_cast<unsigned char>(0));
+    return;
+  }
+  const double* xl = x_lo_.data();
+  const double* yl = y_lo_.data();
+  const double* xh = x_hi_.data();
+  const double* yh = y_hi_.data();
+  // Branchless closed-interval overlap on all four bounds at once; an
+  // empty rect (lo > hi) fails its own lo <= hi conjunct, so the scalar
+  // Rect::Intersects answer falls out without a separate emptiness test.
+  for (size_t i = 0; i < n; ++i) {
+    const bool hit = xl[i] <= wxh && wxl <= xh[i] && yl[i] <= wyh &&
+                     wyl <= yh[i] && xl[i] <= xh[i] && yl[i] <= yh[i];
+    out[i] = static_cast<unsigned char>(hit);
+  }
+}
+
+size_t RectSoA::CountIntersecting(const Rect& window) const {
+  const size_t n = size();
+  if (window.IsEmpty()) return 0;
+  const double wxl = window.x_lo(), wyl = window.y_lo();
+  const double wxh = window.x_hi(), wyh = window.y_hi();
+  const double* xl = x_lo_.data();
+  const double* yl = y_lo_.data();
+  const double* xh = x_hi_.data();
+  const double* yh = y_hi_.data();
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<size_t>(xl[i] <= wxh && wxl <= xh[i] &&
+                                 yl[i] <= wyh && wyl <= yh[i] &&
+                                 xl[i] <= xh[i] && yl[i] <= yh[i]);
+  }
+  return count;
+}
+
+void RectSoA::BatchArea(double* out) const {
+  const size_t n = size();
+  const double* xl = x_lo_.data();
+  const double* yl = y_lo_.data();
+  const double* xh = x_hi_.data();
+  const double* yh = y_hi_.data();
+  // max(hi - lo, 0) mirrors Rect::Width/Height's empty clamp without a
+  // branch, keeping the multiply chain vectorizable.
+  for (size_t i = 0; i < n; ++i) {
+    const double w = std::max(xh[i] - xl[i], 0.0);
+    const double h = std::max(yh[i] - yl[i], 0.0);
+    const bool nonempty = xl[i] <= xh[i] && yl[i] <= yh[i];
+    out[i] = nonempty ? w * h : 0.0;
+  }
+}
+
+Rect RectSoA::BoundingUnionAll() const {
+  const size_t n = size();
+  const double* xl = x_lo_.data();
+  const double* yl = y_lo_.data();
+  const double* xh = x_hi_.data();
+  const double* yh = y_hi_.data();
+  // Running min/max over non-empty entries; empty entries contribute
+  // +inf/-inf sentinels so the reduction stays branch-free.
+  double uxl = 0.0, uyl = 0.0, uxh = -1.0, uyh = -1.0;
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    const bool nonempty = xl[i] <= xh[i] && yl[i] <= yh[i];
+    if (!nonempty) continue;
+    if (!any) {
+      uxl = xl[i];
+      uyl = yl[i];
+      uxh = xh[i];
+      uyh = yh[i];
+      any = true;
+      continue;
+    }
+    uxl = std::min(uxl, xl[i]);
+    uyl = std::min(uyl, yl[i]);
+    uxh = std::max(uxh, xh[i]);
+    uyh = std::max(uyh, yh[i]);
+  }
+  if (!any) return Rect::Empty();
+  return Rect(uxl, uyl, uxh, uyh);
+}
+
+void RectSoA::BatchShardOf(const Rect& bounds, int cells_x, int cells_y,
+                           int32_t* out) const {
+  const size_t n = size();
+  const int cx_n = std::max(1, cells_x);
+  const int cy_n = std::max(1, cells_y);
+  const double bxl = bounds.x_lo();
+  const double byl = bounds.y_lo();
+  const double cw = bounds.IsEmpty() ? 0.0 : bounds.Width() / cx_n;
+  const double ch = bounds.IsEmpty() ? 0.0 : bounds.Height() / cy_n;
+  const double inv_w = cw > 0.0 ? 1.0 / cw : 0.0;
+  const double inv_h = ch > 0.0 ? 1.0 / ch : 0.0;
+  const double fx_max = static_cast<double>(cx_n - 1);
+  const double fy_max = static_cast<double>(cy_n - 1);
+  const double* xl = x_lo_.data();
+  const double* yl = y_lo_.data();
+  const double* xh = x_hi_.data();
+  const double* yh = y_hi_.data();
+  for (size_t i = 0; i < n; ++i) {
+    // Clamp in double space before the int cast (centers of clamped or
+    // far-out rects may sit outside the grid, or be non-finite).
+    const double cx_pt = (xl[i] + xh[i]) * 0.5;
+    const double cy_pt = (yl[i] + yh[i]) * 0.5;
+    double fx = std::floor((cx_pt - bxl) * inv_w);
+    double fy = std::floor((cy_pt - byl) * inv_h);
+    fx = (fx > 0.0) ? std::min(fx, fx_max) : 0.0;  // also catches NaN
+    fy = (fy > 0.0) ? std::min(fy, fy_max) : 0.0;
+    const int32_t cell = static_cast<int32_t>(fy) * cx_n +
+                         static_cast<int32_t>(fx);
+    const bool nonempty = xl[i] <= xh[i] && yl[i] <= yh[i];
+    out[i] = nonempty ? cell : kBoundlessShard;
+  }
+}
+
+}  // namespace qsp

@@ -1,0 +1,78 @@
+#ifndef QSP_GEOM_RECT_SOA_H_
+#define QSP_GEOM_RECT_SOA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace qsp {
+
+/// Structure-of-arrays rectangle storage for the planner's batch
+/// geometry kernels. The array-of-structs `Rect` is right for single
+/// lookups; the sharded planner instead sweeps 10^5–10^6 rectangles in
+/// straight-line passes (shard assignment, seam classification, bulk
+/// intersection tests), and those passes want the four bounds in four
+/// contiguous arrays so the compiler can vectorize the compare/min/max
+/// chains instead of striding over 32-byte structs.
+///
+/// Empty rectangles are stored exactly as `Rect` holds them (lo > hi),
+/// so round-tripping through Get() is lossless and the batch kernels
+/// give the same answers as the scalar `Rect` calls they mirror.
+class RectSoA {
+ public:
+  RectSoA() = default;
+  explicit RectSoA(const std::vector<Rect>& rects) { Assign(rects); }
+
+  void Reserve(size_t n);
+  void Clear();
+  void PushBack(const Rect& r);
+  void Assign(const std::vector<Rect>& rects);
+
+  size_t size() const { return x_lo_.size(); }
+  bool empty() const { return x_lo_.empty(); }
+
+  Rect Get(size_t i) const {
+    return Rect(x_lo_[i], y_lo_[i], x_hi_[i], y_hi_[i]);
+  }
+  bool IsEmpty(size_t i) const {
+    return x_lo_[i] > x_hi_[i] || y_lo_[i] > y_hi_[i];
+  }
+
+  const double* x_lo() const { return x_lo_.data(); }
+  const double* y_lo() const { return y_lo_.data(); }
+  const double* x_hi() const { return x_hi_.data(); }
+  const double* y_hi() const { return y_hi_.data(); }
+
+  /// out[i] = rects[i].Intersects(window), one byte per rect (char, not
+  /// bool, so the store is vectorizable). `out` must hold size() bytes.
+  void BatchIntersects(const Rect& window, unsigned char* out) const;
+
+  /// Count of rectangles intersecting `window` (empty rects never do).
+  size_t CountIntersecting(const Rect& window) const;
+
+  /// out[i] = rects[i].Area() (0 for empty rects). `out` must hold
+  /// size() doubles.
+  void BatchArea(double* out) const;
+
+  /// Bounding union of all non-empty rectangles (Rect::Empty() when
+  /// every entry is empty) — the single-pass reduction the planner uses
+  /// to size shard grids.
+  Rect BoundingUnionAll() const;
+
+  /// Shard assignment by center point: out[i] = the cell index (row-
+  /// major, cells_x * cells_y cells over `bounds`) containing rect i's
+  /// center, clamped into the grid; empty rects get kBoundlessShard.
+  /// This is the batch mirror of SpatialGrid::CellOf over centers.
+  static constexpr int32_t kBoundlessShard = -1;
+  void BatchShardOf(const Rect& bounds, int cells_x, int cells_y,
+                    int32_t* out) const;
+
+ private:
+  std::vector<double> x_lo_, y_lo_, x_hi_, y_hi_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_GEOM_RECT_SOA_H_

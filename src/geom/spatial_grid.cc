@@ -42,11 +42,26 @@ SpatialGrid SpatialGrid::ForRects(const std::vector<Rect>& rects) {
   const double placed_d = static_cast<double>(placed);
   double cw = std::max(extent_x / placed_d, min_w);
   double ch = std::max(extent_y / placed_d, min_h);
-  int cx = 1, cy = 1;
-  if (cw > 0.0) cx = static_cast<int>(std::ceil(bounds.Width() / cw));
-  if (ch > 0.0) cy = static_cast<int>(std::ceil(bounds.Height() / ch));
+  // Ideal counts, clamped in double space BEFORE the int casts: a
+  // hairline population (one axis extent ~0) makes Width()/cw overflow
+  // int range, and casting an out-of-range double to int is undefined
+  // behavior. 2^30 is far above any count the cap loop below could keep,
+  // so in-range populations size identically.
+  constexpr double kMaxAxisCells = 1073741824.0;  // 2^30
+  double fcx = 1.0, fcy = 1.0;
+  if (cw > 0.0) fcx = std::ceil(bounds.Width() / cw);
+  if (ch > 0.0) fcy = std::ceil(bounds.Height() / ch);
+  if (!(fcx > 1.0)) fcx = 1.0;  // also catches NaN
+  if (!(fcy > 1.0)) fcy = 1.0;
+  int cx = static_cast<int>(std::min(fcx, kMaxAxisCells));
+  int cy = static_cast<int>(std::min(fcy, kMaxAxisCells));
   const double cap = std::max(4.0 * placed_d, 16.0);
-  while (static_cast<double>(cx) * cy > cap) {
+  // Halve the larger axis until the cell count is under the cap. The
+  // cx/cy > 1 guard makes the loop provably terminating: every iteration
+  // strictly decreases max(cx, cy) >= 2, and once both axes reach 1 the
+  // loop exits no matter the cap — (1 + 1) / 2 == 1 would otherwise spin
+  // forever whenever the cap sat below a single cell.
+  while ((cx > 1 || cy > 1) && static_cast<double>(cx) * cy > cap) {
     if (cx >= cy) {
       cx = (cx + 1) / 2;
     } else {
@@ -139,6 +154,35 @@ void SpatialGrid::Query(const Rect& window, std::vector<uint32_t>* out) const {
 
 void SpatialGrid::ForEachNearbyPair(
     const std::function<void(uint32_t, uint32_t)>& fn) const {
+  // Boundless ids have no cells, so the cell loop below never sees them —
+  // yet Query() returns them for every window. The join must agree with
+  // Query about which ids are candidates, so a canonical pass here pairs
+  // every boundless id with every other id (boundless and placed) exactly
+  // once, in a deterministic order, before the cell pass runs.
+  if (!boundless_.empty()) {
+    std::vector<uint32_t> unplaced(boundless_);
+    std::sort(unplaced.begin(), unplaced.end());
+    for (size_t i = 0; i < unplaced.size(); ++i) {
+      for (size_t j = i + 1; j < unplaced.size(); ++j) {
+        fn(unplaced[i], unplaced[j]);
+      }
+    }
+    std::vector<uint32_t> placed;
+    for (const auto& cell : cells_) {
+      for (const Entry& e : cell) placed.push_back(e.id);
+    }
+    std::sort(placed.begin(), placed.end());
+    placed.erase(std::unique(placed.begin(), placed.end()), placed.end());
+    for (uint32_t b : unplaced) {
+      for (uint32_t p : placed) {
+        if (b < p) {
+          fn(b, p);
+        } else {
+          fn(p, b);
+        }
+      }
+    }
+  }
   for (int cy = 0; cy < cells_y_; ++cy) {
     for (int cx = 0; cx < cells_x_; ++cx) {
       const auto& cell = cells_[static_cast<size_t>(cy) * cells_x_ + cx];

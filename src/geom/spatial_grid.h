@@ -51,12 +51,16 @@ class SpatialGrid {
   /// An empty window still returns the boundless ids.
   void Query(const Rect& window, std::vector<uint32_t>* out) const;
 
-  /// Calls fn(a, b) with a < b for every pair of inserted ids whose
-  /// rectangles actually intersect (the exact spatial join). Each pair is
-  /// emitted exactly once: of all cells the two rectangles share, only
-  /// the one containing the upper-left corner of their intersection
-  /// emits — the standard constant-memory grid-join deduplication.
-  /// Boundless ids never intersect anything and are never emitted.
+  /// Calls fn(a, b) with a < b for every pair of inserted ids that Query
+  /// could ever return together: the exact spatial join over placed
+  /// rectangles, plus every pair involving a boundless id (an id the
+  /// index cannot localize is a candidate against everything, exactly as
+  /// in Query). Each pair is emitted exactly once — boundless pairs from
+  /// one canonical up-front pass, placed pairs from the cell holding the
+  /// upper-left corner of their intersection (the standard constant-
+  /// memory grid-join deduplication). Callers wanting only geometric
+  /// intersections filter on Rect::Intersects, which is false whenever
+  /// either rectangle is empty.
   void ForEachNearbyPair(
       const std::function<void(uint32_t, uint32_t)>& fn) const;
 

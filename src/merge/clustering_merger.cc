@@ -86,21 +86,30 @@ Result<MergeOutcome> ClusteringMerger::DoMerge(const MergeContext& ctx,
       sizes[id] = ctx.Size(id);
       rects[id] = ctx.queries().rect(id);
     }
+    // Disjoint-floor cutoff for the enumeration below and for boundless
+    // pairs from the grid join. The 1e-6 headroom keeps the cutoff sound
+    // against the rounding differences between this closed form and the
+    // exact evaluation.
+    const double s_cap = model.k_m / -coef * (1.0 + 1e-6);
     // Intersecting pairs: exact spatial join, then the cheap max-size
     // test (prune iff the bound is non-positive even at the smallest
-    // possible merged size).
+    // possible merged size). The join also surfaces every pair with an
+    // empty (boundless) rectangle; those never geometrically intersect,
+    // so they take the disjoint-pair cutoff instead of the intersecting
+    // floor — identical to how the enumeration below always treated them.
     SpatialGrid grid = SpatialGrid::ForRects(rects);
     for (QueryId id = 0; id < n; ++id) grid.Insert(id, rects[id]);
     grid.ForEachNearbyPair([&](uint32_t a, uint32_t b) {
+      if (rects[a].IsEmpty() || rects[b].IsEmpty()) {
+        if (sizes[a] + sizes[b] < s_cap) pairs.emplace_back(a, b);
+        return;
+      }
       const double floor = slack * std::max(sizes[a], sizes[b]);
       if (model.CoMergeBenefitBound(sizes[a], sizes[b], floor) > 0.0) {
         pairs.emplace_back(a, b);
       }
     });
     // Disjoint pairs: ascending size-sum enumeration with an early cut.
-    // The 1e-6 headroom keeps the cutoff sound against the rounding
-    // differences between this closed form and the exact evaluation.
-    const double s_cap = model.k_m / -coef * (1.0 + 1e-6);
     std::vector<QueryId> by_size(n);
     std::iota(by_size.begin(), by_size.end(), 0);
     std::sort(by_size.begin(), by_size.end(), [&](QueryId a, QueryId b) {
@@ -113,6 +122,8 @@ Result<MergeOutcome> ClusteringMerger::DoMerge(const MergeContext& ctx,
         const QueryId b = by_size[j];
         if (sizes[a] + sizes[b] >= s_cap) break;  // sums only grow with j
         if (rects[a].Intersects(rects[b])) continue;  // grid pass owns it
+        // Boundless pairs are also owned by the grid pass now.
+        if (rects[a].IsEmpty() || rects[b].IsEmpty()) continue;
         pairs.emplace_back(std::min(a, b), std::max(a, b));
       }
     }

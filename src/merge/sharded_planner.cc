@@ -1,0 +1,258 @@
+#include "merge/sharded_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "geom/rect_soa.h"
+#include "merge/pair_merger.h"
+#include "obs/metrics.h"
+#include "obs/phase_tracer.h"
+#include "util/status.h"
+
+namespace qsp {
+namespace {
+
+/// One shard's planning sub-problem: a snapshot QuerySet with dense
+/// local ids plus a context sharing the parent's estimator/procedure.
+/// local id j <-> global id members[j].
+struct ShardProblem {
+  std::vector<QueryId> members;
+  QuerySet queries;
+  std::unique_ptr<MergeContext> ctx;
+};
+
+/// Default-constructible per-shard result for exec::ParallelMap.
+struct ShardRun {
+  MergeOutcome outcome;
+  bool ok = true;
+  std::string error;
+};
+
+/// Grid dimensions whose product approximates `shards` (floor(sqrt)
+/// split: 4 -> 2x2, 8 -> 2x4, 16 -> 4x4).
+void GridDims(int shards, int* cx, int* cy) {
+  *cx = std::max(1, static_cast<int>(std::floor(
+                        std::sqrt(static_cast<double>(shards)))));
+  *cy = std::max(1, shards / *cx);
+}
+
+/// Labeled canonicalization: CanonicalizePartition's ordering (groups
+/// canonical-sorted, ordered by first element, empties dropped) with the
+/// shard attribution carried through the sort.
+void CanonicalizeLabeled(Partition* partition, std::vector<int32_t>* labels) {
+  std::vector<std::pair<QueryGroup, int32_t>> entries;
+  entries.reserve(partition->size());
+  for (size_t i = 0; i < partition->size(); ++i) {
+    if ((*partition)[i].empty()) continue;
+    QueryGroup group = std::move((*partition)[i]);
+    std::sort(group.begin(), group.end());
+    entries.emplace_back(std::move(group), (*labels)[i]);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.front() < b.first.front();
+            });
+  partition->clear();
+  labels->clear();
+  for (auto& [group, label] : entries) {
+    partition->push_back(std::move(group));
+    labels->push_back(label);
+  }
+}
+
+}  // namespace
+
+ShardedPlanner::ShardedPlanner(const Merger* inner, Options options)
+    : inner_(inner), options_(options) {
+  QSP_CHECK(inner != nullptr);
+}
+
+Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
+                                                 const CostModel& model) const {
+  const size_t n = ctx.num_queries();
+  const int shards =
+      std::min<int>(std::max(1, options_.shards),
+                    static_cast<int>(std::max<size_t>(1, n)));
+  ShardedMergeOutcome result;
+
+  if (shards <= 1 || n <= 1) {
+    // Delegation path: the exact call the unsharded planner makes, so
+    // shards=1 output is byte-identical by construction.
+    Result<MergeOutcome> outcome = inner_->Merge(ctx, model);
+    if (!outcome.ok()) return outcome.status();
+    result.outcome = std::move(outcome.value());
+    result.group_shard.assign(result.outcome.partition.size(), 0);
+    ShardStats stats;
+    stats.queries = n;
+    stats.groups = result.outcome.partition.size();
+    stats.cost = result.outcome.cost;
+    result.shards.push_back(stats);
+    return result;
+  }
+
+  obs::ScopedSpan span("plan/sharded");
+  // --- Shard assignment: batch center-of-rect kernel over SoA storage.
+  RectSoA soa;
+  soa.Reserve(n);
+  for (QueryId id = 0; id < n; ++id) soa.PushBack(ctx.queries().rect(id));
+  const Rect bounds = soa.BoundingUnionAll();
+  int cells_x = 1, cells_y = 1;
+  if (!bounds.IsEmpty()) GridDims(shards, &cells_x, &cells_y);
+  const int num_cells = cells_x * cells_y;
+  std::vector<int32_t> shard_of(n);
+  soa.BatchShardOf(bounds, cells_x, cells_y, shard_of.data());
+  result.cells_x = cells_x;
+  result.cells_y = cells_y;
+
+  std::vector<ShardProblem> problems(static_cast<size_t>(num_cells));
+  for (QueryId id = 0; id < n; ++id) {
+    // Boundless queries have no center; park them in shard 0 (their
+    // groups are always seam-classified, so reconciliation sees them).
+    const int32_t s =
+        shard_of[id] == RectSoA::kBoundlessShard ? 0 : shard_of[id];
+    problems[static_cast<size_t>(s)].members.push_back(id);
+  }
+  for (ShardProblem& problem : problems) {
+    for (QueryId id : problem.members) {
+      problem.queries.Add(ctx.queries().rect(id));
+    }
+    if (!problem.members.empty()) {
+      problem.ctx = std::make_unique<MergeContext>(
+          &problem.queries, &ctx.estimator(), &ctx.procedure());
+    }
+  }
+
+  // --- Independent per-shard merges across the exec pool. Result k
+  // always belongs to shard k, and the inner merger's nested parallel
+  // loops run serially inside workers, so the outputs are identical for
+  // any thread count.
+  const std::vector<ShardRun> runs = exec::ParallelMap<ShardRun>(
+      static_cast<size_t>(num_cells), [&](size_t s) {
+        ShardRun run;
+        if (problems[s].members.empty()) return run;
+        obs::ScopedTimer timer("planner.shard.latency_us");
+        Result<MergeOutcome> merged =
+            inner_->Merge(*problems[s].ctx, model);
+        if (!merged.ok()) {
+          run.ok = false;
+          run.error = merged.status().ToString();
+          return run;
+        }
+        run.outcome = std::move(merged.value());
+        return run;
+      });
+  for (size_t s = 0; s < runs.size(); ++s) {
+    if (!runs[s].ok) {
+      return Status::Internal("shard " + std::to_string(s) +
+                              " merge failed: " + runs[s].error);
+    }
+  }
+
+  // --- Seam classification. A group is interior when its MBR sits
+  // strictly inside its shard cell (cell edges on the domain boundary
+  // count as interior — there is no neighbor across them); everything
+  // else, boundless groups included, enters the boundary pass.
+  const double cell_w = bounds.IsEmpty() ? 0.0 : bounds.Width() / cells_x;
+  const double cell_h = bounds.IsEmpty() ? 0.0 : bounds.Height() / cells_y;
+  Partition interior;
+  std::vector<int32_t> interior_shard;
+  Partition seam_start;
+  for (size_t s = 0; s < runs.size(); ++s) {
+    const ShardProblem& problem = problems[s];
+    if (problem.members.empty()) continue;
+    ShardStats stats;
+    stats.shard = static_cast<int>(s);
+    stats.queries = problem.members.size();
+    stats.groups = runs[s].outcome.partition.size();
+    stats.cost = runs[s].outcome.cost;
+    result.outcome.candidates += runs[s].outcome.candidates;
+    result.outcome.bounds_refined += runs[s].outcome.bounds_refined;
+    result.outcome.bounds_pruned += runs[s].outcome.bounds_pruned;
+    const int ci = static_cast<int>(s) % cells_x;
+    const int cj = static_cast<int>(s) / cells_x;
+    const double x_lo = bounds.x_lo() + ci * cell_w;
+    const double x_hi = bounds.x_lo() + (ci + 1) * cell_w;
+    const double y_lo = bounds.y_lo() + cj * cell_h;
+    const double y_hi = bounds.y_lo() + (cj + 1) * cell_h;
+    for (const QueryGroup& local_group : runs[s].outcome.partition) {
+      QueryGroup group;
+      group.reserve(local_group.size());
+      Rect mbr = Rect::Empty();
+      bool has_boundless = false;
+      for (QueryId local : local_group) {
+        group.push_back(problem.members[local]);
+        const Rect& rect = problem.queries.rect(local);
+        has_boundless = has_boundless || rect.IsEmpty();
+        mbr = mbr.BoundingUnion(rect);
+      }
+      std::sort(group.begin(), group.end());
+      // A boundless member makes the group's reach unbounded regardless
+      // of the placed members' MBR: always a seam candidate.
+      bool is_interior = !has_boundless && !mbr.IsEmpty();
+      if (is_interior) {
+        is_interior =
+            (ci == 0 || mbr.x_lo() > x_lo) &&
+            (ci == cells_x - 1 || mbr.x_hi() < x_hi) &&
+            (cj == 0 || mbr.y_lo() > y_lo) &&
+            (cj == cells_y - 1 || mbr.y_hi() < y_hi);
+      }
+      if (is_interior) {
+        interior.push_back(std::move(group));
+        interior_shard.push_back(static_cast<int32_t>(s));
+      } else {
+        ++stats.seam_groups;
+        seam_start.push_back(std::move(group));
+      }
+    }
+    result.shards.push_back(stats);
+  }
+  result.seam_groups_in = seam_start.size();
+
+  // --- Boundary pass: greedy pair-merge over the seam groups only,
+  // against the full context (so cross-shard statistics come from the
+  // same memo the final costing uses). Interior groups are untouched.
+  if (seam_start.size() > 1) {
+    CanonicalizePartition(&seam_start);
+    const PairMerger seam_merger(/*use_heap=*/true, options_.pruning);
+    const size_t groups_in = seam_start.size();
+    obs::ScopedSpan seam_span("plan/seam");
+    MergeOutcome seam =
+        seam_merger.MergeFrom(ctx, model, std::move(seam_start));
+    result.seam_merges = groups_in - seam.partition.size();
+    result.outcome.candidates += seam.candidates;
+    result.outcome.bounds_refined += seam.bounds_refined;
+    result.outcome.bounds_pruned += seam.bounds_pruned;
+    for (QueryGroup& group : seam.partition) {
+      interior.push_back(std::move(group));
+      interior_shard.push_back(ShardedMergeOutcome::kSeamGroup);
+    }
+  } else {
+    for (QueryGroup& group : seam_start) {
+      interior.push_back(std::move(group));
+      interior_shard.push_back(ShardedMergeOutcome::kSeamGroup);
+    }
+  }
+
+  CanonicalizeLabeled(&interior, &interior_shard);
+  result.outcome.partition = std::move(interior);
+  result.group_shard = std::move(interior_shard);
+  result.outcome.cost = model.PartitionCost(ctx, result.outcome.partition);
+
+  if (obs::Enabled()) {
+    obs::SetGauge("plan.shard.count",
+                  static_cast<double>(result.shards.size()));
+    obs::SetGauge("plan.shard.seam_groups",
+                  static_cast<double>(result.seam_groups_in));
+    obs::SetGauge("plan.shard.seam_merges",
+                  static_cast<double>(result.seam_merges));
+    obs::SetGauge("plan.shard.groups",
+                  static_cast<double>(result.outcome.partition.size()));
+  }
+  return result;
+}
+
+}  // namespace qsp

@@ -1,0 +1,94 @@
+#ifndef QSP_MERGE_SHARDED_PLANNER_H_
+#define QSP_MERGE_SHARDED_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "merge/merger.h"
+#include "query/merge_context.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace qsp {
+
+/// Per-shard accounting of one sharded planning pass. Everything here is
+/// deterministic in the input (wall times go through obs telemetry, not
+/// through this struct, so outcomes stay byte-comparable across runs).
+struct ShardStats {
+  /// Row-major cell index of the shard in the partitioning grid.
+  int shard = 0;
+  size_t queries = 0;
+  /// Groups the shard-local merge produced (before the seam pass).
+  size_t groups = 0;
+  /// Shard-local partition cost under the model.
+  double cost = 0.0;
+  /// Of the shard's groups, how many were classified seam-touching and
+  /// handed to the boundary pass.
+  size_t seam_groups = 0;
+};
+
+/// Result of ShardedPlanner::Plan: the standard MergeOutcome plus the
+/// shard attribution EXPLAIN and the benches consume.
+struct ShardedMergeOutcome {
+  /// Attribution value for groups (re)formed by the boundary pass.
+  static constexpr int32_t kSeamGroup = -1;
+
+  MergeOutcome outcome;
+  /// Parallel to outcome.partition: the shard that produced each group,
+  /// or kSeamGroup for groups that went through the boundary pass.
+  std::vector<int32_t> group_shard;
+  /// One entry per non-empty shard, ascending by shard index.
+  std::vector<ShardStats> shards;
+  /// Partitioning grid actually used (1x1 when the planner delegated).
+  int cells_x = 1;
+  int cells_y = 1;
+  /// Groups entering the boundary pass, and how many merges it applied
+  /// (groups in minus groups out).
+  size_t seam_groups_in = 0;
+  size_t seam_merges = 0;
+};
+
+/// Sharded parallel planning (DESIGN.md §12): partitions the object
+/// space into a grid of shards, assigns each query to the shard holding
+/// its rectangle's center, plans every shard independently with the
+/// wrapped inner merger (shards fan out across the qsp::exec pool; the
+/// inner merger's own parallel loops degrade serially inside workers),
+/// then reconciles across shards with a boundary pass — a greedy
+/// pair-merge restricted to groups whose MBRs touch a shard seam, the
+/// only groups that can profitably merge with a neighbor shard's work.
+///
+/// shards <= 1 delegates to the inner merger outright: same call, same
+/// context, byte-identical partition and cost. Multi-shard plans are a
+/// deterministic function of (queries, model, shards) for every thread
+/// count: shard assignment is arithmetic, per-shard merges are
+/// independent, and the seam pass runs serially over a canonically
+/// ordered start.
+///
+/// Does not own the inner merger; it must outlive the planner.
+class ShardedPlanner {
+ public:
+  struct Options {
+    /// Target shard count; the grid is cx x cy with cx*cy as close to
+    /// this as floor(sqrt) allows, capped at the query count.
+    int shards = 1;
+    /// Pruning for the boundary-pass pair merger (the inner merger
+    /// carries its own pruning configuration).
+    bool pruning = true;
+  };
+
+  ShardedPlanner(const Merger* inner, Options options);
+
+  /// Plans all queries in `ctx` under `model`. Errors propagate from the
+  /// inner merger (first failing shard in index order wins).
+  Result<ShardedMergeOutcome> Plan(const MergeContext& ctx,
+                                   const CostModel& model) const;
+
+ private:
+  const Merger* inner_;
+  Options options_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_MERGE_SHARDED_PLANNER_H_

@@ -32,6 +32,9 @@ std::string ClientListToString(const std::vector<ClientId>& clients) {
 void GroupToJson(const GroupExplain& group, JsonWriter* json) {
   json->BeginObject();
   json->Key("channel").UInt(group.channel);
+  if (group.shard != GroupExplain::kNoShard) {
+    json->Key("shard").Int(group.shard);
+  }
   json->Key("members").BeginArray();
   for (QueryId id : group.members) json->UInt(id);
   json->EndArray();
@@ -94,6 +97,11 @@ std::string PlanExplain::ToText() const {
       out += "  group " + GroupToString(group.members) +
              " mbr=" + group.mbr.ToString() +
              " est_size=" + Num(group.est_size);
+      if (group.shard != GroupExplain::kNoShard) {
+        out += group.shard == GroupExplain::kSeamGroup
+                   ? " shard=seam"
+                   : " shard=" + std::to_string(group.shard);
+      }
       if (group.exact_size >= 0.0) {
         out += " exact_size=" + Num(group.exact_size);
       }
@@ -170,9 +178,16 @@ void PlanExplainer::ExplainChannel(
   channel.clients = channel_clients;
   channel.num_groups = partition.size();
 
-  for (const QueryGroup& group : partition) {
+  for (size_t gi = 0; gi < partition.size(); ++gi) {
+    const QueryGroup& group = partition[gi];
     GroupExplain explain;
     explain.channel = channel_index;
+    // Shard attribution only applies to single-channel sharded plans,
+    // where the attribution vector is parallel to the one partition.
+    if (shard_attribution_ != nullptr && channel_index == 0 &&
+        shard_attribution_->size() == partition.size()) {
+      explain.shard = (*shard_attribution_)[gi];
+    }
     explain.members = group;
     for (QueryId id : group) {
       explain.mbr = explain.mbr.BoundingUnion(ctx_->queries().rect(id));

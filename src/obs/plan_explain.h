@@ -23,8 +23,19 @@ namespace obs {
 /// (the check term is the k6 share ChannelCostEvaluator folds into K_M in
 /// multi-channel mode; it is 0 on a single-channel plan).
 struct GroupExplain {
+  /// Shard attribution sentinel: no sharded planner ran (the field is
+  /// then omitted from both renderings, keeping unsharded EXPLAIN text
+  /// and JSON byte-identical to what they were before sharding existed).
+  static constexpr int32_t kNoShard = -2;
+  /// kSeamGroup (-1) marks groups (re)formed by the boundary pass.
+  static constexpr int32_t kSeamGroup = -1;
+
   /// Channel the group is served on.
   size_t channel = 0;
+  /// Shard that produced the group under sharded planning (DESIGN.md
+  /// §12); kSeamGroup for boundary-pass groups, kNoShard when the plan
+  /// was not sharded.
+  int32_t shard = kNoShard;
   /// Member query ids (canonical ascending order).
   QueryGroup members;
   /// Minimum bounding rectangle of the member queries.
@@ -122,6 +133,15 @@ class PlanExplainer {
     bounds_pruned_ = pruned;
   }
 
+  /// Shard attribution of a sharded single-channel plan, parallel to the
+  /// partition passed to Explain (SubscriptionService::plan_group_shard
+  /// or ShardedMergeOutcome::group_shard; non-owning, must outlive the
+  /// Explain call). Null or size-mismatched attribution leaves every
+  /// group at kNoShard, and the EXPLAIN renders exactly as unsharded.
+  void set_shard_attribution(const std::vector<int32_t>* group_shard) {
+    shard_attribution_ = group_shard;
+  }
+
   /// EXPLAIN of a single-channel plan (no allocation, no k_check/K_D
   /// terms): one implicit channel carrying every client.
   PlanExplain Explain(const Partition& partition) const;
@@ -140,6 +160,7 @@ class PlanExplainer {
   const MergeContext* ctx_;
   CostModel model_;
   const MergeContext* exact_ctx_ = nullptr;
+  const std::vector<int32_t>* shard_attribution_ = nullptr;
   std::vector<std::pair<std::string, std::string>> labels_;
   double initial_cost_ = -1.0;
   uint64_t bounds_refined_ = 0;

@@ -103,6 +103,15 @@ size_t MergeContext::cached_groups() const {
   return total;
 }
 
+size_t MergeContext::group_arena_bytes() const {
+  size_t total = 0;
+  for (const GroupShard& shard : group_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.arena.bytes_served();
+  }
+  return total;
+}
+
 size_t MergeContext::EvictGroupsContaining(QueryId id) const {
   size_t erased = 0;
   for (GroupShard& shard : group_shards_) {

@@ -12,6 +12,7 @@
 #include "query/merge_procedure.h"
 #include "query/query.h"
 #include "stats/size_estimator.h"
+#include "util/arena.h"
 #include "util/thread_annotations.h"
 
 namespace qsp {
@@ -86,6 +87,11 @@ class MergeContext {
   /// Groups currently memoized (groups_evaluated() minus evictions).
   size_t cached_groups() const;
 
+  /// Bytes the group-memo arenas have handed out (bump allocations only;
+  /// recycled chunks are not re-counted). A footprint gauge for tests
+  /// and telemetry.
+  size_t group_arena_bytes() const;
+
   /// Evicts every memoized group that contains `id`, returning how many
   /// entries were erased. The long-lived service calls this when a
   /// subscription retires: ids are never reused (QuerySet is
@@ -113,11 +119,26 @@ class MergeContext {
   /// Group-memo shards: the hash picks the shard, the shard's mutex
   /// guards only its map. 16 shards keep contention negligible even with
   /// every pool worker missing the cache at once (profit-table build).
+  ///
+  /// Each shard's map draws its nodes and bucket arrays from a private
+  /// bump arena: the memo makes millions of small same-shaped node
+  /// allocations on the planning hot path, and the arena turns them into
+  /// pointer bumps (with free-list recycling keeping the footprint at
+  /// the live high-water mark under eviction churn). Only the allocator
+  /// touches the arena, and every allocator call happens inside an
+  /// insert/erase/clear made under `mu`, so the arena needs no lock of
+  /// its own. Node pointers stay stable, preserving the Stats()
+  /// reference-lifetime contract.
   static constexpr size_t kGroupShards = 16;
   struct GroupShard {
     mutable std::mutex mu;
-    std::unordered_map<QueryGroup, GroupStats, GroupHash> cache
-        QSP_GUARDED_BY(mu);
+    Arena arena;
+    using CacheAllocator =
+        ArenaAllocator<std::pair<const QueryGroup, GroupStats>>;
+    using Cache =
+        std::unordered_map<QueryGroup, GroupStats, GroupHash,
+                           std::equal_to<QueryGroup>, CacheAllocator>;
+    Cache cache QSP_GUARDED_BY(mu){CacheAllocator(&arena)};
   };
 
   GroupStats Compute(const QueryGroup& group) const;

@@ -1,0 +1,154 @@
+#ifndef QSP_UTIL_ARENA_H_
+#define QSP_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace qsp {
+
+/// Bump-pointer arena with size-bucketed free lists, built for the
+/// allocation pattern of the planner's group memos: very many small
+/// nodes of a handful of distinct sizes, allocated hot, individually
+/// freed only under churn (cache eviction), and all released at once
+/// when the arena dies.
+///
+/// Allocate() serves from the free list of the exact requested size when
+/// one is available, else bumps the current block (blocks double up to a
+/// cap, so the arena makes O(log total) calls into ::operator new no
+/// matter how many nodes it serves). Deallocate() pushes the chunk onto
+/// its size's free list — memory is recycled, never returned to the
+/// system before the arena is destroyed. This bounds the footprint under
+/// sustained alloc/free churn at the high-water mark of live chunks per
+/// size class, which is exactly the guarantee the live service's
+/// evicting memo needs.
+///
+/// Not thread-safe: callers that share an arena across threads guard it
+/// with the same mutex that guards the container allocating from it (the
+/// MergeContext group shards do).
+class Arena {
+ public:
+  /// `first_block_bytes` sizes the initial bump block; blocks double up
+  /// to kMaxBlockBytes as the arena grows.
+  explicit Arena(size_t first_block_bytes = 4096)
+      : next_block_bytes_(first_block_bytes < kMinBlockBytes
+                              ? kMinBlockBytes
+                              : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align) {
+    bytes = RoundUp(bytes < sizeof(FreeChunk) ? sizeof(FreeChunk) : bytes,
+                    align < alignof(FreeChunk) ? alignof(FreeChunk) : align);
+    // Exact-size recycling: every chunk of this size ever freed is as
+    // good as a fresh one (same size, same worst-case alignment).
+    const size_t bucket = BucketOf(bytes);
+    if (bucket < free_lists_.size() && free_lists_[bucket] != nullptr) {
+      FreeChunk* chunk = free_lists_[bucket];
+      free_lists_[bucket] = chunk->next;
+      return chunk;
+    }
+    if (bump_ + bytes > bump_end_) Refill(bytes);
+    void* out = bump_;
+    bump_ += bytes;
+    bytes_served_ += bytes;
+    return out;
+  }
+
+  /// Returns a chunk previously obtained from Allocate(bytes, align) to
+  /// the recycling list. The arena never shrinks before destruction.
+  void Deallocate(void* p, size_t bytes, size_t align) {
+    bytes = RoundUp(bytes < sizeof(FreeChunk) ? sizeof(FreeChunk) : bytes,
+                    align < alignof(FreeChunk) ? alignof(FreeChunk) : align);
+    const size_t bucket = BucketOf(bytes);
+    if (bucket >= free_lists_.size()) free_lists_.resize(bucket + 1, nullptr);
+    FreeChunk* chunk = static_cast<FreeChunk*>(p);
+    chunk->next = free_lists_[bucket];
+    free_lists_[bucket] = chunk;
+  }
+
+  /// Total bytes handed out by the bump pointer (recycled chunks are not
+  /// re-counted); a footprint gauge for tests and telemetry.
+  size_t bytes_served() const { return bytes_served_; }
+  size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct FreeChunk {
+    FreeChunk* next;
+  };
+
+  static constexpr size_t kMinBlockBytes = 1024;
+  static constexpr size_t kMaxBlockBytes = size_t{1} << 20;
+  /// Free lists are bucketed by size / kGranularity; sizes are rounded
+  /// up to the granularity so every bucket holds one exact chunk size.
+  static constexpr size_t kGranularity = alignof(std::max_align_t);
+
+  static size_t RoundUp(size_t n, size_t align) {
+    const size_t a = align < kGranularity ? kGranularity : align;
+    return (n + a - 1) / a * a;
+  }
+  static size_t BucketOf(size_t rounded_bytes) {
+    return rounded_bytes / kGranularity;
+  }
+
+  void Refill(size_t at_least) {
+    size_t block_bytes = next_block_bytes_;
+    if (block_bytes < at_least) block_bytes = RoundUp(at_least, kGranularity);
+    if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+    // A new-expression is aligned to the fundamental alignment, which is
+    // all the granularity ever asks for (sizes and alignments above
+    // max_align_t are rounded up from it, never past it).
+    blocks_.push_back(std::unique_ptr<char[]>(new char[block_bytes]));
+    bump_ = blocks_.back().get();
+    bump_end_ = bump_ + block_bytes;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* bump_ = nullptr;
+  char* bump_end_ = nullptr;
+  size_t next_block_bytes_;
+  size_t bytes_served_ = 0;
+  std::vector<FreeChunk*> free_lists_;
+};
+
+/// Minimal std-compatible allocator over an Arena, for node-based
+/// containers (the MergeContext group memo's unordered_map): every node
+/// and bucket array comes from — and is recycled into — the arena. The
+/// arena must outlive every container using it.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, size_t n) {
+    arena_->Deallocate(p, n * sizeof(T), alignof(T));
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace qsp
+
+#endif  // QSP_UTIL_ARENA_H_

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/subscription_service.h"
+#include "merge/sharded_planner.h"
 #include "relation/generator.h"
 #include "util/rng.h"
 
@@ -85,6 +86,66 @@ TEST(SubscriptionServiceTest, SubscribingInvalidatesPlan) {
   EXPECT_FALSE(service.RunRound().ok());  // Stale plan rejected.
   ASSERT_TRUE(service.Plan().ok());
   EXPECT_TRUE(service.RunRound().ok());
+}
+
+TEST(SubscriptionServiceTest, ShardedPlanServesCorrectRounds) {
+  // The ServiceConfig::shards knob end to end: a sharded single-channel
+  // plan must carry per-group shard attribution and still deliver every
+  // client its exact answer.
+  ServiceConfig config = BasicConfig();
+  config.shards = 4;
+  SubscriptionService service(MakeWorldTable(6), Rect(0, 0, 100, 100),
+                              config);
+  Rng rng(99);
+  const ClientId a = service.AddClient();
+  const ClientId b = service.AddClient();
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.UniformDouble(0.0, 85.0);
+    const double y = rng.UniformDouble(0.0, 85.0);
+    service.Subscribe(i % 2 == 0 ? a : b, Rect(x, y, x + 12, y + 12));
+  }
+  auto report = service.Plan();
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->estimated_cost, report->initial_cost + 1e-9);
+  ASSERT_EQ(report->plan.channel_partitions.size(), 1u);
+  const Partition& partition = report->plan.channel_partitions[0];
+  ASSERT_EQ(service.plan_group_shard().size(), partition.size());
+  for (const int32_t shard : service.plan_group_shard()) {
+    EXPECT_GE(shard, ShardedMergeOutcome::kSeamGroup);
+    EXPECT_LT(shard, 4);
+  }
+  auto stats = service.RunRound();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->all_answers_correct);
+
+  // shards=1 must behave exactly like a config without the knob.
+  ServiceConfig unsharded = BasicConfig();
+  unsharded.shards = 1;
+  SubscriptionService plain(MakeWorldTable(6), Rect(0, 0, 100, 100),
+                            unsharded);
+  SubscriptionService knobless(MakeWorldTable(6), Rect(0, 0, 100, 100),
+                               BasicConfig());
+  Rng rng_plain(99);
+  const ClientId pa = plain.AddClient();
+  const ClientId pb = plain.AddClient();
+  const ClientId ka = knobless.AddClient();
+  const ClientId kb = knobless.AddClient();
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng_plain.UniformDouble(0.0, 85.0);
+    const double y = rng_plain.UniformDouble(0.0, 85.0);
+    const Rect rect(x, y, x + 12, y + 12);
+    plain.Subscribe(i % 2 == 0 ? pa : pb, rect);
+    knobless.Subscribe(i % 2 == 0 ? ka : kb, rect);
+  }
+  auto plain_report = plain.Plan();
+  auto knobless_report = knobless.Plan();
+  ASSERT_TRUE(plain_report.ok());
+  ASSERT_TRUE(knobless_report.ok());
+  EXPECT_TRUE(plain.plan_group_shard().empty());
+  EXPECT_EQ(plain_report->plan.channel_partitions,
+            knobless_report->plan.channel_partitions);
+  EXPECT_DOUBLE_EQ(plain_report->estimated_cost,
+                   knobless_report->estimated_cost);
 }
 
 TEST(SubscriptionServiceTest, MultiChannelPlanUsesAtMostConfiguredChannels) {

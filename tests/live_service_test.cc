@@ -368,6 +368,48 @@ TEST(LiveFacadeTest, LeasedLifecycleThroughTheService) {
   EXPECT_EQ(service.live()->LiveIds(), std::vector<QueryId>{q2.value()});
 }
 
+TEST(LiveFacadeTest, BackgroundTickMirrorsPlacementsIntoClientSet) {
+  // Regression: with the background sweep-and-drain tick on, batches
+  // used to be processed inside LivePlanManager without the facade's
+  // ApplyBatch — placed and retired subscriptions were never mirrored
+  // into the ClientSet, so rounds served a plan whose clients the
+  // service did not know about. The batch callback closes the gap.
+  // Real clock on purpose: the tick sleeps in real time.
+  ServiceConfig config;
+  config.live.enabled = true;
+  config.live.sweep_interval_ms = 1;
+  SubscriptionService service(LiveWorldTable(7), Rect(0, 0, 100, 100),
+                              config);
+  const ClientId client = service.AddClient();
+  Result<QueryId> id = service.SubscribeLeased(client, Rect(5, 5, 25, 25));
+  ASSERT_TRUE(id.ok());
+
+  // No explicit ProcessAdmissions/DrainAdmissions: the ticker must both
+  // plan the admission and mirror it (MirroredQueriesOf synchronizes
+  // with the ticker-thread mirroring).
+  std::vector<QueryId> mirrored;
+  for (int i = 0; i < 5000 && mirrored.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    mirrored = service.MirroredQueriesOf(client);
+  }
+  ASSERT_EQ(mirrored, std::vector<QueryId>{id.value()})
+      << "background-tick placement was not mirrored into the ClientSet";
+  EXPECT_EQ(service.live_stats().active, 1u);
+  // The installed plan serves rounds end to end (the simulator verifies
+  // every client's deliveries against its ClientSet subscriptions).
+  EXPECT_TRUE(service.RunRound().ok());
+
+  // Retirement flows through the same path.
+  ASSERT_TRUE(service.Unsubscribe(id.value()).ok());
+  for (int i = 0; i < 5000 && !mirrored.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    mirrored = service.MirroredQueriesOf(client);
+  }
+  EXPECT_TRUE(mirrored.empty())
+      << "background-tick retirement was not mirrored out of the ClientSet";
+  EXPECT_EQ(service.live_stats().active, 0u);
+}
+
 TEST(LiveFacadeTest, LiveModeRequiresSingleChannel) {
   ServiceConfig config;
   config.live.enabled = true;

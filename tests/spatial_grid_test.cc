@@ -1,8 +1,10 @@
 // SpatialGrid (geom/spatial_grid.h): the candidate index behind the
 // planner's pruning. Candidate generation must be conservative — Query
 // returns a superset of the true window overlaps, ForEachNearbyPair is
-// the exact spatial join — and deterministic (sorted, deduplicated,
-// each pair once).
+// the exact spatial join over placed rects plus every boundless pair
+// (an id the index cannot localize is a candidate against everything,
+// mirroring Query) — and deterministic (sorted, deduplicated, each
+// pair once).
 
 #include <gtest/gtest.h>
 
@@ -83,13 +85,56 @@ TEST(SpatialGridTest, ForEachNearbyPairIsTheExactJoin) {
     std::set<std::pair<uint32_t, uint32_t>> brute;
     for (uint32_t i = 0; i < rects.size(); ++i) {
       for (uint32_t j = i + 1; j < rects.size(); ++j) {
-        if (!rects[i].IsEmpty() && !rects[j].IsEmpty() &&
+        // Geometric intersections, plus every pair with a boundless
+        // member: the join must agree with Query about candidacy.
+        if (rects[i].IsEmpty() || rects[j].IsEmpty() ||
             rects[i].Intersects(rects[j])) {
           brute.insert({i, j});
         }
       }
     }
     EXPECT_EQ(joined, brute) << "seed " << seed;
+  }
+}
+
+// Regression (ISSUE 8): the join used to iterate cells only, so
+// boundless ids — which Query returns for every window — silently never
+// paired with anything. Pin the exact pair set for a tiny population
+// with an empty rect.
+TEST(SpatialGridTest, ForEachNearbyPairEmitsBoundlessPairs) {
+  SpatialGrid grid(Rect(0, 0, 100, 100), 8, 8);
+  grid.Insert(0, Rect(10, 10, 30, 30));
+  grid.Insert(1, Rect(20, 20, 40, 40));
+  grid.Insert(2, Rect::Empty());
+  grid.Insert(3, Rect(70, 70, 90, 90));
+  grid.Insert(4, Rect::Empty());
+
+  std::set<std::pair<uint32_t, uint32_t>> joined;
+  grid.ForEachNearbyPair([&](uint32_t a, uint32_t b) {
+    EXPECT_LT(a, b);
+    EXPECT_TRUE(joined.insert({a, b}).second)
+        << "duplicate pair (" << a << ", " << b << ")";
+  });
+  // 0-1 intersect; 2 and 4 are boundless so they pair with everything
+  // (each other included); 3 is placed but disjoint from 0 and 1.
+  const std::set<std::pair<uint32_t, uint32_t>> want = {
+      {0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {0, 4}, {1, 4}, {3, 4}};
+  EXPECT_EQ(joined, want);
+
+  // Whatever Query can return together, the join must have paired —
+  // disjoint placed pairs are legitimately absent, but every pair
+  // involving a boundless id must be present.
+  std::vector<uint32_t> out;
+  grid.Query(Rect(0, 0, 100, 100), &out);
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = i + 1; j < out.size(); ++j) {
+      const uint32_t a = std::min(out[i], out[j]);
+      const uint32_t b = std::max(out[i], out[j]);
+      if (a == 2 || b == 2 || a == 4 || b == 4) {
+        EXPECT_TRUE(joined.count({a, b}) > 0)
+            << "boundless pair (" << a << ", " << b << ") missing";
+      }
+    }
   }
 }
 
@@ -186,6 +231,69 @@ TEST(SpatialGridTest, ForRectsHandlesDegeneratePopulations) {
     std::vector<uint32_t> out;
     grid.Query(Rect(4, 4, 6, 6), &out);
     EXPECT_EQ(out, std::vector<uint32_t>({0}));
+  }
+}
+
+// Regression (ISSUE 8): the cell-cap loop halves cx/cy with (c + 1) / 2,
+// which is a fixed point at 1, and the ideal counts used to be cast to
+// int before any finiteness check — sizing must provably terminate (and
+// stay within the ~4n memory cap) for pathological aspect ratios and
+// overflowing coordinate spans.
+TEST(SpatialGridTest, ForRectsTerminatesOnDegenerateAspectRatios) {
+  // Two point rects at a huge separation: per-axis extents are 0, so the
+  // sliver floor (bounds/1024) drives the ideal counts to their 1024
+  // maximum on both axes while the cap is only 16 — the halving loop
+  // must converge from far above the cap.
+  {
+    std::vector<Rect> rects = {Rect(0, 0, 0, 0),
+                               Rect(1e300, 1e300, 1e300, 1e300)};
+    SpatialGrid grid = SpatialGrid::ForRects(rects);
+    EXPECT_GE(grid.cells_x(), 1);
+    EXPECT_GE(grid.cells_y(), 1);
+    EXPECT_LE(static_cast<double>(grid.cells_x()) * grid.cells_y(), 16.0);
+    for (size_t i = 0; i < rects.size(); ++i) {
+      grid.Insert(static_cast<uint32_t>(i), rects[i]);
+    }
+    std::vector<uint32_t> out;
+    grid.Query(Rect(-1, -1, 1, 1), &out);
+    EXPECT_TRUE(std::count(out.begin(), out.end(), 0u));
+  }
+  // Coordinate span that overflows double subtraction: the bounding
+  // union's Width() is +inf, so the ideal count is ceil(inf / inf) = NaN
+  // — which the old code cast straight to int (undefined behavior). The
+  // sized grid degenerates to one safe, unselective cell.
+  {
+    std::vector<Rect> rects = {Rect(-1e308, -1e308, 1e308, 1e308),
+                               Rect(0, 0, 1, 1)};
+    SpatialGrid grid = SpatialGrid::ForRects(rects);
+    EXPECT_EQ(grid.cells_x(), 1);
+    EXPECT_EQ(grid.cells_y(), 1);
+    for (size_t i = 0; i < rects.size(); ++i) {
+      grid.Insert(static_cast<uint32_t>(i), rects[i]);
+    }
+    std::vector<uint32_t> out;
+    grid.Query(Rect(0, 0, 2, 2), &out);
+    EXPECT_EQ(out, std::vector<uint32_t>({0, 1}));
+  }
+  // Hairline strip: denormal heights must not break sizing or lookups.
+  {
+    std::vector<Rect> rects;
+    for (int i = 0; i < 64; ++i) {
+      const double x = static_cast<double>(i) * 1e6;
+      rects.push_back(Rect(x, 0.0, x + 1e6, 1e-307));
+    }
+    SpatialGrid grid = SpatialGrid::ForRects(rects);
+    EXPECT_GE(grid.cells_x(), 1);
+    EXPECT_GE(grid.cells_y(), 1);
+    EXPECT_LE(static_cast<double>(grid.cells_x()) * grid.cells_y(),
+              std::max(4.0 * static_cast<double>(rects.size()), 16.0));
+    for (size_t i = 0; i < rects.size(); ++i) {
+      grid.Insert(static_cast<uint32_t>(i), rects[i]);
+    }
+    std::vector<uint32_t> out;
+    grid.Query(Rect(0, -1, 2e6, 1), &out);
+    EXPECT_TRUE(std::count(out.begin(), out.end(), 0u));
+    EXPECT_TRUE(std::count(out.begin(), out.end(), 1u));
   }
 }
 

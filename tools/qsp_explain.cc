@@ -18,6 +18,10 @@
 //                (honors --queries, --seed, --no-pruning, --format)
 //   --queries N [12]    --seed N [fig16: 1000*queries; workload: 42]
 //   --merger pair|directed|clustering|exact [pair]
+//   --shards N [1]      plan through the ShardedPlanner (DESIGN.md §12);
+//                       groups gain a shard= attribution (shard=seam for
+//                       boundary-pass groups). 1 = plain merge, output
+//                       unchanged. Ignored by --scenario live.
 //   --no-pruning        disable the BenefitBounder fast path
 //   --exact             also report exact merged sizes, measured against
 //                       a generated table (--objects N [5000])
@@ -35,6 +39,7 @@
 #include "bench/bench_common.h"
 #include "core/live_plan.h"
 #include "core/subscription_service.h"
+#include "merge/sharded_planner.h"
 #include "obs/clock.h"
 #include "obs/plan_explain.h"
 #include "query/merge_procedure.h"
@@ -199,11 +204,27 @@ int Run(const Args& args) {
   const MergerKind merger_kind = MergerFromArgs(args, &merger_name);
   const bool pruning = !args.Has("no-pruning");
   const auto merger = MakeMerger(merger_kind, seed, pruning);
-  Result<MergeOutcome> outcome = merger->Merge(*instance.ctx, model);
-  if (!outcome.ok()) {
-    std::fprintf(stderr, "merge failed: %s\n",
-                 outcome.status().ToString().c_str());
-    return 1;
+  const int shards = static_cast<int>(args.I("shards", 1));
+  MergeOutcome outcome;
+  std::vector<int32_t> group_shard;
+  if (shards > 1) {
+    const ShardedPlanner planner(merger.get(), {shards, pruning});
+    Result<ShardedMergeOutcome> plan = planner.Plan(*instance.ctx, model);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "sharded merge failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    outcome = std::move(plan.value().outcome);
+    group_shard = std::move(plan.value().group_shard);
+  } else {
+    Result<MergeOutcome> merged = merger->Merge(*instance.ctx, model);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+    outcome = std::move(merged.value());
   }
 
   obs::PlanExplainer explainer(instance.ctx.get(), model);
@@ -211,8 +232,12 @@ int Run(const Args& args) {
   explainer.AddLabel("merger", merger_name);
   explainer.AddLabel("procedure", "rect");
   explainer.AddLabel("estimator", "uniform");
+  if (shards > 1) {
+    explainer.AddLabel("shards", std::to_string(shards));
+    explainer.set_shard_attribution(&group_shard);
+  }
   explainer.set_initial_cost(model.InitialCost(*instance.ctx));
-  explainer.set_refinement(outcome->bounds_refined, outcome->bounds_pruned);
+  explainer.set_refinement(outcome.bounds_refined, outcome.bounds_pruned);
 
   // --exact: measure merged sizes against a real table so the EXPLAIN
   // shows the estimator's error per group.
@@ -234,7 +259,7 @@ int Run(const Args& args) {
     explainer.set_exact_context(exact_ctx.get());
   }
 
-  const obs::PlanExplain explain = explainer.Explain(outcome->partition);
+  const obs::PlanExplain explain = explainer.Explain(outcome.partition);
 
   const std::string format = args.S("format", "text");
   if (format == "text") {
