@@ -6,6 +6,7 @@
 
 #include "merge/pair_merger.h"
 #include "merge/plan_bounds.h"
+#include "merge/sharded_planner.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -118,14 +119,31 @@ size_t LivePlanManager::SweepExpired() {
 }
 
 void LivePlanManager::RunReplanJob(ReplanJob* job, const CostModel& model,
-                                   bool pruning) {
+                                   bool pruning, int shards) {
   PairMerger merger(/*use_heap=*/true, pruning);
-  Result<MergeOutcome> outcome = merger.Merge(*job->ctx, model);
-  if (outcome.ok()) {
-    job->result = std::move(outcome.value().partition);
-    job->candidates = outcome.value().candidates;
+  if (shards > 1) {
+    // Sharded replan (DESIGN.md §13): the dense snapshot fans out
+    // across the exec pool exactly like an offline sharded plan. The
+    // job's context is private, so this never races the incremental
+    // merger; failure flows into the same abandon path as unsharded.
+    const ShardedPlanner planner(
+        &merger,
+        ShardedPlanner::Options{shards, ShardAssign::kBalanced, pruning});
+    Result<ShardedMergeOutcome> outcome = planner.Plan(*job->ctx, model);
+    if (outcome.ok()) {
+      job->result = std::move(outcome.value().outcome.partition);
+      job->candidates = outcome.value().outcome.candidates;
+    } else {
+      job->failed = true;
+    }
   } else {
-    job->failed = true;
+    Result<MergeOutcome> outcome = merger.Merge(*job->ctx, model);
+    if (outcome.ok()) {
+      job->result = std::move(outcome.value().partition);
+      job->candidates = outcome.value().candidates;
+    } else {
+      job->failed = true;
+    }
   }
   job->done.store(true, std::memory_order_release);
 }
@@ -152,11 +170,13 @@ void LivePlanManager::TriggerReplan() {
     ReplanJob* raw = job.get();
     const CostModel model = model_;
     const bool pruning = opts_.replan_pruning;
-    job->thread = std::thread(
-        [raw, model, pruning] { RunReplanJob(raw, model, pruning); });
+    const int shards = opts_.shards;
+    job->thread = std::thread([raw, model, pruning, shards] {
+      RunReplanJob(raw, model, pruning, shards);
+    });
     replan_job_ = std::move(job);
   } else {
-    RunReplanJob(job.get(), model_, opts_.replan_pruning);
+    RunReplanJob(job.get(), model_, opts_.replan_pruning, opts_.shards);
     replan_job_ = std::move(job);
     // Inline replans finish immediately; adoption happens in the same
     // batch (FinishReplan is the caller's next step).

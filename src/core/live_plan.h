@@ -71,6 +71,16 @@ struct LiveServiceConfig {
   bool pruning = true;
   /// Pruning for the from-scratch replans (PairMerger).
   bool replan_pruning = true;
+  /// Sharded from-scratch replans (DESIGN.md §13): with a value N > 1,
+  /// drift replans and ReplanNow plan their dense snapshot through
+  /// ShardedPlanner (cost-balanced assignment) wrapping the PairMerger,
+  /// fanning shards across the exec pool. 1 — the default — plans the
+  /// snapshot unsharded, byte-identical to before. Adoption, lateness
+  /// abandonment, and the never-planless guarantee are unchanged either
+  /// way. SubscriptionService forwards its top-level ServiceConfig::
+  /// shards here when this is left at 1, so the facade knob is honored
+  /// in live mode too.
+  int shards = 1;
   /// Test hook: every replan result is discarded as if it had failed,
   /// proving the degradation path (service keeps serving the old plan).
   bool inject_replan_failure = false;
@@ -260,9 +270,11 @@ class LivePlanManager {
   /// Launches a replan (inline or background per the config).
   void TriggerReplan() QSP_REQUIRES(mu_);
   /// Runs the snapshot merge (no lock held; called on the replan thread
-  /// or inline from ReplanNow).
+  /// or inline from ReplanNow). `shards` > 1 routes the snapshot through
+  /// ShardedPlanner; the snapshot context is private, so the sharded
+  /// fan-out never races the incremental merger.
   static void RunReplanJob(ReplanJob* job, const CostModel& model,
-                           bool pruning);
+                           bool pruning, int shards);
   /// Adopts or abandons a finished job; fills report flags.
   void FinishReplan(BatchReport* report) QSP_REQUIRES(mu_);
   void PublishGauges() QSP_REQUIRES(mu_);

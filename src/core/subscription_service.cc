@@ -82,8 +82,13 @@ SubscriptionService::SubscriptionService(Table table, const Rect& domain,
     // the context out from under the maintainer).
     context_ = std::make_unique<MergeContext>(&queries_, estimator_.get(),
                                               procedure_.get());
+    // The facade-level shards knob reaches live replans too (it used to
+    // be silently ignored in live mode): forward it unless the caller
+    // set the live-specific knob explicitly.
+    LiveServiceConfig live_opts = config_.live;
+    if (live_opts.shards <= 1) live_opts.shards = config_.shards;
     live_ = std::make_unique<LivePlanManager>(
-        &queries_, context_.get(), config_.cost_model, config_.live);
+        &queries_, context_.get(), config_.cost_model, live_opts);
     // Every processed batch mirrors into the ClientSet through this
     // callback — in particular batches the background tick drives, which
     // previously completed inside the maintainer without the facade ever
@@ -270,8 +275,10 @@ Result<PlanReport> SubscriptionService::Plan() {
       // out across the exec pool, then the boundary pass reconciles the
       // seam-touching groups. shards == 1 takes the branch below and is
       // byte-identical by construction.
-      const ShardedPlanner planner(merger.get(),
-                                   {config_.shards, config_.pruning});
+      const ShardedPlanner planner(
+          merger.get(), ShardedPlanner::Options{config_.shards,
+                                                config_.shard_assign,
+                                                config_.pruning});
       Result<ShardedMergeOutcome> outcome =
           planner.Plan(*context_, config_.cost_model);
       if (!outcome.ok()) return outcome.status();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace qsp {
 
@@ -116,6 +117,20 @@ Rect RectSoA::BoundingUnionAll() const {
   }
   if (!any) return Rect::Empty();
   return Rect(uxl, uyl, uxh, uyh);
+}
+
+void RectSoA::BatchCenters(double* out_x, double* out_y) const {
+  const size_t n = size();
+  const double* xl = x_lo_.data();
+  const double* yl = y_lo_.data();
+  const double* xh = x_hi_.data();
+  const double* yh = y_hi_.data();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < n; ++i) {
+    const bool nonempty = xl[i] <= xh[i] && yl[i] <= yh[i];
+    out_x[i] = nonempty ? (xl[i] + xh[i]) * 0.5 : nan;
+    out_y[i] = nonempty ? (yl[i] + yh[i]) * 0.5 : nan;
+  }
 }
 
 void RectSoA::BatchShardOf(const Rect& bounds, int cells_x, int cells_y,

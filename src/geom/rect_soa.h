@@ -61,6 +61,13 @@ class RectSoA {
   /// to size shard grids.
   Rect BoundingUnionAll() const;
 
+  /// Center points: out_x[i]/out_y[i] = rect i's center coordinates (the
+  /// same midpoint BatchShardOf buckets by). Empty rects have no
+  /// position; their slots are filled with NaN so downstream kernels
+  /// cannot silently treat them as placed. Both outputs must hold
+  /// size() doubles.
+  void BatchCenters(double* out_x, double* out_y) const;
+
   /// Shard assignment by center point: out[i] = the cell index (row-
   /// major, cells_x * cells_y cells over `bounds`) containing rect i's
   /// center, clamped into the grid; empty rects get kBoundlessShard.

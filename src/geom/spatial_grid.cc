@@ -152,6 +152,20 @@ void SpatialGrid::Query(const Rect& window, std::vector<uint32_t>* out) const {
   out->erase(std::unique(out->begin() + base, out->end()), out->end());
 }
 
+double SpatialGrid::LoadInRange(const Rect& rect) const {
+  if (rect.IsEmpty()) return static_cast<double>(size_);
+  double load = static_cast<double>(boundless_.size());
+  int cx_lo, cy_lo, cx_hi, cy_hi;
+  CellRange(rect, &cx_lo, &cy_lo, &cx_hi, &cy_hi);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      load += static_cast<double>(
+          cells_[static_cast<size_t>(cy) * cells_x_ + cx].size());
+    }
+  }
+  return load;
+}
+
 void SpatialGrid::ForEachNearbyPair(
     const std::function<void(uint32_t, uint32_t)>& fn) const {
   // Boundless ids have no cells, so the cell loop below never sees them —

@@ -51,6 +51,15 @@ class SpatialGrid {
   /// An empty window still returns the boundless ids.
   void Query(const Rect& window, std::vector<uint32_t>* out) const;
 
+  /// Candidate load of `rect`: the number of (entry, cell) incidences in
+  /// the cells `rect` covers, plus the boundless bucket — an O(cells
+  /// covered) upper-bound proxy for how many candidate pairs a planner
+  /// would enumerate around `rect`. Entries spanning several covered
+  /// cells count once per cell (the join visits them that often), which
+  /// is exactly the property a planning-cost weight wants. An empty rect
+  /// has no position, so its load is every inserted id: size().
+  double LoadInRange(const Rect& rect) const;
+
   /// Calls fn(a, b) with a < b for every pair of inserted ids that Query
   /// could ever return together: the exact spatial join over placed
   /// rectangles, plus every pair involving a boundless id (an id the

@@ -32,14 +32,6 @@ struct ShardRun {
   std::string error;
 };
 
-/// Grid dimensions whose product approximates `shards` (floor(sqrt)
-/// split: 4 -> 2x2, 8 -> 2x4, 16 -> 4x4).
-void GridDims(int shards, int* cx, int* cy) {
-  *cx = std::max(1, static_cast<int>(std::floor(
-                        std::sqrt(static_cast<double>(shards)))));
-  *cy = std::max(1, shards / *cx);
-}
-
 /// Labeled canonicalization: CanonicalizePartition's ordering (groups
 /// canonical-sorted, ordered by first element, empties dropped) with the
 /// shard attribution carried through the sort.
@@ -95,25 +87,26 @@ Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
   }
 
   obs::ScopedSpan span("plan/sharded");
-  // --- Shard assignment: batch center-of-rect kernel over SoA storage.
+  // --- Shard assignment: grid or cost-balanced bisection over SoA
+  // storage (merge/shard_assign), with per-shard estimated planning
+  // costs for scheduling and the imbalance gauge.
   RectSoA soa;
   soa.Reserve(n);
   for (QueryId id = 0; id < n; ++id) soa.PushBack(ctx.queries().rect(id));
-  const Rect bounds = soa.BoundingUnionAll();
-  int cells_x = 1, cells_y = 1;
-  if (!bounds.IsEmpty()) GridDims(shards, &cells_x, &cells_y);
-  const int num_cells = cells_x * cells_y;
-  std::vector<int32_t> shard_of(n);
-  soa.BatchShardOf(bounds, cells_x, cells_y, shard_of.data());
-  result.cells_x = cells_x;
-  result.cells_y = cells_y;
+  result.layout = AssignShards(soa, shards, options_.assign);
+  const ShardLayout& layout = result.layout;
+  const int num_shards = layout.num_shards;
+  result.imbalance = layout.Imbalance();
+  result.cells_x = layout.cells_x;
+  result.cells_y = layout.cells_y;
 
-  std::vector<ShardProblem> problems(static_cast<size_t>(num_cells));
+  std::vector<ShardProblem> problems(static_cast<size_t>(num_shards));
   for (QueryId id = 0; id < n; ++id) {
     // Boundless queries have no center; park them in shard 0 (their
     // groups are always seam-classified, so reconciliation sees them).
-    const int32_t s =
-        shard_of[id] == RectSoA::kBoundlessShard ? 0 : shard_of[id];
+    const int32_t s = layout.shard_of[id] == RectSoA::kBoundlessShard
+                          ? 0
+                          : layout.shard_of[id];
     problems[static_cast<size_t>(s)].members.push_back(id);
   }
   for (ShardProblem& problem : problems) {
@@ -126,12 +119,23 @@ Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
     }
   }
 
-  // --- Independent per-shard merges across the exec pool. Result k
-  // always belongs to shard k, and the inner merger's nested parallel
-  // loops run serially inside workers, so the outputs are identical for
-  // any thread count.
-  const std::vector<ShardRun> runs = exec::ParallelMap<ShardRun>(
-      static_cast<size_t>(num_cells), [&](size_t s) {
+  // --- Independent per-shard merges across the exec pool, scheduled
+  // largest estimated cost first: the pool's dynamic cursor hands out
+  // work in index order, so fronting the heaviest shard stops it from
+  // starting last and trailing an otherwise-drained pool. Results are
+  // written back by shard id, and shard merges are independent, so
+  // scheduling order changes wall-clock only — never outputs.
+  std::vector<size_t> order(static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&layout](size_t a, size_t b) {
+    if (layout.shard_cost[a] != layout.shard_cost[b]) {
+      return layout.shard_cost[a] > layout.shard_cost[b];
+    }
+    return a < b;
+  });
+  std::vector<ShardRun> ordered_runs = exec::ParallelMap<ShardRun>(
+      static_cast<size_t>(num_shards), [&](size_t i) {
+        const size_t s = order[i];
         ShardRun run;
         if (problems[s].members.empty()) return run;
         obs::ScopedTimer timer("planner.shard.latency_us");
@@ -145,6 +149,10 @@ Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
         run.outcome = std::move(merged.value());
         return run;
       });
+  std::vector<ShardRun> runs(static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < order.size(); ++i) {
+    runs[order[i]] = std::move(ordered_runs[i]);
+  }
   for (size_t s = 0; s < runs.size(); ++s) {
     if (!runs[s].ok) {
       return Status::Internal("shard " + std::to_string(s) +
@@ -153,11 +161,12 @@ Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
   }
 
   // --- Seam classification. A group is interior when its MBR sits
-  // strictly inside its shard cell (cell edges on the domain boundary
-  // count as interior — there is no neighbor across them); everything
-  // else, boundless groups included, enters the boundary pass.
-  const double cell_w = bounds.IsEmpty() ? 0.0 : bounds.Width() / cells_x;
-  const double cell_h = bounds.IsEmpty() ? 0.0 : bounds.Height() / cells_y;
+  // strictly inside its shard's box on every side that faces a neighbor
+  // (box sides on the domain boundary count as interior — there is no
+  // neighbor across them); everything else, boundless groups included,
+  // enters the boundary pass. For grid assignment the boxes and open
+  // sides reproduce the cell-edge tests exactly; for balanced
+  // assignment they are the bisection leaf boxes and cut lines.
   Partition interior;
   std::vector<int32_t> interior_shard;
   Partition seam_start;
@@ -169,15 +178,12 @@ Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
     stats.queries = problem.members.size();
     stats.groups = runs[s].outcome.partition.size();
     stats.cost = runs[s].outcome.cost;
+    stats.est_cost = layout.shard_cost[s];
     result.outcome.candidates += runs[s].outcome.candidates;
     result.outcome.bounds_refined += runs[s].outcome.bounds_refined;
     result.outcome.bounds_pruned += runs[s].outcome.bounds_pruned;
-    const int ci = static_cast<int>(s) % cells_x;
-    const int cj = static_cast<int>(s) / cells_x;
-    const double x_lo = bounds.x_lo() + ci * cell_w;
-    const double x_hi = bounds.x_lo() + (ci + 1) * cell_w;
-    const double y_lo = bounds.y_lo() + cj * cell_h;
-    const double y_hi = bounds.y_lo() + (cj + 1) * cell_h;
+    const Rect& box = layout.shard_box[s];
+    const ShardLayout::SeamSides& open = layout.shard_open[s];
     for (const QueryGroup& local_group : runs[s].outcome.partition) {
       QueryGroup group;
       group.reserve(local_group.size());
@@ -194,11 +200,10 @@ Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
       // of the placed members' MBR: always a seam candidate.
       bool is_interior = !has_boundless && !mbr.IsEmpty();
       if (is_interior) {
-        is_interior =
-            (ci == 0 || mbr.x_lo() > x_lo) &&
-            (ci == cells_x - 1 || mbr.x_hi() < x_hi) &&
-            (cj == 0 || mbr.y_lo() > y_lo) &&
-            (cj == cells_y - 1 || mbr.y_hi() < y_hi);
+        is_interior = (!open.x_lo || mbr.x_lo() > box.x_lo()) &&
+                      (!open.x_hi || mbr.x_hi() < box.x_hi()) &&
+                      (!open.y_lo || mbr.y_lo() > box.y_lo()) &&
+                      (!open.y_hi || mbr.y_hi() < box.y_hi());
       }
       if (is_interior) {
         interior.push_back(std::move(group));
@@ -251,6 +256,28 @@ Result<ShardedMergeOutcome> ShardedPlanner::Plan(const MergeContext& ctx,
                   static_cast<double>(result.seam_merges));
     obs::SetGauge("plan.shard.groups",
                   static_cast<double>(result.outcome.partition.size()));
+    // Skew accounting: largest shard's estimated planning cost over the
+    // per-shard mean (1.0 = perfectly balanced), plus the per-shard
+    // query-count distribution — one histogram observation per shard,
+    // with min/max/mean mirrored as gauges for dashboards that can't
+    // aggregate histograms.
+    obs::SetGauge("plan.shard.imbalance", result.imbalance);
+    size_t q_min = 0, q_max = 0, q_sum = 0;
+    bool first = true;
+    for (size_t q : layout.shard_queries) {
+      obs::Observe("plan.shard.queries", static_cast<double>(q));
+      q_min = first ? q : std::min(q_min, q);
+      q_max = std::max(q_max, q);
+      q_sum += q;
+      first = false;
+    }
+    obs::SetGauge("plan.shard.queries.min", static_cast<double>(q_min));
+    obs::SetGauge("plan.shard.queries.max", static_cast<double>(q_max));
+    obs::SetGauge("plan.shard.queries.mean",
+                  layout.shard_queries.empty()
+                      ? 0.0
+                      : static_cast<double>(q_sum) /
+                            static_cast<double>(layout.shard_queries.size()));
   }
   return result;
 }

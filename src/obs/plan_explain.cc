@@ -1,5 +1,6 @@
 #include "obs/plan_explain.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "merge/plan_bounds.h"
@@ -60,6 +61,45 @@ void GroupToJson(const GroupExplain& group, JsonWriter* json) {
   json->EndObject();
 }
 
+/// Renders the balanced-assignment cut tree depth-first (left child
+/// first — the canonical order the bisection built it in). Negative
+/// child encodings are leaves: shard -(node) - 1.
+void CutTreeToText(const PlanExplain& plan, int32_t node, int depth,
+                   std::string* out) {
+  const std::string indent(2 * (depth + 1), ' ');
+  if (node < 0) {
+    const size_t s = static_cast<size_t>(-node - 1);
+    *out += indent + "shard " + std::to_string(s) +
+            ": queries=" + std::to_string(plan.shard_queries[s]) +
+            " cost_est=" + Num(plan.shard_cost_est[s]) + "\n";
+    return;
+  }
+  const ShardCutNode& cut = plan.shard_cuts[static_cast<size_t>(node)];
+  *out += indent + std::string(cut.axis == 0 ? "x < " : "y < ") +
+          Num(cut.coord) + "\n";
+  CutTreeToText(plan, cut.left, depth + 1, out);
+  CutTreeToText(plan, cut.right, depth + 1, out);
+}
+
+void CutTreeToJson(const PlanExplain& plan, int32_t node, JsonWriter* json) {
+  json->BeginObject();
+  if (node < 0) {
+    const size_t s = static_cast<size_t>(-node - 1);
+    json->Key("shard").UInt(s);
+    json->Key("queries").UInt(plan.shard_queries[s]);
+    json->Key("cost_est").Number(plan.shard_cost_est[s]);
+  } else {
+    const ShardCutNode& cut = plan.shard_cuts[static_cast<size_t>(node)];
+    json->Key("axis").String(cut.axis == 0 ? "x" : "y");
+    json->Key("coord").Number(cut.coord);
+    json->Key("left");
+    CutTreeToJson(plan, cut.left, json);
+    json->Key("right");
+    CutTreeToJson(plan, cut.right, json);
+  }
+  json->EndObject();
+}
+
 }  // namespace
 
 std::string PlanExplain::ToText() const {
@@ -84,6 +124,22 @@ std::string PlanExplain::ToText() const {
   out += "\n";
   out += "bounds refined  : " + std::to_string(bounds_refined) + "\n";
   out += "bounds pruned   : " + std::to_string(bounds_pruned) + "\n";
+  if (!shard_cuts.empty()) {
+    double max_cost = 0.0, total = 0.0;
+    for (double c : shard_cost_est) {
+      max_cost = std::max(max_cost, c);
+      total += c;
+    }
+    const double mean =
+        shard_cost_est.empty()
+            ? 0.0
+            : total / static_cast<double>(shard_cost_est.size());
+    out += "shard imbalance : " +
+           Num(mean > 0.0 ? max_cost / mean : 0.0) + " (max_cost_est=" +
+           Num(max_cost) + " mean=" + Num(mean) + ")\n";
+    out += "shard cuts      :\n";
+    CutTreeToText(*this, 0, 0, &out);
+  }
 
   for (const ChannelExplain& channel : channels) {
     out += "\nchannel " + std::to_string(channel.index) +
@@ -148,6 +204,16 @@ std::string PlanExplain::ToJson() const {
   json.Key("groups").BeginArray();
   for (const GroupExplain& group : groups) GroupToJson(group, &json);
   json.EndArray();
+  if (!shard_cuts.empty()) {
+    json.Key("shard_cuts");
+    CutTreeToJson(*this, 0, &json);
+    json.Key("shard_cost_est").BeginArray();
+    for (double c : shard_cost_est) json.Number(c);
+    json.EndArray();
+    json.Key("shard_queries").BeginArray();
+    for (size_t q : shard_queries) json.UInt(q);
+    json.EndArray();
+  }
   json.EndObject();
   return json.str();
 }
@@ -228,6 +294,16 @@ PlanExplain PlanExplainer::Explain(const Partition& partition) const {
   out.initial_cost = initial_cost_;
   out.bounds_refined = bounds_refined_;
   out.bounds_pruned = bounds_pruned_;
+  // Balanced sharded plans carry their cut tree into the EXPLAIN; grid,
+  // single-shard, and unsharded plans emit nothing here, keeping their
+  // goldens byte-identical.
+  if (shard_layout_ != nullptr &&
+      shard_layout_->assign == ShardAssign::kBalanced &&
+      shard_layout_->num_shards > 1 && !shard_layout_->cuts.empty()) {
+    out.shard_cuts = shard_layout_->cuts;
+    out.shard_cost_est = shard_layout_->shard_cost;
+    out.shard_queries = shard_layout_->shard_queries;
+  }
   // Single-channel broadcast: no k_check scaling, no K_D charge (the
   // basic model of Section 4, which is what the single-channel planner
   // costs plans with).

@@ -9,6 +9,7 @@
 #include "channel/client_set.h"
 #include "cost/cost_model.h"
 #include "geom/rect.h"
+#include "merge/shard_assign.h"
 #include "net/message.h"
 #include "query/merge_context.h"
 #include "query/query.h"
@@ -95,6 +96,15 @@ struct PlanExplain {
   uint64_t bounds_pruned = 0;
   std::vector<ChannelExplain> channels;
   std::vector<GroupExplain> groups;
+  /// Balanced-assignment shard layout (DESIGN.md §13): the bisection cut
+  /// tree plus per-shard query counts and estimated planning costs. All
+  /// three are populated together, and only when the explainer was
+  /// handed a balanced multi-shard layout — empty vectors render
+  /// nothing, so unsharded (and grid-sharded) EXPLAIN output is
+  /// byte-identical to what it was before balanced assignment existed.
+  std::vector<ShardCutNode> shard_cuts;
+  std::vector<double> shard_cost_est;
+  std::vector<size_t> shard_queries;
 
   /// Human-readable EXPLAIN (stable formatting, %.6g numbers — the
   /// golden-diffable form).
@@ -142,6 +152,13 @@ class PlanExplainer {
     shard_attribution_ = group_shard;
   }
 
+  /// Shard layout of a sharded single-channel plan
+  /// (ShardedMergeOutcome::layout; non-owning, must outlive the Explain
+  /// call). Only a balanced layout with more than one shard emits
+  /// anything — the cut tree and per-shard cost estimates; null, grid,
+  /// or single-shard layouts render exactly as before.
+  void set_shard_layout(const ShardLayout* layout) { shard_layout_ = layout; }
+
   /// EXPLAIN of a single-channel plan (no allocation, no k_check/K_D
   /// terms): one implicit channel carrying every client.
   PlanExplain Explain(const Partition& partition) const;
@@ -161,6 +178,7 @@ class PlanExplainer {
   CostModel model_;
   const MergeContext* exact_ctx_ = nullptr;
   const std::vector<int32_t>* shard_attribution_ = nullptr;
+  const ShardLayout* shard_layout_ = nullptr;
   std::vector<std::pair<std::string, std::string>> labels_;
   double initial_cost_ = -1.0;
   uint64_t bounds_refined_ = 0;

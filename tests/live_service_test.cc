@@ -12,6 +12,7 @@
 #include "core/live_plan.h"
 #include "core/subscription_service.h"
 #include "obs/clock.h"
+#include "obs/metrics.h"
 #include "query/merge_context.h"
 #include "query/merge_procedure.h"
 #include "relation/generator.h"
@@ -231,6 +232,63 @@ TEST_F(LiveServiceTest, DriftTriggerReplansAndAdoptionImproves) {
   EXPECT_LE(live.cost(), greedy_cost + 1e-9);
   // Every live lease survived the swap.
   EXPECT_EQ(live.LiveIds().size(), 24u);
+}
+
+// Regression for the silently-ignored shards knob: live mode with
+// shards > 1 used to plan drift replans unsharded. Now the snapshot
+// routes through ShardedPlanner, and the adopted plan's maintained cost
+// must equal a from-scratch recomputation on a fresh context — the
+// sharded path must not grade its own homework through a stale memo —
+// while staying close to the unsharded replan's quality.
+TEST_F(LiveServiceTest, ShardedReplanCostMatchesFreshRecomputation) {
+  Rng rng(51);
+  QueryGenConfig shape;
+  shape.num_queries = 48;
+  shape.cf = 0.7;
+  const std::vector<Rect> rects = GenerateQueries(shape, &rng);
+
+  LiveServiceConfig sharded_opts = Opts();
+  sharded_opts.shards = 4;
+  LivePlanManager sharded(&queries_, &ctx_, model_, sharded_opts);
+  for (const Rect& r : rects) ASSERT_TRUE(sharded.Subscribe(r, 0).ok());
+  sharded.DrainAll();
+
+  QuerySet queries2;
+  MergeContext ctx2(&queries2, &estimator_, &procedure_);
+  LivePlanManager unsharded(&queries2, &ctx2, model_, Opts());
+  for (const Rect& r : rects) ASSERT_TRUE(unsharded.Subscribe(r, 0).ok());
+  unsharded.DrainAll();
+
+  // The sharded replan must actually fan out: the planner publishes its
+  // shard count, which stays > 1 only when the knob is honored.
+  obs::SetEnabled(true);
+  obs::SetGauge("plan.shard.count", 0.0);
+  ASSERT_TRUE(sharded.ReplanNow().ok());
+  EXPECT_GE(obs::MetricRegistry::Default().GaugeValue("plan.shard.count"),
+            2.0);
+  obs::SetEnabled(false);
+  ASSERT_TRUE(unsharded.ReplanNow().ok());
+  EXPECT_GE(sharded.Stats().replans_adopted, 1u);
+  EXPECT_GE(unsharded.Stats().replans_adopted, 1u);
+
+  // Every lease survived both swaps.
+  ASSERT_EQ(sharded.LiveIds().size(), rects.size());
+  ASSERT_EQ(unsharded.LiveIds().size(), rects.size());
+
+  // Maintained cost == fresh-context recomputation, for both paths.
+  {
+    MergeContext fresh(&queries_, &estimator_, &procedure_);
+    EXPECT_DOUBLE_EQ(sharded.cost(),
+                     model_.PartitionCost(fresh, sharded.PlanSnapshot()));
+  }
+  {
+    MergeContext fresh(&queries2, &estimator_, &procedure_);
+    EXPECT_DOUBLE_EQ(unsharded.cost(),
+                     model_.PartitionCost(fresh, unsharded.PlanSnapshot()));
+  }
+  // Sharding trades a bounded amount of plan quality for parallel
+  // planning; at this scale the plans must stay close.
+  EXPECT_LE(sharded.cost(), unsharded.cost() * 1.10 + 1e-9);
 }
 
 TEST_F(LiveServiceTest, InjectedReplanFailureLeavesOldPlanServing) {

@@ -1,0 +1,215 @@
+// Shard assignment (merge/shard_assign.h): the layout layer under the
+// sharded planner (DESIGN.md §13). The contracts under test: the grid
+// path reproduces RectSoA::BatchShardOf byte for byte; the balanced
+// bisection terminates and is deterministic on degenerate inputs
+// (all-same-center populations, centers exactly on a cut line, empty
+// rects); boundless queries keep kBoundlessShard but are accounted to
+// shard 0; and the cost weights make dense queries heavier than
+// isolated ones.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/rect_soa.h"
+#include "merge/shard_assign.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace qsp {
+namespace {
+
+RectSoA HybridSoA(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  QueryGenConfig config;
+  config.num_queries = n;
+  return RectSoA(GenerateQueries(config, &rng));
+}
+
+void ExpectLayoutsEqual(const ShardLayout& a, const ShardLayout& b) {
+  EXPECT_EQ(a.num_shards, b.num_shards);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.shard_cost, b.shard_cost);
+  EXPECT_EQ(a.shard_queries, b.shard_queries);
+  ASSERT_EQ(a.cuts.size(), b.cuts.size());
+  for (size_t i = 0; i < a.cuts.size(); ++i) {
+    EXPECT_EQ(a.cuts[i].axis, b.cuts[i].axis);
+    EXPECT_EQ(a.cuts[i].coord, b.cuts[i].coord);
+    EXPECT_EQ(a.cuts[i].left, b.cuts[i].left);
+    EXPECT_EQ(a.cuts[i].right, b.cuts[i].right);
+  }
+}
+
+// Every query assigned (boundless to kBoundlessShard), ids in range,
+// per-shard accounting consistent with the assignment.
+void ExpectLayoutWellFormed(const ShardLayout& layout, const RectSoA& soa) {
+  ASSERT_EQ(layout.shard_of.size(), soa.size());
+  ASSERT_EQ(layout.shard_cost.size(),
+            static_cast<size_t>(layout.num_shards));
+  ASSERT_EQ(layout.shard_queries.size(),
+            static_cast<size_t>(layout.num_shards));
+  ASSERT_EQ(layout.shard_box.size(), static_cast<size_t>(layout.num_shards));
+  size_t total_queries = 0;
+  for (size_t q : layout.shard_queries) total_queries += q;
+  EXPECT_EQ(total_queries, soa.size());
+  for (size_t i = 0; i < soa.size(); ++i) {
+    const int32_t s = layout.shard_of[i];
+    if (soa.IsEmpty(i)) {
+      EXPECT_EQ(s, RectSoA::kBoundlessShard) << "rect " << i;
+    } else {
+      EXPECT_GE(s, 0) << "rect " << i;
+      EXPECT_LT(s, layout.num_shards) << "rect " << i;
+    }
+  }
+}
+
+// The grid path must be byte-compatible with the pre-balanced planner:
+// same assignment BatchShardOf computes, same floor(sqrt) dims.
+TEST(ShardAssignTest, GridReproducesBatchShardOf) {
+  const RectSoA soa = HybridSoA(300, 7);
+  for (const int shards : {1, 4, 8, 16}) {
+    const ShardLayout layout = AssignShards(soa, shards, ShardAssign::kGrid);
+    ExpectLayoutWellFormed(layout, soa);
+    EXPECT_EQ(layout.num_shards, layout.cells_x * layout.cells_y);
+    EXPECT_TRUE(layout.cuts.empty());
+    std::vector<int32_t> expected(soa.size());
+    soa.BatchShardOf(soa.BoundingUnionAll(), layout.cells_x, layout.cells_y,
+                     expected.data());
+    EXPECT_EQ(layout.shard_of, expected) << "shards " << shards;
+  }
+}
+
+// Balanced assignment treats the request as a budget: never more shards
+// than requested, ids dense [0, num_shards), every shard non-empty, and
+// the whole layout identical across repeated runs.
+TEST(ShardAssignTest, BalancedIsBudgetedDenseAndDeterministic) {
+  const RectSoA soa = HybridSoA(400, 11);
+  for (const int shards : {2, 5, 16}) {
+    const ShardLayout layout =
+        AssignShards(soa, shards, ShardAssign::kBalanced);
+    ExpectLayoutWellFormed(layout, soa);
+    EXPECT_GE(layout.num_shards, 1);
+    EXPECT_LE(layout.num_shards, shards);
+    for (size_t q : layout.shard_queries) EXPECT_GT(q, 0u);
+    EXPECT_GE(layout.Imbalance(), 1.0);
+    ExpectLayoutsEqual(layout,
+                       AssignShards(soa, shards, ShardAssign::kBalanced));
+  }
+}
+
+// All-same-center rects with positive extents: every candidate cut is
+// fully straddled, so the bisection must stop splitting (one shard)
+// rather than manufacturing all-seam slivers — and must terminate.
+TEST(ShardAssignTest, BalancedSameCenterExtentsRefusesToSliver) {
+  std::vector<Rect> rects(64, Rect(10, 10, 30, 30));
+  const RectSoA soa(rects);
+  const ShardLayout layout = AssignShards(soa, 8, ShardAssign::kBalanced);
+  ExpectLayoutWellFormed(layout, soa);
+  EXPECT_EQ(layout.num_shards, 1);
+  EXPECT_TRUE(layout.cuts.empty());
+  EXPECT_DOUBLE_EQ(layout.Imbalance(), 1.0);
+}
+
+// All-same-center zero-extent points: nothing straddles a cut through
+// the common coordinate, so the id tie-break splits the population into
+// the full budget (uneven counts are fine — the balance slack may snap
+// within its window — but every shard is non-empty and the layout is
+// deterministic).
+TEST(ShardAssignTest, BalancedSameCenterPointsSplitByIdTieBreak) {
+  std::vector<Rect> rects(64, Rect(42, 17, 42, 17));
+  const RectSoA soa(rects);
+  const ShardLayout layout = AssignShards(soa, 8, ShardAssign::kBalanced);
+  ExpectLayoutWellFormed(layout, soa);
+  EXPECT_EQ(layout.num_shards, 8);
+  for (size_t q : layout.shard_queries) EXPECT_GT(q, 0u);
+  ExpectLayoutsEqual(layout, AssignShards(soa, 8, ShardAssign::kBalanced));
+}
+
+// Centers exactly on the cut line: two rects whose shared center
+// coordinate is the midpoint the cut lands on. The (center, id) order
+// puts the tie pair on deterministic sides; repeated runs agree.
+TEST(ShardAssignTest, BalancedCentersOnCutLineAreDeterministic) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < 8; ++i) {
+    rects.push_back(Rect(10.0 * i, 0, 10.0 * i, 4));   // centers 0..70
+    rects.push_back(Rect(35, 10 + i, 35, 14 + i));     // centers all x=35
+  }
+  const RectSoA soa(rects);
+  const ShardLayout layout = AssignShards(soa, 2, ShardAssign::kBalanced);
+  ExpectLayoutWellFormed(layout, soa);
+  ExpectLayoutsEqual(layout, AssignShards(soa, 2, ShardAssign::kBalanced));
+  if (!layout.cuts.empty()) {
+    // Assignment is consistent with the cut: every rect center strictly
+    // left of the cut is in a left-subtree shard (ties may go either
+    // side, but deterministically).
+    EXPECT_EQ(layout.cuts[0].axis, 0);
+  }
+}
+
+// Empty rects: kBoundlessShard in shard_of, counted in shard 0's
+// accounting (where the planner parks them), and maximal cost weight
+// (they pair with everything).
+TEST(ShardAssignTest, BoundlessRectsParkInShardZero) {
+  std::vector<Rect> rects;
+  Rng rng(3);
+  QueryGenConfig config;
+  config.num_queries = 100;
+  rects = GenerateQueries(config, &rng);
+  rects.push_back(Rect::Empty());
+  rects.push_back(Rect::Empty());
+  const RectSoA soa(rects);
+  const std::vector<double> weights = PlanningCostWeights(soa);
+  ASSERT_EQ(weights.size(), soa.size());
+  // Boundless weight = 1 + population; no placed rect can exceed it.
+  for (size_t i = 0; i < soa.size(); ++i) {
+    EXPECT_LE(weights[i], weights.back());
+  }
+  EXPECT_DOUBLE_EQ(weights.back(), 1.0 + static_cast<double>(soa.size()));
+
+  for (const ShardAssign assign :
+       {ShardAssign::kGrid, ShardAssign::kBalanced}) {
+    const ShardLayout layout = AssignShards(soa, 4, assign);
+    ExpectLayoutWellFormed(layout, soa);
+    EXPECT_EQ(layout.shard_of[soa.size() - 1], RectSoA::kBoundlessShard);
+    EXPECT_EQ(layout.shard_of[soa.size() - 2], RectSoA::kBoundlessShard);
+    // shard 0 absorbs the two boundless queries and their weight.
+    size_t placed_in_zero = 0;
+    for (size_t i = 0; i + 2 < soa.size(); ++i) {
+      if (layout.shard_of[i] == 0) ++placed_in_zero;
+    }
+    EXPECT_EQ(layout.shard_queries[0], placed_in_zero + 2);
+  }
+}
+
+// An all-empty population must not crash either path and collapses to
+// one shard holding everything.
+TEST(ShardAssignTest, AllBoundlessCollapsesToOneShard) {
+  const RectSoA soa(std::vector<Rect>(5, Rect::Empty()));
+  for (const ShardAssign assign :
+       {ShardAssign::kGrid, ShardAssign::kBalanced}) {
+    const ShardLayout layout = AssignShards(soa, 4, assign);
+    ExpectLayoutWellFormed(layout, soa);
+    EXPECT_EQ(layout.shard_queries[0], soa.size());
+    EXPECT_EQ(layout.num_shards, 1);
+    EXPECT_DOUBLE_EQ(layout.Imbalance(), 1.0);
+  }
+}
+
+// Weights read candidate density off the spatial grid: a query inside a
+// dense pile must weigh more than a far-away isolated one.
+TEST(ShardAssignTest, CostWeightsFollowDensity) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < 30; ++i) {
+    rects.push_back(Rect(100 + i, 100, 140 + i, 140));  // dense pile
+  }
+  rects.push_back(Rect(900, 900, 905, 905));  // isolated
+  const RectSoA soa(rects);
+  const std::vector<double> weights = PlanningCostWeights(soa);
+  EXPECT_GT(weights[0], weights.back());
+  for (double w : weights) EXPECT_GE(w, 1.0);
+}
+
+}  // namespace
+}  // namespace qsp

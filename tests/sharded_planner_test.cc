@@ -71,34 +71,47 @@ const MergerCase kMergers[] = {
      }},
 };
 
+constexpr ShardAssign kAssigns[] = {ShardAssign::kGrid,
+                                    ShardAssign::kBalanced};
+
+const char* AssignName(ShardAssign assign) {
+  return assign == ShardAssign::kGrid ? "grid" : "balanced";
+}
+
 // shards=1 must be the wrapped merger, byte for byte: same partition,
 // same cost, same effort counters — the delegation makes the knob's
-// default a provable no-op.
+// default a provable no-op. Delegation happens before assignment runs,
+// so both assignment modes must take it.
 TEST(ShardedPlannerTest, ShardsOneIsByteIdenticalToUnsharded) {
   const CostModel model = bench::Fig16CostModel();
   for (const MergerCase& mc : kMergers) {
     for (const uint64_t seed : kSeeds) {
-      const std::string label = mc.name + "/seed" + std::to_string(seed);
-      Instance plain_inst(60, seed);
-      auto plain = mc.make(seed)->Merge(*plain_inst.ctx, model);
-      ASSERT_TRUE(plain.ok()) << label;
+      for (const ShardAssign assign : kAssigns) {
+        const std::string label = mc.name + "/seed" + std::to_string(seed) +
+                                  "/" + AssignName(assign);
+        Instance plain_inst(60, seed);
+        auto plain = mc.make(seed)->Merge(*plain_inst.ctx, model);
+        ASSERT_TRUE(plain.ok()) << label;
 
-      Instance sharded_inst(60, seed);
-      const auto inner = mc.make(seed);
-      const ShardedPlanner planner(inner.get(), {/*shards=*/1,
-                                                 /*pruning=*/true});
-      auto sharded = planner.Plan(*sharded_inst.ctx, model);
-      ASSERT_TRUE(sharded.ok()) << label;
+        Instance sharded_inst(60, seed);
+        const auto inner = mc.make(seed);
+        const ShardedPlanner planner(
+            inner.get(),
+            ShardedPlanner::Options{/*shards=*/1, assign, /*pruning=*/true});
+        auto sharded = planner.Plan(*sharded_inst.ctx, model);
+        ASSERT_TRUE(sharded.ok()) << label;
 
-      EXPECT_EQ(sharded->outcome.partition, plain->partition) << label;
-      EXPECT_EQ(sharded->outcome.cost, plain->cost) << label;
-      EXPECT_EQ(sharded->outcome.candidates, plain->candidates) << label;
-      // All groups attributed to the single shard.
-      ASSERT_EQ(sharded->group_shard.size(), sharded->outcome.partition.size())
-          << label;
-      for (int32_t s : sharded->group_shard) EXPECT_EQ(s, 0) << label;
-      EXPECT_EQ(sharded->cells_x, 1) << label;
-      EXPECT_EQ(sharded->cells_y, 1) << label;
+        EXPECT_EQ(sharded->outcome.partition, plain->partition) << label;
+        EXPECT_EQ(sharded->outcome.cost, plain->cost) << label;
+        EXPECT_EQ(sharded->outcome.candidates, plain->candidates) << label;
+        // All groups attributed to the single shard.
+        ASSERT_EQ(sharded->group_shard.size(),
+                  sharded->outcome.partition.size())
+            << label;
+        for (int32_t s : sharded->group_shard) EXPECT_EQ(s, 0) << label;
+        EXPECT_EQ(sharded->cells_x, 1) << label;
+        EXPECT_EQ(sharded->cells_y, 1) << label;
+      }
     }
   }
 }
@@ -112,49 +125,66 @@ TEST(ShardedPlannerTest, MultiShardPlansAreValidAndCostVerified) {
   for (const MergerCase& mc : kMergers) {
     for (const uint64_t seed : kSeeds) {
       for (const int shards : {4, 9}) {
-        const std::string label = mc.name + "/seed" + std::to_string(seed) +
-                                  "/shards" + std::to_string(shards);
-        Instance inst(120, seed);
-        const size_t n = inst.queries.size();
-        const auto inner = mc.make(seed);
-        const ShardedPlanner planner(inner.get(), {shards, /*pruning=*/true});
-        auto plan = planner.Plan(*inst.ctx, model);
-        ASSERT_TRUE(plan.ok()) << label;
+        for (const ShardAssign assign : kAssigns) {
+          const std::string label = mc.name + "/seed" + std::to_string(seed) +
+                                    "/shards" + std::to_string(shards) + "/" +
+                                    AssignName(assign);
+          Instance inst(120, seed);
+          const size_t n = inst.queries.size();
+          const auto inner = mc.make(seed);
+          const ShardedPlanner planner(
+              inner.get(),
+              ShardedPlanner::Options{shards, assign, /*pruning=*/true});
+          auto plan = planner.Plan(*inst.ctx, model);
+          ASSERT_TRUE(plan.ok()) << label;
 
-        EXPECT_TRUE(IsValidPartition(plan->outcome.partition, n)) << label;
-        ASSERT_EQ(plan->group_shard.size(), plan->outcome.partition.size())
-            << label;
-        const int cells = plan->cells_x * plan->cells_y;
-        EXPECT_GE(cells, 1) << label;
-        EXPECT_LE(cells, shards) << label;
-        for (int32_t s : plan->group_shard) {
-          EXPECT_GE(s, ShardedMergeOutcome::kSeamGroup) << label;
-          EXPECT_LT(s, cells) << label;
+          EXPECT_TRUE(IsValidPartition(plan->outcome.partition, n)) << label;
+          ASSERT_EQ(plan->group_shard.size(), plan->outcome.partition.size())
+              << label;
+          const int num_shards = plan->layout.num_shards;
+          EXPECT_GE(num_shards, 1) << label;
+          if (assign == ShardAssign::kBalanced) {
+            // Balanced treats the request as a budget (the extent floor
+            // may stop the bisection early); the grid rounds to
+            // cells_x * cells_y.
+            EXPECT_LE(num_shards, shards) << label;
+          } else {
+            EXPECT_EQ(num_shards, plan->cells_x * plan->cells_y) << label;
+            EXPECT_LE(num_shards, shards) << label;
+          }
+          for (int32_t s : plan->group_shard) {
+            EXPECT_GE(s, ShardedMergeOutcome::kSeamGroup) << label;
+            EXPECT_LT(s, num_shards) << label;
+          }
+          size_t shard_queries = 0, shard_seam = 0;
+          for (const ShardStats& stats : plan->shards) {
+            shard_queries += stats.queries;
+            shard_seam += stats.seam_groups;
+          }
+          EXPECT_EQ(shard_queries, n) << label;
+          EXPECT_EQ(shard_seam, plan->seam_groups_in) << label;
+          // Every query is assigned, and the per-shard accounting in the
+          // layout matches what the planner actually built.
+          ASSERT_EQ(plan->layout.shard_of.size(), n) << label;
+          EXPECT_GT(plan->imbalance, 0.0) << label;
+
+          // From-scratch cost recomputation on a fresh context.
+          Instance fresh(120, seed);
+          EXPECT_EQ(plan->outcome.cost,
+                    model.PartitionCost(*fresh.ctx, plan->outcome.partition))
+              << label;
+
+          // Locality sanity: sharding trades a little plan quality for
+          // parallel planning; it must never be wildly worse than the
+          // unsharded plan (the bench gates 2% at scale) nor beat the
+          // no-merge baseline's ceiling.
+          auto unsharded = mc.make(seed)->Merge(*fresh.ctx, model);
+          ASSERT_TRUE(unsharded.ok()) << label;
+          EXPECT_LE(plan->outcome.cost, unsharded->cost * 1.10) << label;
+          EXPECT_LE(plan->outcome.cost,
+                    model.InitialCost(*fresh.ctx) * (1.0 + 1e-9))
+              << label;
         }
-        size_t shard_queries = 0, shard_seam = 0;
-        for (const ShardStats& stats : plan->shards) {
-          shard_queries += stats.queries;
-          shard_seam += stats.seam_groups;
-        }
-        EXPECT_EQ(shard_queries, n) << label;
-        EXPECT_EQ(shard_seam, plan->seam_groups_in) << label;
-
-        // From-scratch cost recomputation on a fresh context.
-        Instance fresh(120, seed);
-        EXPECT_EQ(plan->outcome.cost,
-                  model.PartitionCost(*fresh.ctx, plan->outcome.partition))
-            << label;
-
-        // Locality sanity: sharding trades a little plan quality for
-        // parallel planning; it must never be wildly worse than the
-        // unsharded plan (the bench gates 2% at scale) nor beat the
-        // no-merge baseline's ceiling.
-        auto unsharded = mc.make(seed)->Merge(*fresh.ctx, model);
-        ASSERT_TRUE(unsharded.ok()) << label;
-        EXPECT_LE(plan->outcome.cost, unsharded->cost * 1.10) << label;
-        EXPECT_LE(plan->outcome.cost,
-                  model.InitialCost(*fresh.ctx) * (1.0 + 1e-9))
-            << label;
       }
     }
   }
@@ -166,31 +196,34 @@ TEST(ShardedPlannerTest, MultiShardPlansAreValidAndCostVerified) {
 TEST(ShardedPlannerTest, MultiShardOutputsAreThreadCountInvariant) {
   const CostModel model = bench::Fig16CostModel();
   for (const MergerCase& mc : kMergers) {
-    Partition baseline_partition;
-    std::vector<int32_t> baseline_shard;
-    double baseline_cost = 0.0;
-    for (const int threads : {1, 4}) {
-      exec::SetDefaultThreads(threads);
-      Instance inst(100, 23);
-      const auto inner = mc.make(23);
-      const ShardedPlanner planner(inner.get(), {/*shards=*/4,
-                                                 /*pruning=*/true});
-      auto plan = planner.Plan(*inst.ctx, model);
-      ASSERT_TRUE(plan.ok()) << mc.name << " threads " << threads;
-      if (threads == 1) {
-        baseline_partition = plan->outcome.partition;
-        baseline_shard = plan->group_shard;
-        baseline_cost = plan->outcome.cost;
-      } else {
-        EXPECT_EQ(plan->outcome.partition, baseline_partition)
-            << mc.name << " threads " << threads;
-        EXPECT_EQ(plan->group_shard, baseline_shard)
-            << mc.name << " threads " << threads;
-        EXPECT_EQ(plan->outcome.cost, baseline_cost)
-            << mc.name << " threads " << threads;
+    for (const ShardAssign assign : kAssigns) {
+      Partition baseline_partition;
+      std::vector<int32_t> baseline_shard;
+      double baseline_cost = 0.0;
+      for (const int threads : {1, 4}) {
+        exec::SetDefaultThreads(threads);
+        Instance inst(100, 23);
+        const auto inner = mc.make(23);
+        const ShardedPlanner planner(
+            inner.get(),
+            ShardedPlanner::Options{/*shards=*/4, assign, /*pruning=*/true});
+        auto plan = planner.Plan(*inst.ctx, model);
+        const std::string label = std::string(mc.name) + "/" +
+                                  AssignName(assign) + " threads " +
+                                  std::to_string(threads);
+        ASSERT_TRUE(plan.ok()) << label;
+        if (threads == 1) {
+          baseline_partition = plan->outcome.partition;
+          baseline_shard = plan->group_shard;
+          baseline_cost = plan->outcome.cost;
+        } else {
+          EXPECT_EQ(plan->outcome.partition, baseline_partition) << label;
+          EXPECT_EQ(plan->group_shard, baseline_shard) << label;
+          EXPECT_EQ(plan->outcome.cost, baseline_cost) << label;
+        }
       }
+      exec::SetDefaultThreads(1);
     }
-    exec::SetDefaultThreads(1);
   }
 }
 
@@ -199,28 +232,34 @@ TEST(ShardedPlannerTest, MultiShardOutputsAreThreadCountInvariant) {
 // them (the grid boundless-pair bugfix end to end).
 TEST(ShardedPlannerTest, BoundlessQueriesFlowThroughSeamPass) {
   const CostModel model = bench::Fig16CostModel();
-  Instance inst(80, 31, /*empty_rects=*/2);
-  const size_t n = inst.queries.size();
-  const PairMerger inner(/*use_heap=*/true, /*pruning=*/true);
-  const ShardedPlanner planner(&inner, {/*shards=*/4, /*pruning=*/true});
-  auto plan = planner.Plan(*inst.ctx, model);
-  ASSERT_TRUE(plan.ok());
-  EXPECT_TRUE(IsValidPartition(plan->outcome.partition, n));
-  // Find the groups holding the two empty-rect queries (the last ids).
-  for (QueryId empty_id :
-       {static_cast<QueryId>(n - 2), static_cast<QueryId>(n - 1)}) {
-    bool found = false;
-    for (size_t g = 0; g < plan->outcome.partition.size(); ++g) {
-      const QueryGroup& group = plan->outcome.partition[g];
-      if (std::find(group.begin(), group.end(), empty_id) == group.end()) {
-        continue;
+  for (const ShardAssign assign : kAssigns) {
+    Instance inst(80, 31, /*empty_rects=*/2);
+    const size_t n = inst.queries.size();
+    const PairMerger inner(/*use_heap=*/true, /*pruning=*/true);
+    const ShardedPlanner planner(
+        &inner, ShardedPlanner::Options{/*shards=*/4, assign,
+                                        /*pruning=*/true});
+    auto plan = planner.Plan(*inst.ctx, model);
+    ASSERT_TRUE(plan.ok()) << AssignName(assign);
+    EXPECT_TRUE(IsValidPartition(plan->outcome.partition, n))
+        << AssignName(assign);
+    // Find the groups holding the two empty-rect queries (the last ids).
+    for (QueryId empty_id :
+         {static_cast<QueryId>(n - 2), static_cast<QueryId>(n - 1)}) {
+      bool found = false;
+      for (size_t g = 0; g < plan->outcome.partition.size(); ++g) {
+        const QueryGroup& group = plan->outcome.partition[g];
+        if (std::find(group.begin(), group.end(), empty_id) == group.end()) {
+          continue;
+        }
+        found = true;
+        EXPECT_EQ(plan->group_shard[g], ShardedMergeOutcome::kSeamGroup)
+            << AssignName(assign) << ": group of boundless query " << empty_id
+            << " was not seam-classified";
       }
-      found = true;
-      EXPECT_EQ(plan->group_shard[g], ShardedMergeOutcome::kSeamGroup)
-          << "group of boundless query " << empty_id
-          << " was not seam-classified";
+      EXPECT_TRUE(found) << AssignName(assign) << ": boundless query "
+                         << empty_id << " missing";
     }
-    EXPECT_TRUE(found) << "boundless query " << empty_id << " missing";
   }
 }
 

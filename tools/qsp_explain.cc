@@ -22,6 +22,11 @@
 //                       groups gain a shard= attribution (shard=seam for
 //                       boundary-pass groups). 1 = plain merge, output
 //                       unchanged. Ignored by --scenario live.
+//   --assign balanced|grid [balanced]
+//                       shard assignment for --shards > 1 (DESIGN.md
+//                       §13). balanced also emits the bisection cut
+//                       tree and per-shard cost estimates (text + JSON);
+//                       unsharded output never carries either.
 //   --no-pruning        disable the BenefitBounder fast path
 //   --exact             also report exact merged sizes, measured against
 //                       a generated table (--objects N [5000])
@@ -205,10 +210,20 @@ int Run(const Args& args) {
   const bool pruning = !args.Has("no-pruning");
   const auto merger = MakeMerger(merger_kind, seed, pruning);
   const int shards = static_cast<int>(args.I("shards", 1));
+  const std::string assign_name = args.S("assign", "balanced");
+  ShardAssign assign = ShardAssign::kBalanced;
+  if (assign_name == "grid") {
+    assign = ShardAssign::kGrid;
+  } else if (assign_name != "balanced") {
+    std::fprintf(stderr, "unknown --assign '%s'\n", assign_name.c_str());
+    return 2;
+  }
   MergeOutcome outcome;
   std::vector<int32_t> group_shard;
+  ShardLayout layout;
   if (shards > 1) {
-    const ShardedPlanner planner(merger.get(), {shards, pruning});
+    const ShardedPlanner planner(
+        merger.get(), ShardedPlanner::Options{shards, assign, pruning});
     Result<ShardedMergeOutcome> plan = planner.Plan(*instance.ctx, model);
     if (!plan.ok()) {
       std::fprintf(stderr, "sharded merge failed: %s\n",
@@ -217,6 +232,7 @@ int Run(const Args& args) {
     }
     outcome = std::move(plan.value().outcome);
     group_shard = std::move(plan.value().group_shard);
+    layout = std::move(plan.value().layout);
   } else {
     Result<MergeOutcome> merged = merger->Merge(*instance.ctx, model);
     if (!merged.ok()) {
@@ -234,7 +250,9 @@ int Run(const Args& args) {
   explainer.AddLabel("estimator", "uniform");
   if (shards > 1) {
     explainer.AddLabel("shards", std::to_string(shards));
+    explainer.AddLabel("assign", assign_name);
     explainer.set_shard_attribution(&group_shard);
+    explainer.set_shard_layout(&layout);
   }
   explainer.set_initial_cost(model.InitialCost(*instance.ctx));
   explainer.set_refinement(outcome.bounds_refined, outcome.bounds_pruned);
