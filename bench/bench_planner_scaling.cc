@@ -373,10 +373,16 @@ int RunShards(bool smoke, bool big, const std::vector<ShardAssign>& assigns) {
                       std::to_string(cell.seam_groups),
                       std::to_string(cell.seam_merges),
                       speedup > 0.0 ? Fmt(speedup, "%.2fx") : ""});
-        const std::string key = "n" + std::to_string(n) + "." +
-                                AssignName(cell.assign) + ".s" +
-                                std::to_string(shards) + ".t" +
-                                std::to_string(threads);
+        // Built with append rather than chained operator+ to sidestep a
+        // spurious GCC 12 -Wrestrict diagnostic on the inlined concat.
+        std::string key = "n";
+        key += std::to_string(n);
+        key += ".";
+        key += AssignName(cell.assign);
+        key += ".s";
+        key += std::to_string(shards);
+        key += ".t";
+        key += std::to_string(threads);
         report.AddScalar(key + ".ms", cell.ms);
         report.AddScalar(key + ".cost", cell.cost);
         report.AddScalar(key + ".imbalance", cell.imbalance);

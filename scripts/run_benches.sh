@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
 # Runs every figure-reproduction and ablation binary.
 #
-#   - Combined text output -> bench_output.txt (the EXPERIMENTS.md
-#     evidence file), or $1.
+#   - Combined text output -> bench_reports/bench_output.txt (the
+#     EXPERIMENTS.md evidence file), or $1.
 #   - Per-binary structured reports -> bench_reports/<name>.json (each
 #     binary gets QSP_BENCH_REPORT pointed there; see bench/bench_common.h),
-#     merged into bench_report.json, or $2.
+#     merged into bench_reports/bench_report.json, or $2.
 #   - Per-binary wall time is printed and appended to the text output.
 #   - Exits nonzero if any binary fails; `tee` no longer masks exit codes
 #     (pipefail + explicit status checks).
+#
+# Everything lands under bench_reports/ (gitignored) by default so bench
+# runs never drop scratch files at the repo root.
 set -uo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-bench_output.txt}"
-combined="${2:-bench_report.json}"
 report_dir="${QSP_BENCH_REPORT_DIR:-bench_reports}"
-: > "$out"
+out="${1:-$report_dir/bench_output.txt}"
+combined="${2:-$report_dir/bench_report.json}"
 mkdir -p "$report_dir"
+: > "$out"
 
 failures=0
 for b in build/bench/*; do
@@ -42,6 +45,9 @@ done
   first=1
   for f in "$report_dir"/*.json; do
     [ -e "$f" ] || continue
+    # The merged report may live in $report_dir too; never merge a
+    # previous combined file into itself.
+    [ "$f" = "$combined" ] && continue
     [ "$first" -eq 1 ] || printf ','
     first=0
     # JSON-escape the key: bench basenames are tame today, but a stray

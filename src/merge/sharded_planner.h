@@ -8,7 +8,6 @@
 #include "merge/merger.h"
 #include "merge/shard_assign.h"
 #include "query/merge_context.h"
-#include "query/query.h"
 #include "util/status.h"
 
 namespace qsp {

@@ -139,9 +139,16 @@ std::string Predicate::ToString() const {
     case Kind::kCompare:
       return column_ + " " + OpName(op_) + " " + ValueToString(constant_);
     case Kind::kAnd:
-      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
-    case Kind::kOr:
-      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kOr: {
+      // Built with append rather than chained operator+ to sidestep a
+      // spurious GCC 12 -Wrestrict diagnostic on the inlined concat.
+      std::string out = "(";
+      out += left_->ToString();
+      out += kind_ == Kind::kAnd ? " AND " : " OR ";
+      out += right_->ToString();
+      out += ")";
+      return out;
+    }
     case Kind::kNot:
       return "NOT " + left_->ToString();
   }

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "geom/rect.h"
-#include "util/status.h"
 
 namespace qsp {
 

@@ -6,8 +6,6 @@
 
 #include "cost/cost_model.h"
 #include "geom/rect.h"
-#include "query/merge_procedure.h"
-#include "query/query.h"
 #include "util/status.h"
 #include "workload/query_gen.h"
 

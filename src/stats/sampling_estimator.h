@@ -5,7 +5,7 @@
 
 #include "geom/point.h"
 #include "geom/rect.h"
-#include "relation/table.h"
+#include "relation/table.h"  // qsp-lint: allow(layer-back-edge) estimators summarize the relation they sample; read-only upward dependency, acyclic by construction
 #include "stats/size_estimator.h"
 #include "util/rng.h"
 

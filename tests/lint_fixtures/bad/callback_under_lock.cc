@@ -1,0 +1,28 @@
+// Known-bad fixture: a stored std::function invoked while the owning
+// object's mutex is held — the PR 8 bug class. The callee is arbitrary
+// user code that can call back into Notifier and deadlock.
+// tests/audit_test.cc pins the exact (line, rule) pairs; keep line
+// numbers in sync when editing.
+#include <functional>
+#include <mutex>
+
+namespace qsp {
+
+class Notifier {
+ public:
+  void SetCallback(std::function<void()> cb) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb_ = std::move(cb);
+  }
+
+  void Fire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb_();  // line 20: callback invoked with mu_ held
+  }
+
+ private:
+  std::mutex mu_;
+  std::function<void()> cb_;
+};
+
+}  // namespace qsp

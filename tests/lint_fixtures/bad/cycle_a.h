@@ -1,0 +1,15 @@
+// Known-bad fixture: one half of a header cycle. tests/audit_test.cc
+// lints this as src/util/cycle_a.h together with cycle_b.h; the pair
+// forms an include cycle a -> b -> a. Keep line numbers in sync.
+#ifndef QSP_LINT_FIXTURE_CYCLE_A_H_
+#define QSP_LINT_FIXTURE_CYCLE_A_H_
+
+#include "util/cycle_b.h"  // line 7: closes the cycle
+
+namespace qsp {
+struct CycleA {
+  CycleB* peer;
+};
+}  // namespace qsp
+
+#endif  // QSP_LINT_FIXTURE_CYCLE_A_H_

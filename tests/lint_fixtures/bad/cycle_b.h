@@ -1,0 +1,14 @@
+// Known-bad fixture: the other half of the header cycle with cycle_a.h.
+#ifndef QSP_LINT_FIXTURE_CYCLE_B_H_
+#define QSP_LINT_FIXTURE_CYCLE_B_H_
+
+#include "util/cycle_a.h"
+
+namespace qsp {
+struct CycleA;
+struct CycleB {
+  CycleA* peer;
+};
+}  // namespace qsp
+
+#endif  // QSP_LINT_FIXTURE_CYCLE_B_H_

@@ -1,0 +1,11 @@
+// Known-bad fixture: linted with the corpus path src/geom/uses_merge.cc
+// (tests/audit_test.cc assigns the path), so this include reaches UP the
+// layer DAG from geom (rank 10) into merge (rank 40) — a layering
+// back-edge. Keep line numbers in sync with audit_test.cc.
+#include "merge/planner_stub.h"  // line 5: geom -> merge back-edge
+
+namespace qsp {
+
+double UsesMergeFromGeom() { return PlannerStubCost(); }
+
+}  // namespace qsp

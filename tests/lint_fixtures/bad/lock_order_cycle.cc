@@ -1,0 +1,30 @@
+// Known-bad fixture: classic two-mutex deadlock. Transfer() locks a_
+// then b_; Audit() locks b_ then a_ — the lock-order graph has the
+// cycle A::a_ -> A::b_ -> A::a_. tests/audit_test.cc pins the exact
+// (line, rule) pairs below; keep line numbers in sync when editing.
+#include <mutex>
+
+namespace qsp {
+
+class Ledger {
+ public:
+  void Transfer() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);  // line 13: edge a_ -> b_
+    ++balance_;
+  }
+
+  void Audit() {
+    std::lock_guard<std::mutex> lb(b_);
+    std::lock_guard<std::mutex> la(a_);  // line 19: edge b_ -> a_
+    ++checks_;
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  int balance_ = 0;
+  int checks_ = 0;
+};
+
+}  // namespace qsp

@@ -1,0 +1,12 @@
+// Known-bad fixture: includes a project header but references none of
+// the names it (or anything it includes) provides — dead weight the
+// unused-include rule reports. tests/audit_test.cc lints this as
+// src/util/unused.cc against a stub src/util/helper.h. Keep line
+// numbers in sync.
+#include "util/helper.h"  // line 6: nothing from helper.h is used
+
+namespace qsp {
+
+int Twice(int x) { return 2 * x; }
+
+}  // namespace qsp

@@ -1,0 +1,12 @@
+// Known-good fixture: a downward include (util, rank 0, from a geom
+// file at rank 10) whose provided names are actually used — none of the
+// include rules fire. tests/audit_test.cc lints this as
+// src/geom/uses_util.cc against a stub src/util/helper.h that declares
+// HelperValue.
+#include "util/helper.h"
+
+namespace qsp {
+
+int UsesHelper() { return HelperValue(); }
+
+}  // namespace qsp

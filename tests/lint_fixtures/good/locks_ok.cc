@@ -1,0 +1,57 @@
+// Known-good fixture: correct lock discipline that superficially
+// resembles the bad corpus. Both methods take a_ before b_ (consistent
+// global order, no cycle), and the callback is copied out and invoked
+// AFTER the guard releases the mutex — the post-PR 8 pattern
+// LivePlanManager::ProcessBatch uses. tests/audit_test.cc asserts the
+// audit is zero-finding here.
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace qsp {
+
+class Ledger {
+ public:
+  void Transfer() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+    ++balance_;
+  }
+
+  void Audit() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+    ++checks_;
+  }
+
+  void SetCallback(std::function<void()> cb) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb_ = std::move(cb);
+  }
+
+  void Fire() {
+    std::function<void()> cb;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cb = cb_;
+    }
+    if (cb) cb();  // mutex already released: not a finding
+  }
+
+  void FireUnlockStyle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto cb = cb_;
+    lock.unlock();
+    if (cb) cb();  // guard explicitly unlocked first: not a finding
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  std::mutex mu_;
+  std::function<void()> cb_;
+  int balance_ = 0;
+  int checks_ = 0;
+};
+
+}  // namespace qsp

@@ -78,7 +78,10 @@ TEST(ClassifyPath, MapsDirectoriesToKinds) {
   EXPECT_EQ(FileKind::kLibrary, ClassifyPath("src/merge/pair_merger.cc"));
   EXPECT_EQ(FileKind::kLibraryObs, ClassifyPath("src/obs/metrics.cc"));
   EXPECT_EQ(FileKind::kOther, ClassifyPath("tests/planner_test.cc"));
-  EXPECT_EQ(FileKind::kOther, ClassifyPath("bench/bench_merge.cc"));
+  EXPECT_EQ(FileKind::kBench, ClassifyPath("bench/bench_merge.cc"));
+  EXPECT_EQ(FileKind::kBench, ClassifyPath("/root/repo/bench/bench_fig15.cc"));
+  EXPECT_EQ(FileKind::kScript, ClassifyPath("scripts/gen_tables.cc"));
+  EXPECT_EQ(FileKind::kScript, ClassifyPath("/ws/scripts/harness.h"));
   EXPECT_EQ(FileKind::kOther, ClassifyPath("tools/qsp_demo/main.cc"));
 }
 

@@ -8,7 +8,7 @@
 namespace qsp {
 namespace lint {
 
-namespace {
+namespace text {
 
 bool IsWordChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -16,8 +16,6 @@ bool IsWordChar(char c) {
 
 bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
 
-/// True when content[pos, pos+word.size()) is `word` with non-word
-/// characters (or the buffer edge) on both sides.
 bool WordAt(const std::string& s, size_t pos, const std::string& word) {
   if (s.compare(pos, word.size(), word) != 0) return false;
   if (pos > 0 && IsWordChar(s[pos - 1])) return false;
@@ -30,7 +28,6 @@ size_t SkipSpaces(const std::string& s, size_t pos) {
   return pos;
 }
 
-/// Reads an identifier at pos; returns empty if none.
 std::string ReadIdent(const std::string& s, size_t pos) {
   size_t end = pos;
   while (end < s.size() && IsWordChar(s[end])) ++end;
@@ -40,10 +37,20 @@ std::string ReadIdent(const std::string& s, size_t pos) {
   return s.substr(pos, end - pos);
 }
 
-/// 1-based line number of a buffer offset.
 int LineOf(const std::string& s, size_t pos) {
   return 1 + static_cast<int>(std::count(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
 }
+
+}  // namespace text
+
+namespace {
+
+using text::IsSpace;
+using text::IsWordChar;
+using text::LineOf;
+using text::ReadIdent;
+using text::SkipSpaces;
+using text::WordAt;
 
 /// Skips a balanced template-argument list starting at the '<' at `pos`;
 /// returns the offset one past the matching '>'. Understands '>>' closing
@@ -86,8 +93,8 @@ bool IsStatementKeyword(const std::string& word) {
   return false;
 }
 
-/// Per-line `// qsp-lint: allow(rule, rule)` markers, parsed from the RAW
-/// content (they live inside comments, which the stripped text loses).
+}  // namespace
+
 std::map<int, std::set<std::string>> CollectAllowMarkers(
     const std::string& raw) {
   std::map<int, std::set<std::string>> allows;
@@ -120,6 +127,8 @@ std::map<int, std::set<std::string>> CollectAllowMarkers(
   }
   return allows;
 }
+
+namespace {
 
 /// Shared per-file scanning state.
 struct FileScan {
@@ -713,6 +722,8 @@ FileKind ClassifyPath(const std::string& path) {
   };
   if (contains("src/obs/") || starts_with("obs/")) return FileKind::kLibraryObs;
   if (contains("/src/") || starts_with("src/")) return FileKind::kLibrary;
+  if (contains("/bench/") || starts_with("bench/")) return FileKind::kBench;
+  if (contains("/scripts/") || starts_with("scripts/")) return FileKind::kScript;
   return FileKind::kOther;
 }
 

@@ -1,6 +1,7 @@
 #ifndef QSP_TOOLS_LINT_LINT_H_
 #define QSP_TOOLS_LINT_LINT_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -64,8 +65,15 @@ enum class FileKind {
   /// Library code under src/obs/ — the telemetry layer; exempt from
   /// `nondeterminism` (it owns the process's clocks) but nothing else.
   kLibraryObs,
-  /// Tests, benches, tools, examples — only `discarded-status` applies
-  /// (benches legitimately time things and print to stdout).
+  /// Benchmark sources under bench/ — only `discarded-status` applies
+  /// (benches legitimately time things and print to stdout), but the
+  /// whole-program audit still includes them in the include graph.
+  kBench,
+  /// Sources emitted or driven by scripts/ (generated tables, harness
+  /// stubs). Same rule scope as kBench; classified explicitly so the
+  /// audit can attribute findings to the generator, not the output.
+  kScript,
+  /// Tests, tools, examples — only `discarded-status` applies.
   kOther,
 };
 
@@ -87,8 +95,8 @@ struct Finding {
 };
 
 /// Classifies a path by its directory: src/obs/ -> kLibraryObs, src/ ->
-/// kLibrary, everything else -> kOther. Path separators may be '/' only
-/// (the tree is linted in-repo).
+/// kLibrary, bench/ -> kBench, scripts/ -> kScript, everything else ->
+/// kOther. Path separators may be '/' only (the tree is linted in-repo).
 FileKind ClassifyPath(const std::string& path);
 
 /// Scans every file for function declarations returning qsp::Status or
@@ -110,6 +118,29 @@ std::vector<Finding> LintFiles(const std::vector<SourceFile>& files);
 /// replacing them with spaces (newlines preserved, so line numbers and
 /// column positions survive). Exposed for tests.
 std::string StripCommentsAndStrings(const std::string& content);
+
+/// Per-line `// qsp-lint: allow(rule, rule)` suppression markers, parsed
+/// from the RAW file content (they live inside comments, which the
+/// stripped text loses). Shared by the per-file rules and the
+/// whole-program audit (audit.h), so one suppression syntax covers both.
+std::map<int, std::set<std::string>> CollectAllowMarkers(
+    const std::string& raw);
+
+/// Shared token utilities for the audit modules (include_graph.cc,
+/// lock_graph.cc). They operate on comment/string-stripped text.
+namespace text {
+bool IsWordChar(char c);
+bool IsSpace(char c);
+/// True when content[pos, pos+word.size()) is `word` with non-word
+/// characters (or the buffer edge) on both sides.
+bool WordAt(const std::string& s, size_t pos, const std::string& word);
+size_t SkipSpaces(const std::string& s, size_t pos);
+/// Reads an identifier at pos; returns empty if none (or it starts with
+/// a digit).
+std::string ReadIdent(const std::string& s, size_t pos);
+/// 1-based line number of a buffer offset.
+int LineOf(const std::string& s, size_t pos);
+}  // namespace text
 
 }  // namespace lint
 }  // namespace qsp

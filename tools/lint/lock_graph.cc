@@ -1,0 +1,1355 @@
+#include "lint/lock_graph.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qsp {
+namespace lint {
+namespace {
+
+using text::IsSpace;
+using text::IsWordChar;
+using text::LineOf;
+using text::ReadIdent;
+using text::SkipSpaces;
+using text::WordAt;
+
+bool IsMutexTypeWord(const std::string& w) {
+  return w == "mutex" || w == "recursive_mutex" || w == "shared_mutex" ||
+         w == "timed_mutex" || w == "recursive_timed_mutex" ||
+         w == "shared_timed_mutex";
+}
+
+bool IsGuardTypeWord(const std::string& w) {
+  return w == "lock_guard" || w == "unique_lock" || w == "scoped_lock" ||
+         w == "shared_lock";
+}
+
+bool IsAnnotationMacro(const std::string& w) {
+  return w == "QSP_GUARDED_BY" || w == "QSP_PT_GUARDED_BY" ||
+         w == "QSP_REQUIRES" || w == "QSP_EXCLUDES" ||
+         w == "QSP_ACQUIRED_BEFORE" || w == "QSP_ACQUIRED_AFTER";
+}
+
+bool IsFnSpecifierWord(const std::string& w) {
+  return w == "const" || w == "noexcept" || w == "override" || w == "final" ||
+         w == "mutable" || w == "volatile" || w == "throw" || w == "try";
+}
+
+// Keywords that look like `name(` but are never calls or function names.
+bool IsControlKeyword(const std::string& w) {
+  return w == "if" || w == "else" || w == "for" || w == "while" ||
+         w == "do" || w == "switch" || w == "case" || w == "return" ||
+         w == "sizeof" || w == "alignof" || w == "typeid" || w == "new" ||
+         w == "delete" || w == "throw" || w == "catch" ||
+         w == "static_cast" || w == "dynamic_cast" || w == "const_cast" ||
+         w == "reinterpret_cast" || w == "decltype" || w == "not" ||
+         w == "and" || w == "or" || w == "defined" || w == "assert";
+}
+
+// ---------------------------------------------------------------------------
+// Cursor helpers over stripped text.
+// ---------------------------------------------------------------------------
+
+// i at '#': skips the preprocessor line, honoring backslash continuations.
+size_t SkipPreprocLine(const std::string& s, size_t i) {
+  while (i < s.size()) {
+    size_t eol = s.find('\n', i);
+    if (eol == std::string::npos) return s.size();
+    size_t back = eol;
+    while (back > i && IsSpace(s[back - 1]) && s[back - 1] != '\n') --back;
+    if (back > i && s[back - 1] == '\\') {
+      i = eol + 1;  // continued line
+      continue;
+    }
+    return eol + 1;
+  }
+  return i;
+}
+
+// i at `open`: returns the index just past the matching `close` (or n).
+size_t SkipBalanced(const std::string& s, size_t i, char open, char close) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == open) {
+      ++depth;
+    } else if (s[i] == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return i;
+}
+
+// i at '<': skips a template argument list, tolerant of nested <> and the
+// `->` token. Only called where an argument list is syntactically expected.
+size_t SkipAngles(const std::string& s, size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      if (i > 0 && s[i - 1] == '-') continue;  // `->`
+      if (--depth == 0) return i + 1;
+    } else if (c == ';' || c == '{') {
+      return i;  // malformed / not really a template list — bail
+    }
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus: everything harvested before body analysis.
+// ---------------------------------------------------------------------------
+
+struct FnAnnotations {
+  std::string cls;  // class context the expressions resolve in
+  std::vector<std::string> requires_exprs;
+  std::vector<std::string> excludes_exprs;
+};
+
+struct BodyInfo {
+  int file_index = 0;
+  std::string cls;                       // qualifying / enclosing class
+  std::vector<std::string> class_stack;  // innermost last, for resolution
+  std::string name;
+  size_t begin = 0, end = 0;  // [begin,end) between the body braces
+  std::vector<std::string> callable_params;
+};
+
+struct Corpus {
+  const std::vector<SourceFile>* files = nullptr;
+  std::vector<std::string> stripped;
+  // class name -> mutex member names / callback (std::function) members.
+  std::map<std::string, std::set<std::string>> class_mutexes;
+  std::map<std::string, std::set<std::string>> class_callables;
+  // member name -> declaring classes, for `obj.mu` resolution.
+  std::map<std::string, std::set<std::string>> mutex_owners;
+  std::set<std::string> file_scope_mutexes;  // stored as "::name"
+  // "Cls::F" or "F" -> annotations from any declaration or definition.
+  std::map<std::string, FnAnnotations> annotations;
+  std::vector<BodyInfo> bodies;
+};
+
+// Splits a parenthesized argument list body on top-level commas.
+std::vector<std::string> SplitArgs(const std::string& s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  for (auto& a : out) {
+    size_t b = 0, e = a.size();
+    while (b < e && IsSpace(a[b])) ++b;
+    while (e > b && IsSpace(a[e - 1])) --e;
+    a = a.substr(b, e - b);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural scan: classes, mutex/callback members, function bodies.
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kBlock } kind;
+  std::string name;
+};
+
+class StructScanner {
+ public:
+  StructScanner(int file_index, const std::string& s, Corpus* corpus)
+      : file_(file_index), s_(s), corpus_(corpus) {}
+
+  void Run() {
+    size_t i = 0;
+    bool tilde = false;
+    while (i < s_.size()) {
+      char c = s_[i];
+      if (IsSpace(c)) {
+        ++i;
+      } else if (c == '#') {
+        i = SkipPreprocLine(s_, i);
+      } else if (c == '{') {
+        scopes_.push_back({Scope::kBlock, ""});
+        ++i;
+      } else if (c == '}') {
+        if (!scopes_.empty()) scopes_.pop_back();
+        ++i;
+      } else if (c == '=') {
+        i = SkipInitializer(i);
+      } else if (c == '~') {
+        tilde = true;
+        ++i;
+        continue;
+      } else if (c == '[') {
+        i = (i + 1 < s_.size() && s_[i + 1] == '[') ? SkipAttribute(i) : i + 1;
+      } else if (IsWordChar(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+        i = HandleWord(i, tilde);
+      } else {
+        ++i;
+      }
+      tilde = false;
+    }
+  }
+
+ private:
+  std::string EnclosingClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->kind == Scope::kClass) return it->name;
+    return "";
+  }
+
+  std::vector<std::string> ClassStack() const {
+    std::vector<std::string> out;
+    for (const Scope& sc : scopes_)
+      if (sc.kind == Scope::kClass && !sc.name.empty()) out.push_back(sc.name);
+    return out;
+  }
+
+  size_t SkipAttribute(size_t i) {  // i at "[["
+    size_t e = s_.find("]]", i);
+    return e == std::string::npos ? s_.size() : e + 2;
+  }
+
+  // i at '=': skip to the terminating ';' balancing braces and parens, so
+  // initializers (including lambdas in them) never reach the scanner.
+  size_t SkipInitializer(size_t i) {
+    int depth = 0;
+    for (; i < s_.size(); ++i) {
+      char c = s_[i];
+      if (c == '(' || c == '{' || c == '[') ++depth;
+      if (c == ')' || c == '}' || c == ']') --depth;
+      if (c == ';' && depth <= 0) return i + 1;
+    }
+    return i;
+  }
+
+  size_t HandleWord(size_t i, bool tilde);
+  size_t HandleNamespace(size_t i);
+  size_t HandleClass(size_t i);
+  size_t HandleEnum(size_t i);
+  size_t HandleMutexDecl(size_t i, const std::string& type_word);
+  size_t HandleCallableDecl(size_t i);
+  size_t HandleOperator(size_t i);
+  size_t HandleFunctionCandidate(size_t i, bool tilde);
+
+  int file_;
+  const std::string& s_;
+  Corpus* corpus_;
+  std::vector<Scope> scopes_;
+};
+
+size_t StructScanner::HandleWord(size_t i, bool tilde) {
+  std::string w = ReadIdent(s_, i);
+  size_t after = i + w.size();
+  if (w == "namespace") return HandleNamespace(after);
+  if (w == "template") {
+    size_t j = SkipSpaces(s_, after);
+    return (j < s_.size() && s_[j] == '<') ? SkipAngles(s_, j) : after;
+  }
+  if (w == "using" || w == "typedef" || w == "friend" ||
+      w == "static_assert") {
+    size_t e = s_.find(';', after);
+    return e == std::string::npos ? s_.size() : e + 1;
+  }
+  if (w == "enum") return HandleEnum(after);
+  if (w == "class" || w == "struct" || w == "union") return HandleClass(after);
+  if (w == "operator") return HandleOperator(after);
+  if (IsMutexTypeWord(w)) return HandleMutexDecl(after, w);
+  if (w == "function") return HandleCallableDecl(after);
+  if (IsAnnotationMacro(w)) {
+    size_t j = SkipSpaces(s_, after);
+    return (j < s_.size() && s_[j] == '(') ? SkipBalanced(s_, j, '(', ')')
+                                           : after;
+  }
+  return HandleFunctionCandidate(i, tilde);
+}
+
+size_t StructScanner::HandleNamespace(size_t i) {
+  size_t j = SkipSpaces(s_, i);
+  std::string name;
+  while (j < s_.size()) {
+    std::string part = ReadIdent(s_, j);
+    if (part.empty()) break;
+    name = part;
+    j = SkipSpaces(s_, j + part.size());
+    if (j + 1 < s_.size() && s_[j] == ':' && s_[j + 1] == ':') {
+      j = SkipSpaces(s_, j + 2);
+      continue;
+    }
+    break;
+  }
+  if (j < s_.size() && s_[j] == '{') {
+    scopes_.push_back({Scope::kNamespace, name});
+    return j + 1;
+  }
+  if (j < s_.size() && s_[j] == '=') {  // namespace alias
+    size_t e = s_.find(';', j);
+    return e == std::string::npos ? s_.size() : e + 1;
+  }
+  return j;
+}
+
+size_t StructScanner::HandleClass(size_t i) {
+  size_t j = SkipSpaces(s_, i);
+  // Skip attribute-style macros between the keyword and the name.
+  std::string name = ReadIdent(s_, j);
+  if (IsAnnotationMacro(name)) {
+    j = SkipSpaces(s_, j + name.size());
+    if (j < s_.size() && s_[j] == '(') j = SkipBalanced(s_, j, '(', ')');
+    j = SkipSpaces(s_, j);
+    name = ReadIdent(s_, j);
+  }
+  j += name.size();
+  // Scan forward to ';' (declaration / variable of elaborated type) or the
+  // class body '{', skipping template argument lists in base clauses.
+  while (j < s_.size()) {
+    char c = s_[j];
+    if (c == ';') return j + 1;
+    if (c == '<') {
+      j = SkipAngles(s_, j);
+      continue;
+    }
+    if (c == '(') {  // `struct X foo(...)` — not a class body
+      return j;
+    }
+    if (c == '{') {
+      scopes_.push_back({Scope::kClass, name});
+      return j + 1;
+    }
+    if (c == '=') return j;  // `struct X v = ...`
+    ++j;
+  }
+  return j;
+}
+
+size_t StructScanner::HandleEnum(size_t i) {
+  // Consume through the optional body and the trailing ';'.
+  size_t j = i;
+  while (j < s_.size() && s_[j] != ';' && s_[j] != '{') ++j;
+  if (j < s_.size() && s_[j] == '{') j = SkipBalanced(s_, j, '{', '}');
+  while (j < s_.size() && s_[j] != ';') ++j;
+  return j < s_.size() ? j + 1 : j;
+}
+
+size_t StructScanner::HandleMutexDecl(size_t i, const std::string&) {
+  size_t j = SkipSpaces(s_, i);
+  if (j < s_.size() && (s_[j] == '*' || s_[j] == '&' || s_[j] == '<' ||
+                        s_[j] == '>' || s_[j] == ')'))
+    return j;  // pointer/ref decl or template-argument position
+  std::string name = ReadIdent(s_, j);
+  if (name.empty()) return j;
+  j = SkipSpaces(s_, j + name.size());
+  // Tolerate thread-safety annotations between the name and the terminator.
+  while (j < s_.size()) {
+    std::string w = ReadIdent(s_, j);
+    if (!IsAnnotationMacro(w)) break;
+    j = SkipSpaces(s_, j + w.size());
+    if (j < s_.size() && s_[j] == '(') j = SkipBalanced(s_, j, '(', ')');
+    j = SkipSpaces(s_, j);
+  }
+  if (j >= s_.size() || (s_[j] != ';' && s_[j] != '=' && s_[j] != '{'))
+    return j;
+  std::string cls = EnclosingClass();
+  if (cls.empty()) {
+    corpus_->file_scope_mutexes.insert("::" + name);
+  } else {
+    corpus_->class_mutexes[cls].insert(name);
+    corpus_->mutex_owners[name].insert(cls);
+  }
+  return j;
+}
+
+size_t StructScanner::HandleCallableDecl(size_t i) {
+  size_t j = SkipSpaces(s_, i);
+  if (j >= s_.size() || s_[j] != '<') return j;  // not std::function<...>
+  j = SkipSpaces(s_, SkipAngles(s_, j));
+  while (j < s_.size() && (s_[j] == '*' || s_[j] == '&')) j = SkipSpaces(s_, j + 1);
+  std::string name = ReadIdent(s_, j);
+  if (name.empty() || name == "const") return j;
+  j = SkipSpaces(s_, j + name.size());
+  while (j < s_.size()) {
+    std::string w = ReadIdent(s_, j);
+    if (!IsAnnotationMacro(w)) break;
+    j = SkipSpaces(s_, j + w.size());
+    if (j < s_.size() && s_[j] == '(') j = SkipBalanced(s_, j, '(', ')');
+    j = SkipSpaces(s_, j);
+  }
+  if (j >= s_.size() || (s_[j] != ';' && s_[j] != '=' && s_[j] != '{'))
+    return j;
+  std::string cls = EnclosingClass();
+  corpus_->class_callables[cls].insert(name);
+  return j;
+}
+
+size_t StructScanner::HandleOperator(size_t i) {
+  // Skip the declarator; consume a body if one follows.
+  size_t j = i;
+  while (j < s_.size() && s_[j] != ';' && s_[j] != '{') ++j;
+  if (j < s_.size() && s_[j] == '{') return SkipBalanced(s_, j, '{', '}');
+  return j < s_.size() ? j + 1 : j;
+}
+
+// Parameter-list scan for std::function-typed parameters (callbacks).
+std::vector<std::string> CallableParamNames(const std::string& params) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < params.size()) {
+    if (!IsWordChar(params[i])) {
+      ++i;
+      continue;
+    }
+    std::string w = ReadIdent(params, i);
+    size_t j = i + std::max<size_t>(w.size(), 1);
+    if (w == "function") {
+      j = SkipSpaces(params, j);
+      if (j < params.size() && params[j] == '<') {
+        j = SkipSpaces(params, SkipAngles(params, j));
+        while (j < params.size() &&
+               (params[j] == '*' || params[j] == '&' || IsSpace(params[j])))
+          ++j;
+        std::string name = ReadIdent(params, j);
+        if (name == "const") {
+          j = SkipSpaces(params, j + name.size());
+          name = ReadIdent(params, j);
+        }
+        if (!name.empty()) out.push_back(name);
+        j += name.size();
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+size_t StructScanner::HandleFunctionCandidate(size_t i, bool tilde) {
+  std::string w = ReadIdent(s_, i);
+  if (w.empty()) return i + 1;
+  size_t after = i + w.size();
+  if (IsControlKeyword(w)) return after;
+  std::string qualifier;
+  std::string name = (tilde ? "~" : "") + w;
+  size_t j = SkipSpaces(s_, after);
+  if (j < s_.size() && s_[j] == '<') {
+    size_t k = SkipSpaces(s_, SkipAngles(s_, j));
+    if (!(k + 1 < s_.size() && s_[k] == ':' && s_[k + 1] == ':')) return after;
+    j = k;
+  }
+  while (j + 1 < s_.size() && s_[j] == ':' && s_[j + 1] == ':') {
+    j = SkipSpaces(s_, j + 2);
+    bool dtor = false;
+    if (j < s_.size() && s_[j] == '~') {
+      dtor = true;
+      j = SkipSpaces(s_, j + 1);
+    }
+    std::string part = ReadIdent(s_, j);
+    if (part.empty()) return after;
+    qualifier = name;
+    name = (dtor ? "~" : "") + part;
+    j += part.size();
+    if (j < s_.size() && s_[j] == '<') j = SkipAngles(s_, j);
+    j = SkipSpaces(s_, j);
+  }
+  if (j >= s_.size() || s_[j] != '(') return after;
+
+  size_t params_open = j;
+  size_t params_end = SkipBalanced(s_, j, '(', ')');
+  if (params_end <= params_open + 1) return after;
+  std::vector<std::string> callable_params = CallableParamNames(
+      s_.substr(params_open + 1, params_end - params_open - 2));
+
+  // Trailer: cv-qualifiers, annotations, trailing return, ctor init list —
+  // until the body '{', a declaration ';', or something that proves this
+  // was never a function.
+  size_t k = params_end;
+  FnAnnotations ann;
+  bool have_body = false, bail = false;
+  size_t body_open = 0;
+  while (k < s_.size()) {
+    k = SkipSpaces(s_, k);
+    if (k >= s_.size()) break;
+    char c = s_[k];
+    if (c == ';') {
+      ++k;
+      break;
+    }
+    if (c == '{') {
+      have_body = true;
+      body_open = k;
+      break;
+    }
+    if (c == '=') {  // = default / = delete / = 0
+      size_t e = s_.find(';', k);
+      k = e == std::string::npos ? s_.size() : e + 1;
+      break;
+    }
+    if (c == '-' && k + 1 < s_.size() && s_[k + 1] == '>') {
+      k += 2;
+      while (k < s_.size() && s_[k] != '{' && s_[k] != ';') {
+        if (s_[k] == '<')
+          k = SkipAngles(s_, k);
+        else if (s_[k] == '(')
+          k = SkipBalanced(s_, k, '(', ')');
+        else
+          ++k;
+      }
+      continue;
+    }
+    if (c == ':') {  // ctor init list
+      k = SkipSpaces(s_, k + 1);
+      while (k < s_.size()) {
+        while (k < s_.size()) {  // member/base name, possibly qualified
+          std::string part = ReadIdent(s_, k);
+          if (part.empty()) break;
+          k += part.size();
+          if (k < s_.size() && s_[k] == '<') k = SkipAngles(s_, k);
+          if (k + 1 < s_.size() && s_[k] == ':' && s_[k + 1] == ':') {
+            k += 2;
+            continue;
+          }
+          break;
+        }
+        k = SkipSpaces(s_, k);
+        if (k < s_.size() && s_[k] == '(')
+          k = SkipBalanced(s_, k, '(', ')');
+        else if (k < s_.size() && s_[k] == '{')
+          k = SkipBalanced(s_, k, '{', '}');
+        else {
+          bail = true;
+          break;
+        }
+        k = SkipSpaces(s_, k);
+        if (k < s_.size() && s_[k] == ',') {
+          k = SkipSpaces(s_, k + 1);
+          continue;
+        }
+        break;
+      }
+      if (bail) break;
+      continue;
+    }
+    if (c == '&') {  // ref-qualifier
+      ++k;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      std::string w2 = ReadIdent(s_, k);
+      if (w2.empty()) {
+        bail = true;
+        break;
+      }
+      k += w2.size();
+      if (w2 == "QSP_REQUIRES" || w2 == "QSP_EXCLUDES") {
+        size_t p = SkipSpaces(s_, k);
+        if (p < s_.size() && s_[p] == '(') {
+          size_t pe = SkipBalanced(s_, p, '(', ')');
+          for (const std::string& a :
+               SplitArgs(s_.substr(p + 1, pe - p - 2))) {
+            if (w2 == "QSP_REQUIRES")
+              ann.requires_exprs.push_back(a);
+            else
+              ann.excludes_exprs.push_back(a);
+          }
+          k = pe;
+        }
+        continue;
+      }
+      if (IsFnSpecifierWord(w2) || IsAnnotationMacro(w2)) {
+        size_t p = SkipSpaces(s_, k);
+        if (p < s_.size() && s_[p] == '(' &&
+            (IsAnnotationMacro(w2) || w2 == "noexcept" || w2 == "throw"))
+          k = SkipBalanced(s_, p, '(', ')');
+        continue;
+      }
+      bail = true;
+      break;
+    }
+    bail = true;
+    break;
+  }
+  if (bail) return after;
+
+  std::string cls = !qualifier.empty() ? qualifier : EnclosingClass();
+  std::string key = cls.empty() ? name : cls + "::" + name;
+  if (!ann.requires_exprs.empty() || !ann.excludes_exprs.empty()) {
+    FnAnnotations& slot = corpus_->annotations[key];
+    slot.cls = cls;
+    slot.requires_exprs.insert(slot.requires_exprs.end(),
+                               ann.requires_exprs.begin(),
+                               ann.requires_exprs.end());
+    slot.excludes_exprs.insert(slot.excludes_exprs.end(),
+                               ann.excludes_exprs.begin(),
+                               ann.excludes_exprs.end());
+  }
+  if (!have_body) return std::max(k, after);
+
+  size_t body_close = SkipBalanced(s_, body_open, '{', '}');
+  BodyInfo b;
+  b.file_index = file_;
+  b.cls = cls;
+  b.class_stack = ClassStack();
+  if (!cls.empty() &&
+      (b.class_stack.empty() || b.class_stack.back() != cls))
+    b.class_stack.push_back(cls);
+  b.name = name;
+  b.begin = body_open + 1;
+  b.end = body_close > body_open ? body_close - 1 : body_open + 1;
+  b.callable_params = callable_params;
+  corpus_->bodies.push_back(b);
+  return body_close;
+}
+
+// ---------------------------------------------------------------------------
+// Lock id resolution.
+// ---------------------------------------------------------------------------
+
+struct ResolvedLock {
+  std::string id;              // "Class::member", "::name", or "?::name"
+  bool explicit_recv = false;  // acquired through a non-this receiver
+};
+
+ResolvedLock ResolveLockExpr(const std::string& expr,
+                             const std::vector<std::string>& class_stack,
+                             const Corpus& corpus) {
+  ResolvedLock r;
+  std::string t;
+  for (char c : expr)
+    if (!IsSpace(c)) t += c;
+  while (!t.empty() && (t[0] == '&' || t[0] == '*')) t.erase(0, 1);
+  if (t.rfind("this->", 0) == 0) t = t.substr(6);
+  size_t dot = t.find_last_of('.');
+  size_t arrow = t.rfind("->");
+  std::string recv, member = t;
+  if (arrow != std::string::npos &&
+      (dot == std::string::npos || arrow + 1 > dot)) {
+    recv = t.substr(0, arrow);
+    member = t.substr(arrow + 2);
+  } else if (dot != std::string::npos) {
+    recv = t.substr(0, dot);
+    member = t.substr(dot + 1);
+  }
+  if (member.empty() || !IsWordChar(member[0])) return r;  // unusable
+  if (recv.empty() || recv == "this") {
+    for (auto it = class_stack.rbegin(); it != class_stack.rend(); ++it) {
+      auto found = corpus.class_mutexes.find(*it);
+      if (found != corpus.class_mutexes.end() && found->second.count(member)) {
+        r.id = *it + "::" + member;
+        return r;
+      }
+    }
+    if (corpus.file_scope_mutexes.count("::" + member)) {
+      r.id = "::" + member;
+      return r;
+    }
+  } else {
+    r.explicit_recv = true;
+  }
+  auto owners = corpus.mutex_owners.find(member);
+  if (owners != corpus.mutex_owners.end() && owners->second.size() == 1) {
+    r.id = *owners->second.begin() + "::" + member;
+  } else {
+    r.id = "?::" + member;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Function summaries and the body walk.
+// ---------------------------------------------------------------------------
+
+struct CallSite {
+  std::string name;
+  bool has_recv = false;
+  std::vector<std::pair<std::string, bool>> held;  // (id, explicit_recv)
+  int file_index = 0;
+  size_t pos = 0;
+};
+
+struct Summary {
+  std::string key;   // "Cls::F", "F", or "<lambda>" (never resolvable)
+  std::string name;  // bare function name
+  std::vector<std::string> class_stack;
+  std::set<std::string> acquires;  // direct + annotated EXCLUDES
+  std::set<std::string> trans;     // fixpoint closure
+  bool invokes_cb = false;         // invokes a stored callback (any held set;
+                                   // locally-held cases are reported locally)
+  std::string cb_name;
+  bool trans_cb = false;  // some callee chain invokes a stored callback
+  std::string trans_cb_via;
+  std::vector<CallSite> calls;
+};
+
+struct EdgeKeyLess {
+  bool operator()(const std::pair<std::string, std::string>& a,
+                  const std::pair<std::string, std::string>& b) const {
+    return a < b;
+  }
+};
+using EdgeMap =
+    std::map<std::pair<std::string, std::string>, LockEdge, EdgeKeyLess>;
+
+class BodyAnalyzer {
+ public:
+  BodyAnalyzer(const Corpus& corpus, const BodyInfo& body,
+               std::vector<Summary>* summaries, EdgeMap* edges,
+               std::vector<Finding>* findings)
+      : corpus_(corpus),
+        body_(body),
+        s_(corpus.stripped[body.file_index]),
+        path_((*corpus.files)[body.file_index].path),
+        summaries_(summaries),
+        edges_(edges),
+        findings_(findings) {}
+
+  // Analyzes [body.begin, body.end); `initial_held` comes from
+  // QSP_REQUIRES on any declaration of this function. Appends this
+  // function's summary (and one per lambda inside it) to *summaries_.
+  void Run(const std::vector<std::string>& initial_held) {
+    Summary sum;
+    sum.key = body_.cls.empty() ? body_.name : body_.cls + "::" + body_.name;
+    sum.name = body_.name;
+    sum.class_stack = body_.class_stack;
+    for (const std::string& name : body_.callable_params)
+      local_callables_.insert(name);
+    for (const std::string& id : initial_held)
+      held_.push_back({id, false, -1, "", true});
+    sum_ = &sum;
+    Walk(body_.begin, body_.end);
+    summaries_->push_back(std::move(sum));
+  }
+
+ private:
+  struct Held {
+    std::string id;
+    bool explicit_recv = false;
+    int depth = 0;
+    std::string guard;  // guard variable, empty for manual lock()
+    bool active = true;
+  };
+
+  std::vector<std::pair<std::string, bool>> ActiveHeld() const {
+    std::vector<std::pair<std::string, bool>> out;
+    for (const Held& h : held_)
+      if (h.active) out.push_back({h.id, h.explicit_recv});
+    return out;
+  }
+
+  void AddEdge(const std::string& held, bool held_expl,
+               const std::string& acq, bool acq_expl, size_t pos) {
+    if (held == acq && (held_expl || acq_expl)) return;  // other instance
+    edges_->emplace(std::make_pair(held, acq),
+                    LockEdge{held, acq, path_, LineOf(s_, pos)});
+  }
+
+  void Acquire(const ResolvedLock& r, const std::string& guard, size_t pos,
+               bool active) {
+    if (r.id.empty()) return;
+    if (active) {
+      for (const auto& [id, expl] : ActiveHeld())
+        AddEdge(id, expl, r.id, r.explicit_recv, pos);
+      sum_->acquires.insert(r.id);
+    }
+    held_.push_back({r.id, r.explicit_recv, depth_, guard, active});
+  }
+
+  void ReportCallbackInvoke(const std::string& name, size_t pos) {
+    auto held = ActiveHeld();
+    if (held.empty()) {
+      sum_->invokes_cb = true;
+      if (sum_->cb_name.empty()) sum_->cb_name = name;
+      return;
+    }
+    std::string locks;
+    for (const auto& [id, expl] : held) {
+      (void)expl;
+      if (!locks.empty()) locks += ", ";
+      locks += id;
+    }
+    findings_->push_back(
+        {path_, LineOf(s_, pos), "callback-under-lock",
+         "stored callback `" + name + "` invoked while holding " + locks +
+             "; the callee is arbitrary user code that can re-enter the "
+             "locked object — copy it out and invoke after unlocking"});
+    sum_->invokes_cb = true;
+    if (sum_->cb_name.empty()) sum_->cb_name = name;
+  }
+
+  bool IsCallable(const std::string& name, bool has_recv) const {
+    if (local_callables_.count(name)) return true;
+    for (auto it = body_.class_stack.rbegin(); it != body_.class_stack.rend();
+         ++it) {
+      auto found = corpus_.class_callables.find(*it);
+      if (found != corpus_.class_callables.end() &&
+          found->second.count(name))
+        return true;
+    }
+    auto file_scope = corpus_.class_callables.find("");
+    if (file_scope != corpus_.class_callables.end() &&
+        file_scope->second.count(name))
+      return true;
+    if (has_recv) {
+      for (const auto& [cls, members] : corpus_.class_callables)
+        if (members.count(name)) return true;
+    }
+    return false;
+  }
+
+  bool PrevIsMemberAccess(size_t i) const {
+    size_t j = i;
+    while (j > body_.begin && IsSpace(s_[j - 1])) --j;
+    if (j <= body_.begin) return false;
+    if (s_[j - 1] == '.') return true;
+    return s_[j - 1] == '>' && j >= 2 && s_[j - 2] == '-';
+  }
+
+  bool IsLambdaIntro(size_t i) const {
+    size_t j = i;
+    while (j > body_.begin && IsSpace(s_[j - 1])) --j;
+    if (j <= body_.begin) return true;
+    char p = s_[j - 1];
+    return !(IsWordChar(p) || p == ')' || p == ']');
+  }
+
+  void Walk(size_t begin, size_t end);
+  size_t HandleLambda(size_t i, size_t end);
+  size_t HandleWord(size_t i, size_t end);
+  size_t HandleGuardDecl(const std::string& type_word, size_t i);
+  void HandleManualLockOp(const std::string& var, const std::string& op,
+                          size_t pos);
+
+  const Corpus& corpus_;
+  const BodyInfo& body_;
+  const std::string& s_;
+  const std::string& path_;
+  std::vector<Summary>* summaries_;
+  EdgeMap* edges_;
+  std::vector<Finding>* findings_;
+  Summary* sum_ = nullptr;
+  std::vector<Held> held_;
+  std::set<std::string> local_callables_;
+  std::set<std::string> local_mutexes_;
+  int depth_ = 0;
+};
+
+void BodyAnalyzer::Walk(size_t begin, size_t end) {
+  size_t i = begin;
+  while (i < end) {
+    char c = s_[i];
+    if (IsSpace(c)) {
+      ++i;
+    } else if (c == '#') {
+      i = SkipPreprocLine(s_, i);
+    } else if (c == '{') {
+      ++depth_;
+      ++i;
+    } else if (c == '}') {
+      --depth_;
+      held_.erase(std::remove_if(held_.begin(), held_.end(),
+                                 [&](const Held& h) {
+                                   return h.depth > depth_;
+                                 }),
+                  held_.end());
+      ++i;
+    } else if (c == '[') {
+      if (i + 1 < end && s_[i + 1] == '[') {
+        size_t e = s_.find("]]", i);
+        i = (e == std::string::npos || e >= end) ? i + 2 : e + 2;
+      } else if (IsLambdaIntro(i)) {
+        i = HandleLambda(i, end);
+      } else {
+        ++i;
+      }
+    } else if (c == '(') {
+      // `(*cb)(...)` — invocation through a dereferenced callback pointer.
+      size_t j = SkipSpaces(s_, i + 1);
+      if (j < end && s_[j] == '*') {
+        size_t k = SkipSpaces(s_, j + 1);
+        std::string name = ReadIdent(s_, k);
+        if (!name.empty()) {
+          size_t after = SkipSpaces(s_, k + name.size());
+          if (after < end && s_[after] == ')' &&
+              SkipSpaces(s_, after + 1) < end &&
+              s_[SkipSpaces(s_, after + 1)] == '(' &&
+              IsCallable(name, false)) {
+            ReportCallbackInvoke(name, i);
+            i = after + 1;
+            continue;
+          }
+        }
+      }
+      ++i;
+    } else if (IsWordChar(c) &&
+               !std::isdigit(static_cast<unsigned char>(c))) {
+      i = HandleWord(i, end);
+    } else {
+      ++i;
+    }
+  }
+}
+
+size_t BodyAnalyzer::HandleLambda(size_t i, size_t end) {
+  size_t j = i + 1;
+  int bracket = 1;
+  while (j < end && bracket > 0) {
+    if (s_[j] == '[') ++bracket;
+    if (s_[j] == ']') --bracket;
+    ++j;
+  }
+  j = SkipSpaces(s_, j);
+  if (j < end && s_[j] == '(') j = SkipSpaces(s_, SkipBalanced(s_, j, '(', ')'));
+  // Specifiers / trailing return before the body.
+  while (j < end && s_[j] != '{' && s_[j] != ';' && s_[j] != ')' &&
+         s_[j] != ',') {
+    if (s_[j] == '<')
+      j = SkipAngles(s_, j);
+    else if (s_[j] == '(')
+      j = SkipBalanced(s_, j, '(', ')');
+    else
+      ++j;
+  }
+  if (j >= end || s_[j] != '{') return i + 1;  // not a lambda after all
+  size_t close = SkipBalanced(s_, j, '{', '}');
+  // Deferred work: analyze with a fresh empty held-set, as its own
+  // anonymous (unresolvable) summary.
+  BodyInfo lb;
+  lb.file_index = body_.file_index;
+  lb.cls = body_.cls;
+  lb.class_stack = body_.class_stack;
+  lb.name = "<lambda>";
+  lb.begin = j + 1;
+  lb.end = close > j ? close - 1 : j + 1;
+  BodyAnalyzer nested(corpus_, lb, summaries_, edges_, findings_);
+  nested.local_callables_ = local_callables_;  // captures see our callbacks
+  nested.Run({});
+  return close;
+}
+
+size_t BodyAnalyzer::HandleWord(size_t i, size_t end) {
+  std::string w = ReadIdent(s_, i);
+  if (w.empty()) return i + 1;
+  size_t after = i + w.size();
+  if (IsGuardTypeWord(w)) return HandleGuardDecl(w, after);
+  if (w == "function") {
+    size_t j = SkipSpaces(s_, after);
+    if (j < end && s_[j] == '<') {
+      j = SkipSpaces(s_, SkipAngles(s_, j));
+      while (j < end && (s_[j] == '*' || s_[j] == '&')) j = SkipSpaces(s_, j + 1);
+      std::string name = ReadIdent(s_, j);
+      if (!name.empty() && name != "const") {
+        local_callables_.insert(name);
+        return j + name.size();
+      }
+      return j;
+    }
+    return after;
+  }
+  if (w == "auto") {  // `auto cb = batch_cb_;` — alias of a stored callback
+    size_t j = SkipSpaces(s_, after);
+    while (j < end && (s_[j] == '&' || s_[j] == '*')) j = SkipSpaces(s_, j + 1);
+    std::string name = ReadIdent(s_, j);
+    if (!name.empty()) {
+      size_t k = SkipSpaces(s_, j + name.size());
+      if (k < end && s_[k] == '=' && (k + 1 >= end || s_[k + 1] != '=')) {
+        size_t r = SkipSpaces(s_, k + 1);
+        if (WordAt(s_, r, "this")) {
+          r += 4;
+          if (r + 1 < end && s_[r] == '-' && s_[r + 1] == '>')
+            r = SkipSpaces(s_, r + 2);
+        }
+        std::string rhs = ReadIdent(s_, r);
+        if (!rhs.empty() && IsCallable(rhs, false))
+          local_callables_.insert(name);
+      }
+    }
+    return after;
+  }
+  if (IsMutexTypeWord(w)) {  // function-local mutex
+    size_t j = SkipSpaces(s_, after);
+    std::string name = ReadIdent(s_, j);
+    if (!name.empty()) local_mutexes_.insert(name);
+    return after;
+  }
+  if (IsControlKeyword(w)) return after;
+  if (IsAnnotationMacro(w)) {
+    size_t j = SkipSpaces(s_, after);
+    return (j < end && s_[j] == '(') ? SkipBalanced(s_, j, '(', ')') : after;
+  }
+  // `x.lock()` / `x.unlock()` — guard-variable or manual mutex operation.
+  size_t j = SkipSpaces(s_, after);
+  if (j < end && (s_[j] == '.' || (s_[j] == '-' && j + 1 < end &&
+                                   s_[j + 1] == '>'))) {
+    size_t m0 = SkipSpaces(s_, j + (s_[j] == '.' ? 1 : 2));
+    std::string m = ReadIdent(s_, m0);
+    if (m == "lock" || m == "unlock" || m == "try_lock" ||
+        m == "lock_shared" || m == "unlock_shared") {
+      size_t p = SkipSpaces(s_, m0 + m.size());
+      if (p < end && s_[p] == '(') {
+        HandleManualLockOp(w, m, i);
+        return SkipBalanced(s_, p, '(', ')');
+      }
+    }
+    return after;  // other member access — the member is scanned next
+  }
+  if (j < end && s_[j] == '(') {
+    bool has_recv = PrevIsMemberAccess(i);
+    if (IsCallable(w, has_recv)) {
+      ReportCallbackInvoke(w, i);
+      return after;
+    }
+    sum_->calls.push_back({w, has_recv, ActiveHeld(), body_.file_index, i});
+    return after;  // arguments are scanned normally
+  }
+  return after;
+}
+
+size_t BodyAnalyzer::HandleGuardDecl(const std::string& type_word, size_t i) {
+  size_t j = SkipSpaces(s_, i);
+  if (j < s_.size() && s_[j] == '<') j = SkipSpaces(s_, SkipAngles(s_, j));
+  std::string var = ReadIdent(s_, j);
+  if (var.empty()) return j;
+  size_t k = SkipSpaces(s_, j + var.size());
+  if (k >= s_.size() || (s_[k] != '(' && s_[k] != '{')) return k;
+  char open = s_[k];
+  char close = open == '(' ? ')' : '}';
+  size_t e = SkipBalanced(s_, k, open, close);
+  std::vector<std::string> args =
+      SplitArgs(s_.substr(k + 1, e > k + 1 ? e - k - 2 : 0));
+  bool defer = false;
+  std::vector<std::string> lock_exprs;
+  for (const std::string& a : args) {
+    if (a == "std::defer_lock" || a == "defer_lock") {
+      defer = true;
+    } else if (a == "std::adopt_lock" || a == "adopt_lock" ||
+               a == "std::try_to_lock" || a == "try_to_lock") {
+      // tag only
+    } else {
+      lock_exprs.push_back(a);
+    }
+  }
+  // Snapshot once: std::scoped_lock orders its own arguments safely, so
+  // co-arguments never form edges against each other.
+  (void)type_word;
+  auto snapshot = ActiveHeld();
+  for (const std::string& expr : lock_exprs) {
+    ResolvedLock r = ResolveLockExpr(expr, body_.class_stack, corpus_);
+    if (local_mutexes_.count(expr))
+      r = {sum_->key + "/" + expr, false};  // function-local lock
+    if (r.id.empty()) continue;
+    if (!defer) {
+      for (const auto& [id, expl] : snapshot)
+        AddEdge(id, expl, r.id, r.explicit_recv, k);
+      sum_->acquires.insert(r.id);
+    }
+    held_.push_back({r.id, r.explicit_recv, depth_, var, !defer});
+  }
+  return e;
+}
+
+void BodyAnalyzer::HandleManualLockOp(const std::string& var,
+                                      const std::string& op, size_t pos) {
+  bool is_unlock = op == "unlock" || op == "unlock_shared";
+  bool matched_guard = false;
+  for (Held& h : held_) {
+    if (h.guard != var || var.empty()) continue;
+    matched_guard = true;
+    if (is_unlock) {
+      h.active = false;
+    } else if (!h.active) {
+      for (const auto& [id, expl] : ActiveHeld())
+        AddEdge(id, expl, h.id, h.explicit_recv, pos);
+      h.active = true;
+      sum_->acquires.insert(h.id);
+    }
+  }
+  if (matched_guard) return;
+  ResolvedLock r = ResolveLockExpr(var, body_.class_stack, corpus_);
+  if (local_mutexes_.count(var)) r = {sum_->key + "/" + var, false};
+  if (r.id.empty()) return;
+  if (is_unlock) {
+    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+      if (it->active && it->guard.empty() && it->id == r.id) {
+        it->active = false;
+        break;
+      }
+    }
+  } else {
+    for (const auto& [id, expl] : ActiveHeld())
+      AddEdge(id, expl, r.id, r.explicit_recv, pos);
+    sum_->acquires.insert(r.id);
+    held_.push_back({r.id, r.explicit_recv, depth_, "", true});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inter-procedural fixpoint, cycle detection, findings.
+// ---------------------------------------------------------------------------
+
+// Iterative Tarjan SCC over the lock graph; returns component id per node.
+std::map<std::string, int> SccComponents(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::vector<std::string> nodes;
+  for (const auto& [n, _] : adj) nodes.push_back(n);
+  std::map<std::string, int> index, low, comp;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next_index = 0, next_comp = 0;
+  struct Frame {
+    std::string node;
+    std::vector<std::string> succ;
+    size_t next = 0;
+  };
+  for (const std::string& start : nodes) {
+    if (index.count(start)) continue;
+    std::vector<Frame> frames;
+    auto push_node = [&](const std::string& n) {
+      index[n] = low[n] = next_index++;
+      stack.push_back(n);
+      on_stack.insert(n);
+      Frame f;
+      f.node = n;
+      auto it = adj.find(n);
+      if (it != adj.end())
+        f.succ.assign(it->second.begin(), it->second.end());
+      frames.push_back(std::move(f));
+    };
+    push_node(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < f.succ.size()) {
+        const std::string& w = f.succ[f.next++];
+        if (!index.count(w)) {
+          push_node(w);
+        } else if (on_stack.count(w)) {
+          low[f.node] = std::min(low[f.node], index[w]);
+        }
+      } else {
+        if (low[f.node] == index[f.node]) {
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            comp[w] = next_comp;
+            if (w == f.node) break;
+          }
+          ++next_comp;
+        }
+        std::string done = f.node;
+        frames.pop_back();
+        if (!frames.empty())
+          low[frames.back().node] =
+              std::min(low[frames.back().node], low[done]);
+      }
+    }
+  }
+  return comp;
+}
+
+std::string JoinHeld(const std::vector<std::pair<std::string, bool>>& held) {
+  std::string out;
+  for (const auto& [id, expl] : held) {
+    (void)expl;
+    if (!out.empty()) out += ", ";
+    out += id;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> AuditLocks(const std::vector<SourceFile>& files,
+                                std::vector<LockEdge>* edges_out) {
+  Corpus corpus;
+  corpus.files = &files;
+  for (const SourceFile& f : files)
+    corpus.stripped.push_back(StripCommentsAndStrings(f.content));
+  for (size_t i = 0; i < files.size(); ++i)
+    StructScanner(static_cast<int>(i), corpus.stripped[i], &corpus).Run();
+
+  std::vector<Summary> summaries;
+  EdgeMap edges;
+  std::vector<Finding> findings;
+  for (const BodyInfo& b : corpus.bodies) {
+    std::string key = b.cls.empty() ? b.name : b.cls + "::" + b.name;
+    std::vector<std::string> held0;
+    auto ann = corpus.annotations.find(key);
+    if (ann != corpus.annotations.end()) {
+      for (const std::string& expr : ann->second.requires_exprs) {
+        ResolvedLock r = ResolveLockExpr(expr, b.class_stack, corpus);
+        if (!r.id.empty()) held0.push_back(r.id);
+      }
+    }
+    BodyAnalyzer(corpus, b, &summaries, &edges, &findings).Run(held0);
+  }
+
+  // QSP_EXCLUDES(m) on a function means some path through it acquires m:
+  // fold it into the acquire set, and synthesize summaries for annotated
+  // functions whose bodies were not scanned.
+  std::map<std::string, std::vector<size_t>> by_key, by_name;
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    if (summaries[i].key.find('<') != std::string::npos) continue;
+    by_key[summaries[i].key].push_back(i);
+    by_name[summaries[i].name].push_back(i);
+  }
+  for (const auto& [key, ann] : corpus.annotations) {
+    if (ann.excludes_exprs.empty()) continue;
+    std::vector<std::string> stack;
+    if (!ann.cls.empty()) stack.push_back(ann.cls);
+    std::set<std::string> ids;
+    for (const std::string& expr : ann.excludes_exprs) {
+      ResolvedLock r = ResolveLockExpr(expr, stack, corpus);
+      if (!r.id.empty()) ids.insert(r.id);
+    }
+    if (ids.empty()) continue;
+    auto targets = by_key.find(key);
+    if (targets != by_key.end()) {
+      for (size_t idx : targets->second)
+        summaries[idx].acquires.insert(ids.begin(), ids.end());
+    } else {
+      Summary pseudo;
+      pseudo.key = key;
+      size_t sep = key.rfind("::");
+      pseudo.name = sep == std::string::npos ? key : key.substr(sep + 2);
+      pseudo.class_stack = stack;
+      pseudo.acquires = ids;
+      by_key[pseudo.key].push_back(summaries.size());
+      by_name[pseudo.name].push_back(summaries.size());
+      summaries.push_back(std::move(pseudo));
+    }
+  }
+  for (Summary& s : summaries) s.trans = s.acquires;
+
+  auto resolve = [&](const CallSite& call,
+                     const Summary& s) -> const std::vector<size_t>* {
+    if (!call.has_recv) {
+      for (auto it = s.class_stack.rbegin(); it != s.class_stack.rend();
+           ++it) {
+        auto found = by_key.find(*it + "::" + call.name);
+        if (found != by_key.end()) return &found->second;
+      }
+      auto free_fn = by_key.find(call.name);
+      if (free_fn != by_key.end()) return &free_fn->second;
+    }
+    // Receiver type unknown (explicit receiver, or a bare name outside
+    // the enclosing classes): bind by name only when unambiguous — one
+    // distinct function corpus-wide (overloads of it are fine). Unioning
+    // every same-named method would invent lock edges between unrelated
+    // classes.
+    auto any = by_name.find(call.name);
+    if (any == by_name.end()) return nullptr;
+    const std::string& first_key = summaries[any->second.front()].key;
+    for (size_t idx : any->second) {
+      if (summaries[idx].key != first_key) return nullptr;
+    }
+    return &any->second;
+  };
+
+  bool changed = true;
+  for (int iter = 0; changed && iter < 50; ++iter) {
+    changed = false;
+    for (Summary& s : summaries) {
+      for (const CallSite& call : s.calls) {
+        const std::vector<size_t>* targets = resolve(call, s);
+        if (!targets) continue;
+        for (size_t t : *targets) {
+          const Summary& callee = summaries[t];
+          for (const std::string& id : callee.trans)
+            if (s.trans.insert(id).second) changed = true;
+          if ((callee.invokes_cb || callee.trans_cb) && !s.trans_cb &&
+              !s.invokes_cb) {
+            s.trans_cb = true;
+            s.trans_cb_via = call.name;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Call-site edges and inter-procedural callback findings.
+  std::set<std::string> cb_reported;
+  for (const Summary& s : summaries) {
+    for (const CallSite& call : s.calls) {
+      if (call.held.empty()) continue;
+      const std::vector<size_t>* targets = resolve(call, s);
+      if (!targets) continue;
+      std::set<std::string> acq;
+      bool cb = false;
+      for (size_t t : *targets) {
+        acq.insert(summaries[t].trans.begin(), summaries[t].trans.end());
+        cb = cb || summaries[t].invokes_cb || summaries[t].trans_cb;
+      }
+      const std::string& file = files[call.file_index].path;
+      int line = LineOf(corpus.stripped[call.file_index], call.pos);
+      for (const auto& [held_id, held_expl] : call.held) {
+        for (const std::string& m : acq) {
+          if (held_id == m && (held_expl || call.has_recv)) continue;
+          edges.emplace(std::make_pair(held_id, m),
+                        LockEdge{held_id, m, file, line});
+        }
+      }
+      if (cb) {
+        std::string dedupe = file + ":" + std::to_string(line) + ":" +
+                             call.name;
+        if (cb_reported.insert(dedupe).second) {
+          findings.push_back(
+              {file, line, "callback-under-lock",
+               "call to `" + call.name + "` reaches a stored-callback "
+               "invocation while holding " + JoinHeld(call.held) +
+               " — the callback runs under this lock"});
+        }
+      }
+    }
+  }
+
+  // Cycle findings over the lock-order graph.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [key, e] : edges) {
+    adj[key.first].insert(key.second);
+    adj[key.second];  // ensure the node exists
+  }
+  std::map<std::string, int> comp = SccComponents(adj);
+  std::map<int, std::vector<std::string>> members;
+  for (const auto& [node, c] : comp) members[c].push_back(node);
+  for (const auto& [key, e] : edges) {
+    if (key.first == key.second) {
+      findings.push_back(
+          {e.file, e.line, "lock-order-cycle",
+           "`" + key.first + "` can be re-acquired on a path that already "
+           "holds it (self-deadlock on a non-recursive mutex)"});
+      continue;
+    }
+    int c = comp[key.first];
+    if (c != comp[key.second] || members[c].size() < 2) continue;
+    std::string cycle;
+    for (const std::string& n : members[c]) {
+      if (!cycle.empty()) cycle += ", ";
+      cycle += n;
+    }
+    findings.push_back(
+        {e.file, e.line, "lock-order-cycle",
+         "holds `" + key.first + "` while acquiring `" + key.second +
+         "`, closing a lock-order cycle among {" + cycle +
+         "} — another path acquires these in the opposite order"});
+  }
+
+  if (edges_out) {
+    for (const auto& [key, e] : edges) {
+      (void)key;
+      edges_out->push_back(e);
+    }
+  }
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace qsp

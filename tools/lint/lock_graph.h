@@ -1,0 +1,76 @@
+#ifndef QSP_TOOLS_LINT_LOCK_GRAPH_H_
+#define QSP_TOOLS_LINT_LOCK_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+/// Cross-file lock-discipline analysis for qsp_audit (DESIGN.md §14).
+/// Token-level, no libclang: a structural scanner harvests mutex members
+/// (`std::mutex`, `recursive_mutex`, `shared_mutex`, ...), stored
+/// callback members (`std::function<...>`), and the thread-safety
+/// annotations (`QSP_REQUIRES`/`QSP_EXCLUDES` on declarations seed and
+/// constrain the held-set; `QSP_GUARDED_BY` is parsed so annotated
+/// members resolve), then walks every function body tracking guard
+/// objects (`lock_guard`/`unique_lock`/`scoped_lock`/`shared_lock`),
+/// manual `m.lock()`/`m.unlock()`, and guard `.unlock()`/`.lock()`
+/// re-acquisition — the PR 8 pattern of releasing before invoking a
+/// callback is understood, not flagged.
+///
+/// Locks are identified as `Class::member` (resolved through the
+/// enclosing class of the acquiring function, or through the unique
+/// declaring class for `obj.mu` member accesses). Function summaries
+/// propagate acquired locks to callers to a fixpoint, so an edge
+/// `A -> B` exists when B is acquired (directly or through any call
+/// chain) while A is held.
+///
+/// Rules:
+///   lock-order-cycle     The inter-procedural lock-order graph has a
+///                        cycle (potential deadlock), including
+///                        self-edges (re-acquiring a non-recursive mutex
+///                        on the same call path). One finding per edge
+///                        participating in a cycle, at the acquisition
+///                        site that creates the edge.
+///   callback-under-lock  A stored `std::function` (member, parameter,
+///                        local, or alias of one) is invoked while any
+///                        mutex is held. The callee is arbitrary user
+///                        code: it can call back into the locked object
+///                        and deadlock — copy it out and invoke after
+///                        unlocking (what LivePlanManager::ProcessBatch
+///                        does since PR 8).
+///
+/// Heuristics and limits (documented, deliberate): lambda bodies are
+/// analyzed as deferred work (fresh empty held-set — they are almost
+/// always pool tasks or thread mains here), calls through an explicit
+/// receiver (`other.F()`) never create self-edges (different-instance
+/// assumption), and calls bind to a summary only when the callee is
+/// unambiguous: no-receiver calls resolve through the enclosing class
+/// chain then free functions, and explicit-receiver calls bind by name
+/// only when every same-named summary in the corpus is the same
+/// function — ambiguous names are dropped rather than unioned, trading
+/// recall for zero false edges.
+namespace qsp {
+namespace lint {
+
+/// One edge of the lock-order graph, for tests and EXPLAIN-style dumps.
+struct LockEdge {
+  std::string held;      // lock id held at the acquisition
+  std::string acquired;  // lock id acquired
+  std::string file;
+  int line = 0;
+};
+
+/// Runs the lock rules over the corpus. Findings are unsuppressed and
+/// unsorted; audit.cc applies allow markers and the global ordering.
+/// When `edges_out` is non-null, the deduplicated lock-order graph is
+/// appended to it (deterministic order).
+std::vector<Finding> AuditLocks(const std::vector<SourceFile>& files,
+                                std::vector<LockEdge>* edges_out = nullptr);
+
+}  // namespace lint
+}  // namespace qsp
+
+#endif  // QSP_TOOLS_LINT_LOCK_GRAPH_H_

@@ -34,7 +34,6 @@
 #include "sim/scenario.h"
 #include "util/bell.h"
 #include "util/table_printer.h"
-#include "workload/client_gen.h"
 #include "workload/subs_io.h"
 #include "workload/query_gen.h"
 
@@ -204,7 +203,8 @@ int CmdPlan(const Args& args) {
   for (size_t ch = 0; ch < report->plan.allocation.size(); ++ch) {
     std::string clients_str;
     for (ClientId c : report->plan.allocation[ch]) {
-      clients_str += (clients_str.empty() ? "" : ",") + std::to_string(c);
+      if (!clients_str.empty()) clients_str += ',';
+      clients_str += std::to_string(c);
     }
     std::printf("channel %zu       : clients {%s}\n", ch,
                 clients_str.c_str());
